@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: counter-based early register release versus virtual-
+ * physical registers.
+ *
+ * Section 3.1 of the paper identifies two waste factors of decode-time
+ * allocation and positions virtual-physical registers as eliminating
+ * the *first* (decode→write-back holding), citing Moudgill et al. and
+ * Smith & Sohi for the *second* (dead value waiting for its
+ * superseder's commit). This bench runs all four schemes so the two
+ * factors can be compared head to head.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace vpr;
+using namespace vpr::bench;
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv);
+
+    printTableHeader(std::cout,
+                     "Ablation: early release vs virtual-physical "
+                     "(IPC, 64 regs)",
+                     {"conv", "early-rel", "vp-wb", "er-gain", "vp-gain"});
+
+    std::vector<double> convAll, erAll, vpAll;
+    for (const auto &name : benchmarkNames()) {
+        SimConfig config = experimentConfig();
+
+        config.setScheme(RenameScheme::Conventional);
+        double conv = runOne(name, config).ipc();
+        config.setScheme(RenameScheme::ConventionalEarlyRelease);
+        double er = runOne(name, config).ipc();
+        config.setScheme(RenameScheme::VPAllocAtWriteback);
+        config.setNrr(32);
+        double vp = runOne(name, config).ipc();
+
+        convAll.push_back(conv);
+        erAll.push_back(er);
+        vpAll.push_back(vp);
+        printTableRow(std::cout, name,
+                      {conv, er, vp, er / conv, vp / conv}, 3);
+    }
+    std::cout << std::string(12 + 12 * 5, '-') << "\n";
+    printTableRow(std::cout, "hmean",
+                  {harmonicMean(convAll), harmonicMean(erAll),
+                   harmonicMean(vpAll),
+                   harmonicMean(erAll) / harmonicMean(convAll),
+                   harmonicMean(vpAll) / harmonicMean(convAll)},
+                  3);
+
+    std::cout << "\nexpectation: early release helps (it shortens the "
+                 "tail of a value's lifetime) but recovers only part of "
+                 "the virtual-physical gain — on miss-bound codes the "
+                 "decode->write-back holding time dominates, which is "
+                 "the paper's motivating argument.\n";
+    return 0;
+}

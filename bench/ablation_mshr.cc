@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: MSHR count (lockup-free cache depth).
+ *
+ * The virtual-physical win on streaming FP codes comes from overlapping
+ * more cache misses than 32 rename registers allow. That makes the
+ * 8-entry MSHR file (paper §4.1) the complementary ceiling: this bench
+ * sweeps it to show where the VP speedup saturates.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace vpr;
+using namespace vpr::bench;
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv);
+
+    const std::vector<unsigned> mshrs = {2, 4, 8, 16, 32};
+    std::vector<std::string> cols;
+    for (auto m : mshrs)
+        cols.push_back("MSHR=" + std::to_string(m));
+    printTableHeader(std::cout,
+                     "Ablation: VP speedup vs outstanding-miss limit "
+                     "(64 regs, write-back alloc)",
+                     cols);
+
+    for (const char *name : {"swim", "mgrid", "apsi", "compress"}) {
+        std::vector<double> row;
+        for (unsigned m : mshrs) {
+            SimConfig config = experimentConfig();
+            config.core.cache.numMshrs = m;
+            config.setScheme(RenameScheme::Conventional);
+            double conv = runOne(name, config).ipc();
+            config.setScheme(RenameScheme::VPAllocAtWriteback);
+            double vp = runOne(name, config).ipc();
+            row.push_back(vp / conv);
+        }
+        printTableRow(std::cout, name, row, 3);
+    }
+
+    std::cout << "\nexpectation: with very few MSHRs both schemes are "
+                 "pinned to the same miss ceiling (speedup -> 1); the "
+                 "speedup grows with MSHRs until the 128-entry window "
+                 "becomes the limit.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: misprediction modelling — fetch stall (the paper's
+ * trace-driven methodology) versus synthetic wrong-path fetch.
+ *
+ * Trace-driven simulators cannot follow the actual wrong path. The
+ * paper's framework (like most of its era) stalls fetch at a detected
+ * misprediction. Our fetch unit can instead synthesize wrong-path
+ * instructions that occupy rename registers, queue slots and functional
+ * units until the branch resolves — closer to real hardware for a
+ * register-pressure study. This bench quantifies the difference.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace vpr;
+using namespace vpr::bench;
+
+namespace
+{
+
+double
+speedup(const std::string &bench, WrongPathMode mode)
+{
+    SimConfig config = experimentConfig();
+    config.core.fetch.wrongPath = mode;
+    config.setScheme(RenameScheme::Conventional);
+    double conv = runOne(bench, config).ipc();
+    config.setScheme(RenameScheme::VPAllocAtWriteback);
+    return runOne(bench, config).ipc() / conv;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv);
+
+    printTableHeader(std::cout,
+                     "Ablation: VP speedup under both misprediction "
+                     "models (64 regs, NRR=32)",
+                     {"stall", "wrong-path"});
+    std::vector<double> stallAll, wpAll;
+    for (const auto &name : benchmarkNames()) {
+        double st = speedup(name, WrongPathMode::Stall);
+        double wp = speedup(name, WrongPathMode::Synthesize);
+        stallAll.push_back(st);
+        wpAll.push_back(wp);
+        printTableRow(std::cout, name, {st, wp}, 3);
+    }
+    std::cout << std::string(36, '-') << "\n";
+    printTableRow(std::cout, "geomean",
+                  {geoMean(stallAll), geoMean(wpAll)}, 3);
+    std::cout << "\nexpectation: wrong-path fetch consumes decode-time "
+                 "rename registers in the conventional scheme only, so "
+                 "the VP advantage is equal or slightly larger on "
+                 "branchy codes; all paper benches use the stall model "
+                 "for methodological fidelity.\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper. Instruction
+ * budgets are scaled-down from the paper's 50 M (see DESIGN.md §4) and
+ * can be rescaled with VPR_INSTS_SCALE=<factor> or --scale=<factor>.
+ */
+
+#ifndef VPR_BENCH_BENCH_COMMON_HH
+#define VPR_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr::bench
+{
+
+/** Parse --scale=<f> into VPR_INSTS_SCALE before anything runs. */
+void parseArgs(int argc, char **argv);
+
+/** The SimConfig all paper experiments start from: section 4.1 machine,
+ *  trace-driven fetch stall on mispredictions, scaled-down budget. */
+SimConfig experimentConfig();
+
+/** Run conv + one VP scheme for every benchmark and print speedups in
+ *  the paper's figure style; returns the per-benchmark speedups. */
+std::vector<double> printSpeedupFigure(
+    const std::string &title, RenameScheme scheme,
+    const std::vector<unsigned> &nrrValues);
+
+/** Geometric-mean helper used when summarizing speedup figures. */
+double geoMean(const std::vector<double> &values);
+
+} // namespace vpr::bench
+
+#endif // VPR_BENCH_BENCH_COMMON_HH

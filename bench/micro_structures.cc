@@ -1,0 +1,178 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the renaming structures and the
+ * other hot simulator paths. These are engineering benchmarks (how fast
+ * is the simulator), not paper experiments; they guard against
+ * performance regressions in the structures the cycle loop hammers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/bht.hh"
+#include "common/random.hh"
+#include "core/core.hh"
+#include "core/iq.hh"
+#include "memory/cache.hh"
+#include "rename/conventional.hh"
+#include "rename/virtual_physical.hh"
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace
+{
+
+using namespace vpr;
+
+RenameConfig
+renameCfg()
+{
+    RenameConfig rc;
+    rc.numPhysRegs = 64;
+    rc.numVPRegs = 160;
+    rc.nrrInt = 32;
+    rc.nrrFp = 32;
+    return rc;
+}
+
+DynInst
+makeAlu(InstSeqNum seq)
+{
+    DynInst d;
+    d.si = StaticInst::alu(RegId::intReg(seq % 30),
+                           RegId::intReg((seq + 1) % 32),
+                           RegId::intReg((seq + 2) % 32));
+    d.seq = seq;
+    return d;
+}
+
+/** Rename+complete+commit round trip, conventional scheme. */
+void
+BM_ConventionalRenameRoundTrip(benchmark::State &state)
+{
+    ConventionalRename rn(renameCfg());
+    InstSeqNum seq = 0;
+    Cycle now = 0;
+    std::vector<DynInst> ring(16);
+    std::size_t head = 0, tail = 0, live = 0;
+    for (auto _ : state) {
+        ++now;
+        rn.tick(now);
+        if (live < 8) {
+            DynInst &d = ring[tail];
+            d = makeAlu(++seq);
+            rn.renameInst(d, now);
+            rn.complete(d, now);
+            tail = (tail + 1) % ring.size();
+            ++live;
+        }
+        if (live > 4) {
+            rn.commitInst(ring[head], now);
+            head = (head + 1) % ring.size();
+            --live;
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(seq));
+}
+BENCHMARK(BM_ConventionalRenameRoundTrip);
+
+/** Rename+complete+commit round trip, virtual-physical write-back. */
+void
+BM_VirtualPhysicalRenameRoundTrip(benchmark::State &state)
+{
+    VirtualPhysicalRename rn(renameCfg(), false);
+    InstSeqNum seq = 0;
+    Cycle now = 0;
+    std::vector<DynInst> ring(16);
+    std::size_t head = 0, tail = 0, live = 0;
+    for (auto _ : state) {
+        ++now;
+        rn.tick(now);
+        if (live < 8) {
+            DynInst &d = ring[tail];
+            d = makeAlu(++seq);
+            rn.renameInst(d, now);
+            rn.complete(d, now);
+            tail = (tail + 1) % ring.size();
+            ++live;
+        }
+        if (live > 4) {
+            rn.commitInst(ring[head], now);
+            head = (head + 1) % ring.size();
+            --live;
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(seq));
+}
+BENCHMARK(BM_VirtualPhysicalRenameRoundTrip);
+
+/** IQ broadcast wakeup over a full 128-entry queue. */
+void
+BM_IqWakeup(benchmark::State &state)
+{
+    InstQueue iq(128);
+    std::vector<DynInst> insts(128);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        insts[i] = makeAlu(i + 1);
+        insts[i].src[0].valid = true;
+        insts[i].src[0].cls = RegClass::Int;
+        insts[i].src[0].tag = static_cast<std::uint16_t>(i % 64);
+        iq.insert(&insts[i]);
+    }
+    std::uint16_t tag = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(iq.wakeup(RegClass::Int, tag, tag));
+        for (auto *inst : iq.entries())
+            inst->src[0].ready = false;  // rearm
+        tag = (tag + 1) % 64;
+    }
+}
+BENCHMARK(BM_IqWakeup);
+
+/** Non-blocking cache: streaming accesses (25% miss). */
+void
+BM_CacheStream(benchmark::State &state)
+{
+    NonBlockingCache cache;
+    Cycle now = 0;
+    Addr addr = 0x1000000;
+    for (auto _ : state) {
+        now += 2;
+        addr += 8;
+        benchmark::DoNotOptimize(cache.access(addr, false, now));
+    }
+}
+BENCHMARK(BM_CacheStream);
+
+/** BHT predict+update. */
+void
+BM_BhtPredict(benchmark::State &state)
+{
+    BhtPredictor bht(2048);
+    Random rng(7);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        pc += 4;
+        benchmark::DoNotOptimize(
+            bht.predictAndUpdate(pc, rng.chancePermille(700)));
+    }
+}
+BENCHMARK(BM_BhtPredict);
+
+/** End-to-end simulator throughput (cycles/second) on one kernel. */
+void
+BM_SimulatorEndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimConfig config = paperConfig();
+        config.skipInsts = 0;
+        config.measureInsts = 20000;
+        config.core.fetch.wrongPath = WrongPathMode::Stall;
+        Simulator sim("swim", config);
+        benchmark::DoNotOptimize(sim.run().ipc());
+    }
+}
+BENCHMARK(BM_SimulatorEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Build a custom workload with the LoopTrace DSL and run it under every
+ * renaming scheme.
+ *
+ * The kernel below is a sparse "gather-accumulate": random gathers from
+ * a large table feed a dependent FP accumulation — a structure somewhere
+ * between swim (streaming misses) and li (serial dependences). The
+ * example shows the public workload-authoring API end to end: memory
+ * streams, instruction templates, block CFG with counted and random
+ * branches, and the simulation driver.
+ */
+
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "trace/loop_trace.hh"
+
+using namespace vpr;
+
+int
+main()
+{
+    KernelDesc k;
+    k.name = "gather-accumulate";
+    k.seed = 0xa77e;
+
+    // Memory streams: a 1 MB gather table (mostly missing in a 16 KB
+    // L1) and a resident index vector.
+    MemStreamDesc table;
+    table.kind = MemStreamDesc::Kind::Random;
+    table.base = 0x10000000;
+    table.region = 1 << 20;
+
+    MemStreamDesc index;
+    index.kind = MemStreamDesc::Kind::Stride;
+    index.base = 0x20001000;
+    index.stride = 8;
+    index.region = 4 << 10;
+
+    k.streams = {table, index};
+
+    // Inner block: gather, scale, accumulate.
+    BlockDesc gather;
+    gather.insts = {
+        InstTemplate::loadFrom(1, RegId::intReg(10), RegId::intReg(1)),
+        InstTemplate::loadFrom(0, RegId::fpReg(1), RegId::intReg(10)),
+        InstTemplate::compute(OpClass::FpMult, RegId::fpReg(2),
+                              RegId::fpReg(1), RegId::fpReg(20)),
+        InstTemplate::compute(OpClass::FpAdd, RegId::fpReg(10),
+                              RegId::fpReg(10), RegId::fpReg(2)),
+        InstTemplate::compute(OpClass::IntAlu, RegId::intReg(1),
+                              RegId::intReg(1), RegId::intReg(5)),
+    };
+    gather.branch.kind = BranchDesc::Kind::Loop;
+    gather.branch.src = RegId::intReg(1);
+    gather.branch.tripCount = 64;
+    gather.branch.takenTarget = 0;
+    gather.branch.fallThrough = 1;
+
+    // Occasional reduction block with a divide.
+    BlockDesc reduce;
+    reduce.insts = {
+        InstTemplate::compute(OpClass::FpDiv, RegId::fpReg(11),
+                              RegId::fpReg(10), RegId::fpReg(21)),
+        InstTemplate::compute(OpClass::IntAlu, RegId::intReg(2),
+                              RegId::intReg(2), RegId::intReg(5)),
+    };
+    reduce.branch.kind = BranchDesc::Kind::Loop;
+    reduce.branch.src = RegId::intReg(2);
+    reduce.branch.tripCount = 8;
+    reduce.branch.takenTarget = 0;
+    reduce.branch.fallThrough = 0;
+
+    k.blocks = {gather, reduce};
+    k.validate();
+
+    SimConfig config = paperConfig();
+    config.skipInsts = 5000;
+    config.measureInsts = 60000;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+
+    std::cout << "custom kernel: " << k.name << "\n\n";
+    for (RenameScheme s : {RenameScheme::Conventional,
+                           RenameScheme::VPAllocAtIssue,
+                           RenameScheme::VPAllocAtWriteback}) {
+        config.setScheme(s);
+        LoopTraceStream stream(k);
+        Simulator sim(stream, config);
+        SimResults r = sim.run();
+        std::cout << renameSchemeName(s) << ": IPC = " << r.ipc()
+                  << "  (miss rate " << r.cacheMissRate
+                  << ", exec/commit "
+                  << r.stats.executionsPerCommit() << ")\n";
+    }
+    return 0;
+}

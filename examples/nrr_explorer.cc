@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Explore the paper's key design parameter: NRR, the number of oldest
+ * destination-writing instructions guaranteed a physical register
+ * (section 3.3). Runs one benchmark across the full NRR range for both
+ * allocation policies and prints the speedup curve over conventional
+ * renaming — the per-benchmark view behind Figures 4 and 5.
+ *
+ * Usage: nrr_explorer [benchmark] [physRegs]  (defaults: hydro2d 64)
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+using namespace vpr;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "hydro2d";
+    std::uint16_t physRegs =
+        argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2])) : 64;
+
+    SimConfig config = paperConfig();
+    config.setPhysRegs(physRegs);
+    config.skipInsts = 10000;
+    config.measureInsts = 80000;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+
+    config.setScheme(RenameScheme::Conventional);
+    double conv = runOne(bench, config).ipc();
+
+    std::cout << "benchmark " << bench << ", " << physRegs
+              << " physical registers/file; conventional IPC = "
+              << std::fixed << std::setprecision(3) << conv << "\n\n";
+    std::cout << std::setw(6) << "NRR" << std::setw(14) << "writeback"
+              << std::setw(14) << "issue" << "   (speedup over conv)\n";
+
+    std::uint16_t maxNrr =
+        static_cast<std::uint16_t>(physRegs - kNumLogicalRegs);
+    for (std::uint16_t nrr = 1; nrr <= maxNrr; nrr *= 2) {
+        config.setScheme(RenameScheme::VPAllocAtWriteback);
+        config.setNrr(nrr);
+        double wb = runOne(bench, config).ipc() / conv;
+        config.setScheme(RenameScheme::VPAllocAtIssue);
+        double iss = runOne(bench, config).ipc() / conv;
+        std::cout << std::setw(6) << nrr << std::setw(14) << wb
+                  << std::setw(14) << iss << "\n";
+        if (nrr == maxNrr)
+            break;
+        if (nrr * 2 > maxNrr)
+            nrr = maxNrr / 2;  // make sure the max value is printed
+    }
+    std::cout << "\nLow NRR starves the oldest instructions (they must "
+                 "wait for re-execution slots);\nhigh NRR reserves "
+                 "everything for the oldest, behaving like the "
+                 "conventional scheme\nplus late allocation. The paper "
+                 "finds NRR = 32 best on average for both policies.\n";
+    return 0;
+}

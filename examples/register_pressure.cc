@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Walk through the paper's section 3.1 example at trace level and show
+ * how each renaming scheme times register allocation.
+ *
+ * The example chain (destinations on the left):
+ *
+ *     load f2,0(r6)   ; misses in the cache
+ *     fdiv f2,f2,f10
+ *     fmul f2,f2,f12
+ *     fadd f2,f2,f1
+ *
+ * All four instructions rename f2. Under decode-time (conventional)
+ * allocation, four physical registers are held from decode; under
+ * virtual-physical renaming each instruction holds only a VP *tag*
+ * until it issues or completes. This example runs the chain and prints
+ * per-scheme pipeline timelines plus the register-pressure integral.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "trace/builder.hh"
+
+using namespace vpr;
+
+namespace
+{
+
+void
+runScheme(RenameScheme scheme)
+{
+    TraceBuilder b;
+    // One iteration of the paper's chain on a cold line, plus index
+    // update; repeated enough times to reach steady state.
+    for (unsigned i = 0; i < 600; ++i) {
+        b.load(RegId::fpReg(2), RegId::intReg(6),
+               0x40000000 + static_cast<Addr>(i) * 64);
+        b.fpDiv(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(10));
+        b.fpMul(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(12));
+        b.fpAdd(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(1));
+    }
+    VectorTraceStream stream(b.records());
+
+    SimConfig config = paperConfig();
+    config.setScheme(scheme);
+    config.skipInsts = 400;
+    config.measureInsts = 1600;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+
+    Simulator sim(stream, config);
+    SimResults r = sim.run();
+
+    std::cout << std::left << std::setw(14)
+              << renameSchemeName(scheme) << std::fixed
+              << std::setprecision(2) << "  hold/value(fp)="
+              << std::setw(8) << r.meanHoldCyclesFp
+              << "  avg busy fp regs=" << std::setw(7)
+              << r.stats.avgBusyFpRegs << "  IPC=" << r.ipc() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Register pressure on the paper's section 3.1 chain\n"
+              << "(four instructions all writing f2; every load "
+                 "misses)\n\n";
+    runScheme(RenameScheme::Conventional);
+    runScheme(RenameScheme::VPAllocAtIssue);
+    runScheme(RenameScheme::VPAllocAtWriteback);
+
+    std::cout << "\nReading: the conventional scheme allocates a "
+                 "physical register at decode and\nholds it through the "
+                 "entire miss + divide + multiply chain; issue "
+                 "allocation\nwaits until operands are ready; write-back "
+                 "allocation holds a register only\nfrom result "
+                 "production to the consumer's commit — the paper's "
+                 "-75% example.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "branch/bht.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+BhtPredictor::BhtPredictor(std::size_t entries)
+    : table(entries, 2), mask(entries - 1)
+{
+    VPR_ASSERT(isPowerOf2(entries), "BHT size must be a power of two");
+}
+
+bool
+BhtPredictor::predict(Addr pc) const
+{
+    return table[index(pc)] >= 2;
+}
+
+void
+BhtPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = table[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+bool
+BhtPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    bool pred = predict(pc);
+    ++nLookups;
+    if (pred != taken)
+        ++nMispredicts;
+    update(pc, taken);
+    return pred == taken;
+}
+
+double
+BhtPredictor::accuracy() const
+{
+    if (nLookups == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(nMispredicts) /
+                     static_cast<double>(nLookups);
+}
+
+void
+BhtPredictor::reset()
+{
+    table.assign(table.size(), 2);
+    nLookups = 0;
+    nMispredicts = 0;
+}
+
+} // namespace vpr

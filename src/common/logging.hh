@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — neutral status output.
+ */
+
+#ifndef VPR_COMMON_LOGGING_HH
+#define VPR_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vpr
+{
+
+/** Terminate with an "internal bug" diagnostic (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a "user error" diagnostic (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; simulation continues. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Concatenate a heterogeneous argument pack via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+} // namespace vpr
+
+#define VPR_PANIC(...) \
+    ::vpr::panicImpl(__FILE__, __LINE__, ::vpr::detail::concat(__VA_ARGS__))
+
+#define VPR_FATAL(...) \
+    ::vpr::fatalImpl(__FILE__, __LINE__, ::vpr::detail::concat(__VA_ARGS__))
+
+#define VPR_WARN(...) \
+    ::vpr::warnImpl(__FILE__, __LINE__, ::vpr::detail::concat(__VA_ARGS__))
+
+#define VPR_INFORM(...) \
+    ::vpr::informImpl(::vpr::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define VPR_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            VPR_PANIC("assertion failed: " #cond                          \
+                      " " __VA_OPT__(,) __VA_ARGS__);                     \
+        }                                                                 \
+    } while (0)
+
+#endif // VPR_COMMON_LOGGING_HH

@@ -1,0 +1,4 @@
+#include "common/random.hh"
+
+// Random is header-only; this translation unit exists so the build file can
+// list the module and future out-of-line additions have a home.

@@ -1,0 +1,97 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace vpr::stats
+{
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " " << std::right
+       << std::setw(14) << val << "  # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " " << std::right
+       << std::setw(14) << std::fixed << std::setprecision(4) << mean()
+       << "  # " << desc() << " (" << n << " samples)\n";
+}
+
+Distribution::Distribution(std::string name, std::string desc,
+                           std::uint64_t min, std::uint64_t max,
+                           std::uint64_t bucketSize)
+    : StatBase(std::move(name), std::move(desc)), lo(min), hi(max),
+      bsize(bucketSize)
+{
+    VPR_ASSERT(max >= min, "distribution range inverted");
+    VPR_ASSERT(bucketSize > 0, "bucket size must be positive");
+    buckets.assign((max - min) / bucketSize + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    if (n == 0 || v < minSeen)
+        minSeen = v;
+    if (n == 0 || v > maxSeen)
+        maxSeen = v;
+    ++n;
+    sum += static_cast<double>(v);
+    if (v < lo) {
+        ++under;
+    } else if (v > hi) {
+        ++over;
+    } else {
+        ++buckets[(v - lo) / bsize];
+    }
+}
+
+void
+Distribution::reset()
+{
+    under = over = n = 0;
+    sum = 0.0;
+    minSeen = maxSeen = 0;
+    buckets.assign(buckets.size(), 0);
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " mean="
+       << std::fixed << std::setprecision(3) << mean() << " n=" << n
+       << " min=" << minSeen << " max=" << maxSeen << "  # " << desc()
+       << "\n";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        os << "  [" << (lo + i * bsize) << ".."
+           << (lo + (i + 1) * bsize - 1) << "] " << buckets[i] << "\n";
+    }
+    if (under)
+        os << "  underflows " << under << "\n";
+    if (over)
+        os << "  overflows " << over << "\n";
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : statList)
+        s->reset();
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    os << "---------- " << groupName << " ----------\n";
+    for (const auto *s : statList)
+        s->print(os);
+}
+
+} // namespace vpr::stats

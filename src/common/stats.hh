@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight statistics package (a miniature of gem5's Stats).
+ *
+ * Stats are plain accumulators registered with a StatGroup so that whole
+ * subsystems can be dumped or reset uniformly. No global registry: each
+ * simulator instance owns its groups, keeping runs independent.
+ */
+
+#ifndef VPR_COMMON_STATS_HH
+#define VPR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpr::stats
+{
+
+/** Base class for every statistic. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : statName(std::move(name)), statDesc(std::move(desc))
+    {}
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Reset the accumulator to its initial state. */
+    virtual void reset() = 0;
+    /** Print "name value # desc" style line(s). */
+    virtual void print(std::ostream &os) const = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A simple monotonic counter / gauge. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t d) { val += d; return *this; }
+    void set(std::uint64_t v) { val = v; }
+    std::uint64_t value() const { return val; }
+
+    void reset() override { val = 0; }
+    void print(std::ostream &os) const override;
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    std::uint64_t samples() const { return n; }
+    double total() const { return sum; }
+
+    void reset() override { sum = 0.0; n = 0; }
+    void print(std::ostream &os) const override;
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Bucketed distribution over [min, max] with uniform buckets. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(std::string name, std::string desc, std::uint64_t min,
+                 std::uint64_t max, std::uint64_t bucketSize);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return buckets.at(i); }
+    std::size_t numBuckets() const { return buckets.size(); }
+    std::uint64_t underflows() const { return under; }
+    std::uint64_t overflows() const { return over; }
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    std::uint64_t minSample() const { return minSeen; }
+    std::uint64_t maxSample() const { return maxSeen; }
+
+    void reset() override;
+    void print(std::ostream &os) const override;
+
+  private:
+    std::uint64_t lo;
+    std::uint64_t hi;
+    std::uint64_t bsize;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    std::uint64_t minSeen = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
+ * A named collection of statistics. Groups own no stat storage — stats
+ * live as members of their subsystem and register themselves here.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    void add(StatBase *stat) { statList.push_back(stat); }
+
+    const std::string &name() const { return groupName; }
+    const std::vector<StatBase *> &all() const { return statList; }
+
+    void resetAll();
+    void print(std::ostream &os) const;
+
+  private:
+    std::string groupName;
+    std::vector<StatBase *> statList;
+};
+
+} // namespace vpr::stats
+
+#endif // VPR_COMMON_STATS_HH

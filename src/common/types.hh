@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef VPR_COMMON_TYPES_HH
+#define VPR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vpr
+{
+
+/** Simulation time expressed in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (monotonic, never reused). */
+using InstSeqNum = std::uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a physical register inside one register file. */
+using PhysRegId = std::uint16_t;
+
+/** Identifier of a virtual-physical register inside one register file. */
+using VPRegId = std::uint16_t;
+
+/** Sentinel for "no cycle": events that have not happened yet. */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no register". */
+inline constexpr std::uint16_t kNoReg =
+    std::numeric_limits<std::uint16_t>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr InstSeqNum kNoSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+} // namespace vpr
+
+#endif // VPR_COMMON_TYPES_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The out-of-order core: an 8-wide dynamically scheduled processor with
+ * precise exceptions, matching section 4.1 of the paper.
+ *
+ * Pipeline (one call to tick() = one cycle), processed back to front so
+ * same-cycle producer→consumer wakeups behave like a bypass network:
+ *
+ *   commit  — up to commitWidth in-order retires; stores write the
+ *             cache; the renamer frees the previous mapping.
+ *   complete— completion events fire: write-back allocation happens
+ *             here (VP write-back policy may squash back to the IQ);
+ *             values broadcast to the IQ; mispredicted branches trigger
+ *             the recovery walk and fetch redirect.
+ *   issue   — oldest-first select over ready IQ entries constrained by
+ *             FUs, register-file read ports, cache ports, memory
+ *             disambiguation and the renamer's issue gate.
+ *   rename  — drains the fetch buffer into ROB/IQ/LSQ through the
+ *             RenameManager.
+ *   fetch   — fills the fetch buffer from the trace.
+ */
+
+#ifndef VPR_CORE_CORE_HH
+#define VPR_CORE_CORE_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/fetch.hh"
+#include "core/fu_pool.hh"
+#include "core/iq.hh"
+#include "core/lsq.hh"
+#include "core/regfile_ports.hh"
+#include "core/rob.hh"
+#include "memory/cache.hh"
+#include "rename/rename_iface.hh"
+
+namespace vpr
+{
+
+/** Full configuration of one core (defaults = the paper's machine). */
+struct CoreConfig
+{
+    unsigned renameWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    std::size_t robSize = 128;
+    std::size_t iqSize = 128;
+    std::size_t lsqSize = 128;
+    unsigned regReadPorts = 16;
+    unsigned regWritePorts = 8;
+    unsigned cachePorts = 3;
+
+    RenameScheme scheme = RenameScheme::VPAllocAtWriteback;
+    RenameConfig rename;
+    FetchConfig fetch;
+    FuPoolConfig fu;
+    CacheConfig cache;
+
+    /** Run the renamer's invariant self-check every 64 cycles. */
+    bool invariantChecks = false;
+    /** Panic if no instruction commits for this many cycles. */
+    Cycle deadlockThreshold = 200000;
+};
+
+/** Counters reported after a run (deltas since the last resetStats). */
+struct CoreStatsSnapshot
+{
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t committedExecutions = 0; ///< issues of committed insts
+    std::uint64_t issued = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t wbRejections = 0;  ///< VP write-back denials
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t renameStallReg = 0;
+    std::uint64_t renameStallRob = 0;
+    std::uint64_t renameStallIq = 0;
+    std::uint64_t renameStallLsq = 0;
+    std::uint64_t storeCommitStalls = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheAccesses = 0;
+    double avgBusyIntRegs = 0.0;
+    double avgBusyFpRegs = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Mean executions per committed instruction (re-execution factor,
+     *  ~1.0 for schemes without write-back squashes). */
+    double
+    executionsPerCommit() const
+    {
+        return committed ? static_cast<double>(committedExecutions) /
+                               static_cast<double>(committed)
+                         : 0.0;
+    }
+};
+
+/** One simulated out-of-order core. */
+class Core
+{
+  public:
+    Core(TraceStream &stream, const CoreConfig &config);
+
+    /** Advance one cycle. @return false once the pipeline has drained. */
+    bool tick();
+
+    /** Run until @p maxCommitted instructions committed (or done). */
+    void runUntilCommitted(std::uint64_t maxCommitted);
+
+    Cycle cycle() const { return curCycle; }
+    std::uint64_t committedInsts() const { return nCommitted; }
+    bool done() const;
+
+    /** Start a measurement interval: zero all delta counters. */
+    void resetStats();
+
+    /** Counters accumulated since the last resetStats(). */
+    CoreStatsSnapshot snapshot() const;
+
+    /** True if a completion event for @p seq is pending (tests/debug). */
+    bool hasPendingEvent(InstSeqNum seq) const;
+
+    /** Component access (tests / detailed reporting). @{ */
+    const Rob &rob() const { return theRob; }
+    const InstQueue &iq() const { return theIq; }
+    const Lsq &lsq() const { return theLsq; }
+    const NonBlockingCache &cache() const { return theCache; }
+    const FetchUnit &fetchUnit() const { return fetch; }
+    const RenameManager &renamer() const { return *renameMgr; }
+    RenameManager &renamer() { return *renameMgr; }
+    const FuPool &fuPool() const { return fus; }
+    const CoreConfig &config() const { return cfg; }
+    /** @} */
+
+  private:
+    struct CompletionEvent
+    {
+        Cycle when;
+        InstSeqNum seq;
+        DynInst *inst;
+
+        bool
+        operator>(const CompletionEvent &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void renameStage();
+    bool tryIssueOne(DynInst *inst);
+    void squashYoungerThan(InstSeqNum seq);
+
+    CoreConfig cfg;
+    std::unique_ptr<RenameManager> renameMgr;
+    FetchUnit fetch;
+    Rob theRob;
+    InstQueue theIq;
+    Lsq theLsq;
+    NonBlockingCache theCache;
+    FuPool fus;
+    RegFilePorts regPorts;
+    PortSchedule cachePortSched;
+
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        events;
+
+    /** Issued stores whose data operand has not been produced yet; they
+     *  complete once the data broadcast arrives. */
+    std::vector<std::pair<DynInst *, InstSeqNum>> storesAwaitingData;
+
+    Cycle curCycle = 0;
+    InstSeqNum nextSeq = 0;
+    Cycle lastCommitCycle = 0;
+
+    // Monotonic counters; snapshots subtract the reset-time baseline.
+    std::uint64_t nCommitted = 0;
+    std::uint64_t nCommittedExecutions = 0;
+    std::uint64_t nIssued = 0;
+    std::uint64_t nSquashed = 0;
+    std::uint64_t nWbRejections = 0;
+    std::uint64_t nRenameStallReg = 0;
+    std::uint64_t nRenameStallRob = 0;
+    std::uint64_t nRenameStallIq = 0;
+    std::uint64_t nRenameStallLsq = 0;
+    std::uint64_t nStoreCommitStalls = 0;
+    double busyIntRegsSum = 0.0;
+    double busyFpRegsSum = 0.0;
+
+    CoreStatsSnapshot baseline;  ///< counters at the last resetStats()
+};
+
+/** Build the rename manager implementing @p scheme. */
+std::unique_ptr<RenameManager>
+makeRenameManager(RenameScheme scheme, const RenameConfig &config);
+
+} // namespace vpr
+
+#endif // VPR_CORE_CORE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Dynamic instruction: one in-flight instance of a trace record with all
+ * of its pipeline and rename state.
+ *
+ * The fields mirror Figure 2 of the paper: the instruction-queue entry
+ * (opcode, destination tag, Src1/R1, Src2/R2) and the reorder-buffer
+ * entry (logical destination, completed bit, previous virtual-physical
+ * mapping) are all carried here; the IQ and ROB reference DynInsts
+ * rather than duplicating the fields.
+ */
+
+#ifndef VPR_CORE_DYN_INST_HH
+#define VPR_CORE_DYN_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/static_inst.hh"
+
+namespace vpr
+{
+
+/** Lifecycle phase of a dynamic instruction. */
+enum class InstPhase : std::uint8_t
+{
+    Renamed,    ///< dispatched to IQ/ROB, waiting for operands
+    Issued,     ///< executing on a functional unit
+    Completed,  ///< result produced (and register allocated, if any)
+    Committed,  ///< retired
+    Squashed    ///< removed by branch recovery (slot may be reused)
+};
+
+/** One renamed source operand (Src/R fields of Figure 2). */
+struct SrcOperand
+{
+    std::uint16_t tag = kNoReg; ///< phys reg if ready, else wakeup tag
+    RegClass cls = RegClass::Int;
+    bool valid = false;         ///< operand exists
+    bool ready = false;         ///< R bit: value readable at issue
+};
+
+/** An in-flight instruction. */
+struct DynInst
+{
+    StaticInst si;
+    InstSeqNum seq = 0;
+    bool wrongPath = false;     ///< fetched past a mispredicted branch
+
+    // --- rename state -------------------------------------------------
+    SrcOperand src[kMaxSrcRegs];
+    /** Tag consumers wake up on: the physical register in the
+     *  conventional scheme, the VP register in the VP schemes. */
+    std::uint16_t wakeupTag = kNoReg;
+    /** VP register of the destination (VP schemes only). */
+    VPRegId vpReg = kNoReg;
+    /** Physical destination register. Conventional: set at rename.
+     *  VP: set at issue or write-back depending on the policy. */
+    PhysRegId physReg = kNoReg;
+    /** Previous mapping of the logical destination (phys reg in the
+     *  conventional scheme, VP reg in the VP schemes); freed when this
+     *  instruction commits, restored if it squashes. */
+    std::uint16_t prevTag = kNoReg;
+
+    // --- pipeline state -----------------------------------------------
+    InstPhase phase = InstPhase::Renamed;
+    bool mispredictedBranch = false;
+    unsigned executions = 0;    ///< times issued (re-execution counter)
+
+    Cycle fetchCycle = kNoCycle;
+    Cycle renameCycle = kNoCycle;
+    Cycle issueCycle = kNoCycle;
+    Cycle completeCycle = kNoCycle;
+    Cycle commitCycle = kNoCycle;
+
+    // --- memory state (LSQ) -------------------------------------------
+    bool addrReady = false;     ///< effective address computed
+    Cycle addrReadyCycle = kNoCycle;
+    bool storeForwarded = false; ///< load got data from an older store
+
+    bool hasDest() const { return si.hasDest(); }
+    RegClass destClass() const { return si.dest.regClass(); }
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isMem() const { return si.isMem(); }
+    bool isBranch() const { return si.isBranch(); }
+
+    /** All source operands ready (instruction may be selected). */
+    bool
+    operandsReady() const
+    {
+        for (const auto &s : src)
+            if (s.valid && !s.ready)
+                return false;
+        return true;
+    }
+
+    /**
+     * Operands needed to *issue*. Stores split like the PA-8000: the
+     * address part (src[1], the base register) issues as soon as it is
+     * ready; the data (src[0]) may arrive later and only gates
+     * completion.
+     */
+    bool
+    issueOperandsReady() const
+    {
+        if (isStore())
+            return !src[1].valid || src[1].ready;
+        return operandsReady();
+    }
+
+    /** Debug rendering: seq, phase and disassembly. */
+    std::string toString() const;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_DYN_INST_HH

@@ -1,0 +1,123 @@
+#include "core/fetch.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+FetchUnit::FetchUnit(TraceStream &stream, const FetchConfig &config)
+    : trace(stream), cfg(config), bht(config.bhtEntries),
+      wpRng(config.wrongPathSeed)
+{
+    VPR_ASSERT(cfg.fetchWidth >= 1, "fetch width must be >= 1");
+    VPR_ASSERT(cfg.bufferCapacity >= cfg.fetchWidth,
+               "fetch buffer smaller than fetch width");
+}
+
+StaticInst
+FetchUnit::synthesizeWrongPath()
+{
+    // Wrong-path mixes are dominated by short integer ops; memory
+    // operations are deliberately excluded so speculative pollution of
+    // the data cache stays out of scope (see DESIGN.md).
+    StaticInst si;
+    std::uint64_t pick = wpRng.below(100);
+    auto randInt = [this] {
+        return RegId::intReg(static_cast<std::uint16_t>(
+            wpRng.below(kNumLogicalRegs)));
+    };
+    auto randFp = [this] {
+        return RegId::fpReg(static_cast<std::uint16_t>(
+            wpRng.below(kNumLogicalRegs)));
+    };
+    if (pick < 60) {
+        si = StaticInst::alu(randInt(), randInt(), randInt());
+    } else if (pick < 85) {
+        si = StaticInst::fpAdd(randFp(), randFp(), randFp());
+    } else {
+        si = StaticInst::nop();
+    }
+    si.pc = wpPc;
+    wpPc += 4;
+    return si;
+}
+
+void
+FetchUnit::tick(Cycle now)
+{
+    if (now < stallUntil)
+        return;
+
+    for (unsigned i = 0; i < cfg.fetchWidth; ++i) {
+        if (buffer.size() >= cfg.bufferCapacity)
+            break;
+
+        if (waiting) {
+            if (cfg.wrongPath == WrongPathMode::Stall)
+                break;
+            FetchedInst fi;
+            fi.si = synthesizeWrongPath();
+            fi.wrongPath = true;
+            fi.fetchCycle = now;
+            buffer.push_back(fi);
+            ++nWrongPath;
+            continue;
+        }
+
+        if (exhausted)
+            break;
+        auto rec = trace.next();
+        if (!rec) {
+            exhausted = true;
+            break;
+        }
+
+        FetchedInst fi;
+        fi.si = *rec;
+        fi.fetchCycle = now;
+        ++nReal;
+
+        if (rec->isBranch()) {
+            ++nBranches;
+            bool correct = bht.predictAndUpdate(rec->pc, rec->taken);
+            if (!correct) {
+                ++nMispredicts;
+                fi.mispredictedBranch = true;
+                waiting = true;
+                buffer.push_back(fi);
+                // The group ends; wrong-path fetch starts next cycle.
+                break;
+            }
+            buffer.push_back(fi);
+            if (rec->taken) {
+                // Predicted-taken branch ends the fetch group.
+                break;
+            }
+            continue;
+        }
+        buffer.push_back(fi);
+    }
+}
+
+FetchedInst
+FetchUnit::pop()
+{
+    VPR_ASSERT(!buffer.empty(), "pop from empty fetch buffer");
+    FetchedInst fi = buffer.front();
+    buffer.pop_front();
+    return fi;
+}
+
+void
+FetchUnit::resolveBranch(Cycle now)
+{
+    VPR_ASSERT(waiting, "resolveBranch with no outstanding mispredict");
+    waiting = false;
+    stallUntil = now + cfg.redirectDelay;
+    // Everything left in the buffer is wrong-path by construction.
+    for ([[maybe_unused]] const auto &fi : buffer)
+        VPR_ASSERT(fi.wrongPath, "real instruction behind a mispredict");
+    buffer.clear();
+}
+
+} // namespace vpr

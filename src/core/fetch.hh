@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fetch unit.
+ *
+ * Fetches up to fetchWidth consecutive instructions per cycle from the
+ * trace (perfect instruction cache, as in the paper). A fetch group ends
+ * at a predicted-taken branch. Branch directions come from the BHT;
+ * targets come from the trace (perfect BTB).
+ *
+ * Because the simulator is trace driven, a misprediction cannot redirect
+ * fetch down the *actual* wrong path. Two models are provided:
+ *
+ *  - wrong-path synthesis (default): after a mispredicted branch, fetch
+ *    produces synthetic wrong-path instructions that are renamed,
+ *    scheduled and executed normally and squashed when the branch
+ *    resolves — so mispredictions consume registers, queue slots and
+ *    functional units, which matters for a register-pressure study;
+ *  - fetch stall: fetch simply stops until the branch resolves (the
+ *    classic trace-driven simplification).
+ */
+
+#ifndef VPR_CORE_FETCH_HH
+#define VPR_CORE_FETCH_HH
+
+#include <deque>
+
+#include "branch/bht.hh"
+#include "common/random.hh"
+#include "trace/stream.hh"
+
+namespace vpr
+{
+
+/** How fetch behaves after a detected misprediction. */
+enum class WrongPathMode : std::uint8_t
+{
+    Synthesize,  ///< fetch synthetic wrong-path instructions
+    Stall        ///< stop fetching until the branch resolves
+};
+
+/** One fetched instruction awaiting rename. */
+struct FetchedInst
+{
+    StaticInst si;
+    bool wrongPath = false;
+    bool mispredictedBranch = false;
+    Cycle fetchCycle = kNoCycle;
+};
+
+/** Fetch-unit parameters. */
+struct FetchConfig
+{
+    unsigned fetchWidth = 8;
+    unsigned bufferCapacity = 16;
+    unsigned bhtEntries = 2048;
+    unsigned redirectDelay = 1;  ///< cycles from resolve to next fetch
+    WrongPathMode wrongPath = WrongPathMode::Synthesize;
+    std::uint64_t wrongPathSeed = 0x77f00dull;
+};
+
+/** The fetch unit. */
+class FetchUnit
+{
+  public:
+    FetchUnit(TraceStream &stream, const FetchConfig &config);
+
+    /** Run one fetch cycle, filling the fetch buffer. */
+    void tick(Cycle now);
+
+    /** Instructions available for rename this cycle. */
+    bool hasInst() const { return !buffer.empty(); }
+    const FetchedInst &peek() const { return buffer.front(); }
+    FetchedInst pop();
+
+    /** The mispredicted branch resolved; redirect fetch. */
+    void resolveBranch(Cycle now);
+
+    /** True while fetch is past an unresolved mispredicted branch. */
+    bool awaitingResolve() const { return waiting; }
+
+    /** Trace exhausted and buffer drained. */
+    bool done() const { return exhausted && buffer.empty() && !waiting; }
+
+    const BhtPredictor &predictor() const { return bht; }
+
+    /** Statistics. @{ */
+    std::uint64_t fetchedReal() const { return nReal; }
+    std::uint64_t fetchedWrongPath() const { return nWrongPath; }
+    std::uint64_t branches() const { return nBranches; }
+    std::uint64_t mispredicts() const { return nMispredicts; }
+    /** @} */
+
+  private:
+    /** Generate one synthetic wrong-path instruction. */
+    StaticInst synthesizeWrongPath();
+
+    TraceStream &trace;
+    FetchConfig cfg;
+    BhtPredictor bht;
+    std::deque<FetchedInst> buffer;
+
+    bool waiting = false;     ///< unresolved mispredicted branch
+    Cycle stallUntil = 0;     ///< no fetch before this cycle
+    bool exhausted = false;
+    Random wpRng;
+    Addr wpPc = 0xdead0000;
+
+    std::uint64_t nReal = 0;
+    std::uint64_t nWrongPath = 0;
+    std::uint64_t nBranches = 0;
+    std::uint64_t nMispredicts = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_FETCH_HH

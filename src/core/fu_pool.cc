@@ -1,0 +1,81 @@
+#include "core/fu_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+unsigned
+FuPoolConfig::count(FUType t) const
+{
+    switch (t) {
+      case FUType::SimpleInt: return simpleInt;
+      case FUType::ComplexInt: return complexInt;
+      case FUType::EffAddr: return effAddr;
+      case FUType::SimpleFp: return simpleFp;
+      case FUType::FpMul: return fpMul;
+      case FUType::FpDivSqrt: return fpDivSqrt;
+      case FUType::None: return ~0u;  // nops need no unit
+      default: VPR_PANIC("bad FU type");
+    }
+}
+
+FuPool::FuPool(const FuPoolConfig &config) : cfg(config)
+{
+}
+
+void
+FuPool::beginCycle(Cycle now)
+{
+    usedThisCycle.fill(0);
+    // Drop expired unpipelined reservations.
+    for (auto &v : busyUntil) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [now](Cycle c) { return c <= now; }),
+                v.end());
+    }
+}
+
+unsigned
+FuPool::available(FUType t, Cycle now) const
+{
+    std::size_t i = static_cast<std::size_t>(t);
+    if (t == FUType::None)
+        return ~0u;
+    unsigned busy = 0;
+    for (Cycle c : busyUntil[i])
+        if (c > now)
+            ++busy;
+    unsigned total = cfg.count(t);
+    unsigned inUse = busy + usedThisCycle[i];
+    return inUse >= total ? 0 : total - inUse;
+}
+
+bool
+FuPool::tryIssue(OpClass op, Cycle now, Cycle completeCycle)
+{
+    FUType t = fuTypeFor(op);
+    if (t == FUType::None) {
+        ++issued[static_cast<std::size_t>(t)];
+        return true;
+    }
+    if (available(t, now) == 0) {
+        ++nHazards;
+        return false;
+    }
+    std::size_t i = static_cast<std::size_t>(t);
+    ++issued[i];
+    if (opUnpipelined(op)) {
+        // The busy-until entry covers the issue cycle as well (the
+        // completion cycle is strictly in the future), so the
+        // per-cycle counter must not double-count the unit.
+        busyUntil[i].push_back(completeCycle);
+    } else {
+        ++usedThisCycle[i];
+    }
+    return true;
+}
+
+} // namespace vpr

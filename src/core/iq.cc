@@ -1,0 +1,58 @@
+#include "core/iq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+void
+InstQueue::insert(DynInst *inst)
+{
+    VPR_ASSERT(!full(), "insert into full IQ");
+    if (list.empty() || list.back()->seq < inst->seq) {
+        list.push_back(inst);
+        return;
+    }
+    // Re-insertion after a write-back allocation squash: keep age order.
+    auto it = std::lower_bound(
+        list.begin(), list.end(), inst,
+        [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
+    VPR_ASSERT(it == list.end() || (*it)->seq != inst->seq,
+               "duplicate IQ entry sn:", inst->seq);
+    list.insert(it, inst);
+}
+
+void
+InstQueue::remove(DynInst *inst)
+{
+    auto it = std::find(list.begin(), list.end(), inst);
+    VPR_ASSERT(it != list.end(), "IQ remove: entry not present");
+    list.erase(it);
+}
+
+void
+InstQueue::squashYoungerThan(InstSeqNum seq)
+{
+    while (!list.empty() && list.back()->seq > seq)
+        list.pop_back();
+}
+
+unsigned
+InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
+{
+    unsigned woken = 0;
+    for (DynInst *inst : list) {
+        for (auto &s : inst->src) {
+            if (s.valid && !s.ready && s.cls == cls && s.tag == tag) {
+                s.tag = physReg;
+                s.ready = true;
+                ++woken;
+            }
+        }
+    }
+    return woken;
+}
+
+} // namespace vpr

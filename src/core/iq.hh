@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Instruction queue with broadcast wakeup and oldest-first selection.
+ *
+ * Entries are the Figure-2 IQ fields, held inside DynInst (Src/R bits).
+ * Completion broadcasts a (class, wakeup tag, physical register) triple;
+ * matching sources capture the physical register and set their R bit —
+ * exactly the paper's mechanism where a virtual-physical tag is replaced
+ * by the allocated physical register. The conventional scheme broadcasts
+ * physical tags and the capture is the identity.
+ */
+
+#ifndef VPR_CORE_IQ_HH
+#define VPR_CORE_IQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "isa/reg.hh"
+
+namespace vpr
+{
+
+/** The unified instruction queue. */
+class InstQueue
+{
+  public:
+    explicit InstQueue(std::size_t capacity) : cap(capacity) {}
+
+    bool full() const { return list.size() >= cap; }
+    bool empty() const { return list.empty(); }
+    std::size_t size() const { return list.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /**
+     * Insert @p inst keeping age order. Newly renamed instructions go to
+     * the back; re-inserted (squashed-at-writeback) instructions find
+     * their place by sequence number.
+     */
+    void insert(DynInst *inst);
+
+    /** Remove a specific entry (after issue). */
+    void remove(DynInst *inst);
+
+    /** Remove every entry younger than @p seq (branch recovery). */
+    void squashYoungerThan(InstSeqNum seq);
+
+    /**
+     * Broadcast a completed value: sources of class @p cls waiting on
+     * @p tag become ready and capture @p physReg.
+     * @return number of source operands woken.
+     */
+    unsigned wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg);
+
+    /** Age-ordered entries, oldest first (selection scans this). */
+    const std::vector<DynInst *> &entries() const { return list; }
+
+    void clear() { list.clear(); }
+
+  private:
+    std::size_t cap;
+    std::vector<DynInst *> list;  ///< sorted by seq, oldest first
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_IQ_HH

@@ -1,0 +1,82 @@
+#include "core/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+void
+Lsq::insert(DynInst *inst)
+{
+    VPR_ASSERT(!full(), "insert into full LSQ");
+    VPR_ASSERT(inst->isMem(), "non-memory instruction in LSQ");
+    VPR_ASSERT(list.empty() || list.back()->seq < inst->seq,
+               "LSQ insert out of program order");
+    list.push_back(inst);
+}
+
+void
+Lsq::remove(DynInst *inst)
+{
+    auto it = std::find(list.begin(), list.end(), inst);
+    VPR_ASSERT(it != list.end(), "LSQ remove: entry not present");
+    list.erase(it);
+}
+
+void
+Lsq::squashYoungerThan(InstSeqNum seq)
+{
+    while (!list.empty() && list.back()->seq > seq)
+        list.pop_back();
+}
+
+LoadHold
+Lsq::checkLoad(const DynInst *load, Cycle now) const
+{
+    VPR_ASSERT(load->isLoad(), "checkLoad on non-load");
+
+    // Walk older entries from youngest to oldest so the *nearest*
+    // matching store decides forwarding.
+    for (auto it = list.rbegin(); it != list.rend(); ++it) {
+        const DynInst *other = *it;
+        if (other->seq >= load->seq)
+            continue;
+        if (!other->isStore())
+            continue;
+        if (!other->addrReady || other->addrReadyCycle > now)
+            return LoadHold::UnknownAddress;
+        if (!overlap(other->si.effAddr, other->si.memSize,
+                     load->si.effAddr, load->si.memSize))
+            continue;
+        // Containing store with the data available: forward.
+        if (other->si.effAddr <= load->si.effAddr &&
+            other->si.effAddr + other->si.memSize >=
+                load->si.effAddr + load->si.memSize) {
+            return LoadHold::Forward;
+        }
+        return LoadHold::PartialOverlap;
+    }
+    return LoadHold::Ready;
+}
+
+void
+Lsq::recordHold(LoadHold h)
+{
+    switch (h) {
+      case LoadHold::Forward:
+        ++nForwards;
+        break;
+      case LoadHold::UnknownAddress:
+        ++nUnknownHolds;
+        break;
+      case LoadHold::PartialOverlap:
+        ++nPartialHolds;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace vpr

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Load/store queue with PA-8000-style memory disambiguation.
+ *
+ * The paper assumes the memory disambiguation scheme of the PA-8000's
+ * address-reorder buffer: loads may execute out of order with respect to
+ * stores only once every older store's address is known; a load whose
+ * address matches an older store forwards the store's data instead of
+ * accessing the cache. Stores update the data cache at commit.
+ */
+
+#ifndef VPR_CORE_LSQ_HH
+#define VPR_CORE_LSQ_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "core/dyn_inst.hh"
+
+namespace vpr
+{
+
+/** Why a load cannot begin its memory access yet. */
+enum class LoadHold : std::uint8_t
+{
+    Ready,          ///< may access the cache
+    Forward,        ///< older matching store will forward its data
+    UnknownAddress, ///< an older store's address is not known yet
+    PartialOverlap  ///< overlaps an older store but cannot forward
+};
+
+/** The load/store queue (a single age-ordered structure). */
+class Lsq
+{
+  public:
+    explicit Lsq(std::size_t capacity) : cap(capacity) {}
+
+    bool full() const { return list.size() >= cap; }
+    bool empty() const { return list.empty(); }
+    std::size_t size() const { return list.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /** Insert a memory instruction at rename (program order). */
+    void insert(DynInst *inst);
+
+    /** Remove the entry for @p inst (at commit). */
+    void remove(DynInst *inst);
+
+    /** Remove every entry younger than @p seq (branch recovery). */
+    void squashYoungerThan(InstSeqNum seq);
+
+    /**
+     * Disambiguation check for @p load at cycle @p now: scan older
+     * entries for stores with unknown or conflicting addresses.
+     */
+    LoadHold checkLoad(const DynInst *load, Cycle now) const;
+
+    /** Statistics. @{ */
+    std::uint64_t forwards() const { return nForwards; }
+    std::uint64_t unknownAddrHolds() const { return nUnknownHolds; }
+    std::uint64_t partialOverlapHolds() const { return nPartialHolds; }
+    /** @} */
+
+    /** Account a hold decision (called by the core at issue time). */
+    void recordHold(LoadHold h);
+
+    const std::deque<DynInst *> &entries() const { return list; }
+
+    void clear() { list.clear(); }
+
+  private:
+    static bool
+    overlap(Addr a, unsigned aSize, Addr b, unsigned bSize)
+    {
+        return a < b + bSize && b < a + aSize;
+    }
+
+    std::size_t cap;
+    std::deque<DynInst *> list;  ///< program order, front = oldest
+
+    std::uint64_t nForwards = 0;
+    std::uint64_t nUnknownHolds = 0;
+    std::uint64_t nPartialHolds = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_LSQ_HH

@@ -1,0 +1,4 @@
+#include "core/regfile_ports.hh"
+
+// All members are defined inline in the header; this translation unit
+// anchors the module in the build.

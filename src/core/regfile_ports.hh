@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Register-file and cache port arbitration.
+ *
+ * The paper's register files have 16 read and 8 write ports each, and
+ * the cache has 3 ports. Reads are consumed at issue within one cycle;
+ * writes are scheduled at completion time (completion slips to the next
+ * cycle with a free port); cache ports are claimed for the cycle of the
+ * access.
+ */
+
+#ifndef VPR_CORE_REGFILE_PORTS_HH
+#define VPR_CORE_REGFILE_PORTS_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+#include "isa/reg.hh"
+
+namespace vpr
+{
+
+/** Per-cycle counting arbiter used for write and cache ports. */
+class PortSchedule
+{
+  public:
+    explicit PortSchedule(unsigned portsPerCycle)
+        : ports(portsPerCycle)
+    {}
+
+    /** Claim a port at exactly @p cycle; false if none left. */
+    bool
+    tryClaim(Cycle cycle)
+    {
+        unsigned &used = usage[cycle];
+        if (used >= ports)
+            return false;
+        ++used;
+        return true;
+    }
+
+    /** First cycle >= @p earliest with a free port; claims it. */
+    Cycle
+    claimFirstFree(Cycle earliest)
+    {
+        Cycle c = earliest;
+        while (!tryClaim(c))
+            ++c;
+        return c;
+    }
+
+    /** Drop bookkeeping for cycles before @p now. */
+    void
+    pruneBefore(Cycle now)
+    {
+        usage.erase(usage.begin(), usage.lower_bound(now));
+    }
+
+    unsigned portsPerCycle() const { return ports; }
+
+    /** Ports already claimed at @p cycle (tests). */
+    unsigned
+    used(Cycle cycle) const
+    {
+        auto it = usage.find(cycle);
+        return it == usage.end() ? 0 : it->second;
+    }
+
+    void clear() { usage.clear(); }
+
+  private:
+    unsigned ports;
+    std::map<Cycle, unsigned> usage;
+};
+
+/** Read/write port tracking for both register files. */
+class RegFilePorts
+{
+  public:
+    RegFilePorts(unsigned readPorts, unsigned writePorts)
+        : nReadPorts(readPorts),
+          writes{PortSchedule(writePorts), PortSchedule(writePorts)}
+    {}
+
+    /** Start a cycle: read ports replenish. */
+    void
+    beginCycle(Cycle now)
+    {
+        readsUsed[0] = readsUsed[1] = 0;
+        writes[0].pruneBefore(now);
+        writes[1].pruneBefore(now);
+    }
+
+    /** Could @p nInt integer and @p nFp FP reads be claimed now? */
+    bool
+    canClaimReads(unsigned nInt, unsigned nFp) const
+    {
+        return readsUsed[classIdx(RegClass::Int)] + nInt <= nReadPorts &&
+               readsUsed[classIdx(RegClass::Float)] + nFp <= nReadPorts;
+    }
+
+    /** Claim read ports for one issuing instruction (both classes). */
+    bool
+    tryClaimReads(unsigned nInt, unsigned nFp)
+    {
+        if (!canClaimReads(nInt, nFp))
+            return false;
+        readsUsed[classIdx(RegClass::Int)] += nInt;
+        readsUsed[classIdx(RegClass::Float)] += nFp;
+        return true;
+    }
+
+    /** Undo a claim made this cycle (issue aborted later in the chain). */
+    void
+    unclaimReads(unsigned nInt, unsigned nFp)
+    {
+        readsUsed[classIdx(RegClass::Int)] -= nInt;
+        readsUsed[classIdx(RegClass::Float)] -= nFp;
+    }
+
+    /** Schedule a result write at the first free cycle >= earliest. */
+    Cycle
+    scheduleWrite(RegClass cls, Cycle earliest)
+    {
+        return writes[classIdx(cls)].claimFirstFree(earliest);
+    }
+
+    unsigned readPortsPerCycle() const { return nReadPorts; }
+    unsigned
+    writePortsPerCycle() const
+    {
+        return writes[0].portsPerCycle();
+    }
+
+  private:
+    unsigned nReadPorts;
+    unsigned readsUsed[kNumRegClasses] = {0, 0};
+    PortSchedule writes[kNumRegClasses];
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_REGFILE_PORTS_HH

@@ -1,0 +1,98 @@
+#include "isa/op_class.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "intalu";
+      case OpClass::IntMult: return "intmult";
+      case OpClass::IntDiv: return "intdiv";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::FpAdd: return "fpadd";
+      case OpClass::FpMult: return "fpmult";
+      case OpClass::FpDiv: return "fpdiv";
+      case OpClass::FpSqrt: return "fpsqrt";
+      case OpClass::Branch: return "branch";
+      case OpClass::Nop: return "nop";
+      default: VPR_PANIC("bad op class");
+    }
+}
+
+const char *
+fuTypeName(FUType fu)
+{
+    switch (fu) {
+      case FUType::SimpleInt: return "SimpleInt";
+      case FUType::ComplexInt: return "ComplexInt";
+      case FUType::EffAddr: return "EffAddr";
+      case FUType::SimpleFp: return "SimpleFp";
+      case FUType::FpMul: return "FpMul";
+      case FUType::FpDivSqrt: return "FpDivSqrt";
+      case FUType::None: return "None";
+      default: VPR_PANIC("bad FU type");
+    }
+}
+
+FUType
+fuTypeFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return FUType::SimpleInt;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FUType::ComplexInt;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FUType::EffAddr;
+      case OpClass::FpAdd:
+        return FUType::SimpleFp;
+      case OpClass::FpMult:
+        return FUType::FpMul;
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return FUType::FpDivSqrt;
+      case OpClass::Nop:
+        return FUType::None;
+      default:
+        VPR_PANIC("bad op class");
+    }
+}
+
+unsigned
+opLatency(OpClass op)
+{
+    // Table 1 of the paper.
+    switch (op) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 9;
+      case OpClass::IntDiv: return 67;
+      case OpClass::Load: return 1;    // address generation
+      case OpClass::Store: return 1;   // address generation
+      case OpClass::FpAdd: return 4;
+      case OpClass::FpMult: return 4;
+      case OpClass::FpDiv: return 16;
+      case OpClass::FpSqrt: return 16;
+      case OpClass::Branch: return 1;
+      case OpClass::Nop: return 1;
+      default: VPR_PANIC("bad op class");
+    }
+}
+
+bool
+opUnpipelined(OpClass op)
+{
+    // "Functional units are fully pipelined except for integer and FP
+    // division" (paper, section 4.1). Square root shares the divider.
+    return op == OpClass::IntDiv || op == OpClass::FpDiv ||
+           op == OpClass::FpSqrt;
+}
+
+} // namespace vpr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Operation classes of the simulated ISA and their latency/FU mapping.
+ *
+ * The classes mirror Table 1 of the paper: simple integer, complex
+ * integer (multiply/divide), effective address, simple FP, FP multiply,
+ * and FP divide/sqrt, plus memory and control operations.
+ */
+
+#ifndef VPR_ISA_OP_CLASS_HH
+#define VPR_ISA_OP_CLASS_HH
+
+#include <cstdint>
+
+namespace vpr
+{
+
+/** Operation class: determines functional unit and latency. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,    ///< add/sub/logic/shift/compare — Simple Integer FU, 1 cyc
+    IntMult,   ///< integer multiply — Complex Integer FU, 9 cyc
+    IntDiv,    ///< integer divide — Complex Integer FU, 67 cyc, unpipelined
+    Load,      ///< memory read — EffAddr FU + cache port
+    Store,     ///< memory write — EffAddr FU; data written at commit
+    FpAdd,     ///< FP add/sub/convert/compare — Simple FP FU, 4 cyc
+    FpMult,    ///< FP multiply — FP Multiplication FU, 4 cyc
+    FpDiv,     ///< FP divide — FP Div/Sqrt FU, 16 cyc, unpipelined
+    FpSqrt,    ///< FP square root — FP Div/Sqrt FU, 16 cyc, unpipelined
+    Branch,    ///< conditional/unconditional branch — Simple Integer FU
+    Nop,       ///< no-operation (still occupies a ROB slot)
+    NumOpClasses
+};
+
+/** Number of distinct op classes. */
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** Functional-unit groups from Table 1 of the paper. */
+enum class FUType : std::uint8_t
+{
+    SimpleInt,   ///< 3 units, latency 1
+    ComplexInt,  ///< 2 units, 9 (mult) / 67 (div)
+    EffAddr,     ///< 3 units, latency 1 (address generation)
+    SimpleFp,    ///< 3 units, latency 4
+    FpMul,       ///< 2 units, latency 4
+    FpDivSqrt,   ///< 2 units, latency 16
+    None,        ///< nops: no functional unit needed
+    NumFUTypes
+};
+
+/** Number of FU groups. */
+inline constexpr std::size_t kNumFUTypes =
+    static_cast<std::size_t>(FUType::NumFUTypes);
+
+/** Short mnemonic for an op class ("intalu", "fpdiv", ...). */
+const char *opClassName(OpClass op);
+
+/** Short name for an FU type. */
+const char *fuTypeName(FUType fu);
+
+/** Which FU group executes the op class. */
+FUType fuTypeFor(OpClass op);
+
+/**
+ * Execution latency of the op class on its functional unit, in cycles.
+ * For loads this is the address-generation latency only; cache access
+ * time is added by the memory system.
+ */
+unsigned opLatency(OpClass op);
+
+/** True if the op class keeps its FU busy for the whole latency. */
+bool opUnpipelined(OpClass op);
+
+/** True for memory operations. */
+inline bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** True for FP-computation classes (not loads/stores of FP data). */
+inline bool
+isFpOp(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMult ||
+           op == OpClass::FpDiv || op == OpClass::FpSqrt;
+}
+
+} // namespace vpr
+
+#endif // VPR_ISA_OP_CLASS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Logical (architectural) register identifiers.
+ *
+ * The simulated ISA has two register files, integer and floating point,
+ * with 32 logical registers each — matching the paper's assumption of an
+ * Alpha/MIPS-like ISA (NLR = 32 per class).
+ */
+
+#ifndef VPR_ISA_REG_HH
+#define VPR_ISA_REG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+/** Which register file a register belongs to. */
+enum class RegClass : std::uint8_t { Int = 0, Float = 1 };
+
+/** Number of register classes. */
+inline constexpr std::size_t kNumRegClasses = 2;
+
+/** Logical registers per class (fixed by the simulated ISA). */
+inline constexpr std::uint16_t kNumLogicalRegs = 32;
+
+/** Short name of a register class ("int"/"fp"). */
+inline const char *
+regClassName(RegClass cls)
+{
+    return cls == RegClass::Int ? "int" : "fp";
+}
+
+/** Index usable for per-class arrays. */
+inline constexpr std::size_t
+classIdx(RegClass cls)
+{
+    return static_cast<std::size_t>(cls);
+}
+
+/**
+ * An architectural register reference: class + index, with a dedicated
+ * "none" state for instructions lacking the operand.
+ */
+class RegId
+{
+  public:
+    /** Construct the "no register" value. */
+    constexpr RegId() : cls(RegClass::Int), idx(kInvalidIdx) {}
+
+    constexpr RegId(RegClass c, std::uint16_t i) : cls(c), idx(i) {}
+
+    /** Named constructors for readability at call sites. */
+    static constexpr RegId intReg(std::uint16_t i)
+    {
+        return RegId(RegClass::Int, i);
+    }
+    static constexpr RegId fpReg(std::uint16_t i)
+    {
+        return RegId(RegClass::Float, i);
+    }
+    static constexpr RegId none() { return RegId(); }
+
+    constexpr bool valid() const { return idx != kInvalidIdx; }
+    constexpr RegClass regClass() const { return cls; }
+
+    std::uint16_t
+    index() const
+    {
+        VPR_ASSERT(valid(), "index() on invalid RegId");
+        return idx;
+    }
+
+    constexpr bool
+    operator==(const RegId &o) const
+    {
+        return idx == o.idx && (idx == kInvalidIdx || cls == o.cls);
+    }
+    constexpr bool operator!=(const RegId &o) const { return !(*this == o); }
+
+    /** Human-readable name, e.g.\ "r7", "f12" or "-". */
+    std::string
+    str() const
+    {
+        if (!valid())
+            return "-";
+        return (cls == RegClass::Int ? "r" : "f") + std::to_string(idx);
+    }
+
+  private:
+    static constexpr std::uint16_t kInvalidIdx = 0xffff;
+
+    RegClass cls;
+    std::uint16_t idx;
+};
+
+} // namespace vpr
+
+#endif // VPR_ISA_REG_HH

@@ -1,0 +1,116 @@
+#include "isa/static_inst.hh"
+
+#include <sstream>
+
+namespace vpr
+{
+
+std::string
+StaticInst::disassemble() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ": " << opClassName(op);
+    if (dest.valid())
+        os << " " << dest.str();
+    for (const auto &s : src)
+        if (s.valid())
+            os << (dest.valid() || &s != &src[0] ? "," : " ") << s.str();
+    if (isMem())
+        os << " @0x" << std::hex << effAddr << std::dec;
+    if (isBranch())
+        os << (taken ? " T->" : " NT->") << std::hex << "0x" << target
+           << std::dec;
+    return os.str();
+}
+
+namespace
+{
+
+StaticInst
+make(OpClass op, RegId dest, RegId s1, RegId s2)
+{
+    StaticInst si;
+    si.op = op;
+    si.dest = dest;
+    si.src[0] = s1;
+    si.src[1] = s2;
+    return si;
+}
+
+} // namespace
+
+StaticInst
+StaticInst::alu(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::IntAlu, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::mult(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::IntMult, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::div(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::IntDiv, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::fpAdd(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::FpAdd, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::fpMul(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::FpMult, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::fpDiv(RegId dest, RegId s1, RegId s2)
+{
+    return make(OpClass::FpDiv, dest, s1, s2);
+}
+
+StaticInst
+StaticInst::fpSqrt(RegId dest, RegId s1)
+{
+    return make(OpClass::FpSqrt, dest, s1, RegId::none());
+}
+
+StaticInst
+StaticInst::load(RegId dest, RegId base, Addr addr)
+{
+    StaticInst si = make(OpClass::Load, dest, base, RegId::none());
+    si.effAddr = addr;
+    return si;
+}
+
+StaticInst
+StaticInst::store(RegId data, RegId base, Addr addr)
+{
+    // src[0] = data to store, src[1] = base/address register.
+    StaticInst si = make(OpClass::Store, RegId::none(), data, base);
+    si.effAddr = addr;
+    return si;
+}
+
+StaticInst
+StaticInst::branch(RegId s1, bool taken, Addr target)
+{
+    StaticInst si = make(OpClass::Branch, RegId::none(), s1, RegId::none());
+    si.taken = taken;
+    si.target = target;
+    return si;
+}
+
+StaticInst
+StaticInst::nop()
+{
+    return make(OpClass::Nop, RegId::none(), RegId::none(), RegId::none());
+}
+
+} // namespace vpr

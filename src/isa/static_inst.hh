@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static (trace-level) instruction definition.
+ *
+ * A StaticInst carries everything the timing model needs: op class,
+ * destination/source logical registers, and — for memory and control
+ * operations — the effective address and branch outcome recorded in the
+ * trace. There is no functional execution: like the paper's ATOM-based
+ * methodology, correct-path results are implied by the trace itself.
+ */
+
+#ifndef VPR_ISA_STATIC_INST_HH
+#define VPR_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+#include "isa/reg.hh"
+
+namespace vpr
+{
+
+/** Maximum number of register source operands per instruction. */
+inline constexpr std::size_t kMaxSrcRegs = 2;
+
+/**
+ * One trace-level instruction. Plain value type; cheap to copy.
+ */
+struct StaticInst
+{
+    Addr pc = 0;              ///< instruction address
+    OpClass op = OpClass::Nop;
+    RegId dest;               ///< destination register (may be none())
+    RegId src[kMaxSrcRegs];   ///< source registers (may be none())
+
+    // Memory operations only.
+    Addr effAddr = 0;         ///< effective byte address
+    std::uint8_t memSize = 8; ///< access size in bytes
+
+    // Branches only.
+    bool taken = false;       ///< actual outcome from the trace
+    Addr target = 0;          ///< actual target from the trace
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isMemOp(op); }
+    bool isBranch() const { return op == OpClass::Branch; }
+    bool isNop() const { return op == OpClass::Nop; }
+    bool hasDest() const { return dest.valid(); }
+
+    /** Number of valid source register operands. */
+    unsigned
+    numSrcs() const
+    {
+        unsigned n = 0;
+        for (const auto &s : src)
+            if (s.valid())
+                ++n;
+        return n;
+    }
+
+    /** Disassembly-style rendering for debugging and error messages. */
+    std::string disassemble() const;
+
+    /** Builder helpers used by the trace DSL and tests. @{ */
+    static StaticInst alu(RegId dest, RegId s1, RegId s2);
+    static StaticInst mult(RegId dest, RegId s1, RegId s2);
+    static StaticInst div(RegId dest, RegId s1, RegId s2);
+    static StaticInst fpAdd(RegId dest, RegId s1, RegId s2);
+    static StaticInst fpMul(RegId dest, RegId s1, RegId s2);
+    static StaticInst fpDiv(RegId dest, RegId s1, RegId s2);
+    static StaticInst fpSqrt(RegId dest, RegId s1);
+    static StaticInst load(RegId dest, RegId base, Addr addr);
+    static StaticInst store(RegId data, RegId base, Addr addr);
+    static StaticInst branch(RegId s1, bool taken, Addr target);
+    static StaticInst nop();
+    /** @} */
+};
+
+} // namespace vpr
+
+#endif // VPR_ISA_STATIC_INST_HH

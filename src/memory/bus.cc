@@ -1,0 +1,31 @@
+#include "memory/bus.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+Bus::Bus(unsigned occupancyCycles) : occCycles(occupancyCycles)
+{
+    VPR_ASSERT(occupancyCycles > 0, "bus occupancy must be positive");
+}
+
+Cycle
+Bus::acquire(Cycle earliest)
+{
+    Cycle start = earliest > nextFree ? earliest : nextFree;
+    nQueueing += start - earliest;
+    nextFree = start + occCycles;
+    ++nTransfers;
+    return start;
+}
+
+void
+Bus::reset()
+{
+    nextFree = 0;
+    nTransfers = 0;
+    nQueueing = 0;
+}
+
+} // namespace vpr

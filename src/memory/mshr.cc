@@ -1,0 +1,32 @@
+#include "memory/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+MshrFile::MshrFile(std::size_t entries) : capacity(entries)
+{
+    VPR_ASSERT(entries > 0, "MSHR file needs at least one entry");
+    live.reserve(entries);
+}
+
+Mshr *
+MshrFile::find(Addr lineAddr)
+{
+    for (auto &m : live)
+        if (m.lineAddr == lineAddr)
+            return &m;
+    return nullptr;
+}
+
+Mshr &
+MshrFile::allocate(Addr lineAddr, Cycle fillCycle)
+{
+    VPR_ASSERT(!full(), "allocate on full MSHR file");
+    VPR_ASSERT(find(lineAddr) == nullptr, "duplicate MSHR for line");
+    live.push_back(Mshr{lineAddr, fillCycle, false, 0, 1, false});
+    return live.back();
+}
+
+} // namespace vpr

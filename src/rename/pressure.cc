@@ -1,0 +1,51 @@
+#include "rename/pressure.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+PressureTracker::PressureTracker(std::size_t numPhysRegs)
+    : allocCycle(numPhysRegs, kNoCycle)
+{
+}
+
+void
+PressureTracker::onAlloc(PhysRegId reg, Cycle now)
+{
+    VPR_ASSERT(reg < allocCycle.size(), "bad phys reg ", reg);
+    VPR_ASSERT(allocCycle[reg] == kNoCycle, "double alloc of reg ", reg);
+    allocCycle[reg] = now;
+    ++nBusy;
+    if (nBusy > peak)
+        peak = nBusy;
+}
+
+void
+PressureTracker::onFree(PhysRegId reg, Cycle now)
+{
+    VPR_ASSERT(reg < allocCycle.size(), "bad phys reg ", reg);
+    VPR_ASSERT(allocCycle[reg] != kNoCycle, "free of unallocated reg ",
+               reg);
+    VPR_ASSERT(now >= allocCycle[reg], "free before alloc");
+    holdCycles += now - allocCycle[reg];
+    allocCycle[reg] = kNoCycle;
+    ++nFrees;
+    VPR_ASSERT(nBusy > 0, "busy underflow");
+    --nBusy;
+}
+
+void
+PressureTracker::reset(Cycle now)
+{
+    // Restart the integration: registers currently held are treated as
+    // if allocated at the reset point so warm-up does not pollute stats.
+    for (auto &c : allocCycle)
+        if (c != kNoCycle)
+            c = now;
+    holdCycles = 0;
+    nFrees = 0;
+    peak = nBusy;
+}
+
+} // namespace vpr

@@ -1,0 +1,34 @@
+#include "rename/rename_iface.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+const char *
+renameSchemeName(RenameScheme s)
+{
+    switch (s) {
+      case RenameScheme::Conventional:
+        return "conventional";
+      case RenameScheme::VPAllocAtWriteback:
+        return "vp-writeback";
+      case RenameScheme::VPAllocAtIssue:
+        return "vp-issue";
+      case RenameScheme::ConventionalEarlyRelease:
+        return "conv-early-release";
+      default:
+        VPR_PANIC("bad rename scheme");
+    }
+}
+
+RenameManager::RenameManager(const RenameConfig &config)
+    : cfg(config),
+      pressureTrk{PressureTracker(config.numPhysRegs),
+                  PressureTracker(config.numPhysRegs)}
+{
+    VPR_ASSERT(cfg.numPhysRegs > kNumLogicalRegs,
+               "need more physical than logical registers");
+}
+
+} // namespace vpr

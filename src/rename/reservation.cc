@@ -1,0 +1,86 @@
+#include "rename/reservation.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+ReservationTracker::ReservationTracker(unsigned nrr_) : nrr(nrr_)
+{
+    VPR_ASSERT(nrr >= 1, "NRR must be at least 1 to avoid deadlock");
+}
+
+void
+ReservationTracker::onRename(InstSeqNum seq)
+{
+    VPR_ASSERT(entries.empty() || entries.back().seq < seq,
+               "rename out of program order");
+    entries.push_back({seq, false});
+}
+
+void
+ReservationTracker::onAllocate(InstSeqNum seq)
+{
+    for (auto &e : entries) {
+        if (e.seq == seq) {
+            VPR_ASSERT(!e.allocated, "double allocation for sn:", seq);
+            e.allocated = true;
+            return;
+        }
+    }
+    VPR_PANIC("onAllocate: unknown instruction sn:", seq);
+}
+
+void
+ReservationTracker::onCommit(InstSeqNum seq)
+{
+    VPR_ASSERT(!entries.empty() && entries.front().seq == seq,
+               "commit of non-oldest dest instruction sn:", seq);
+    entries.pop_front();
+}
+
+void
+ReservationTracker::onSquash(InstSeqNum seq)
+{
+    VPR_ASSERT(!entries.empty() && entries.back().seq == seq,
+               "squash of non-youngest dest instruction sn:", seq);
+    entries.pop_back();
+}
+
+bool
+ReservationTracker::isReserved(InstSeqNum seq) const
+{
+    std::size_t lim = reservedCount();
+    for (std::size_t i = 0; i < lim; ++i)
+        if (entries[i].seq == seq)
+            return true;
+    return false;
+}
+
+unsigned
+ReservationTracker::usedInReserved() const
+{
+    std::size_t lim = reservedCount();
+    unsigned used = 0;
+    for (std::size_t i = 0; i < lim; ++i)
+        if (entries[i].allocated)
+            ++used;
+    return used;
+}
+
+bool
+ReservationTracker::mayAllocate(InstSeqNum seq, std::size_t freeRegs) const
+{
+    if (freeRegs == 0)
+        return false;
+    // Reserved instructions may always take a register (one is kept for
+    // each of them by construction).
+    if (isReserved(seq))
+        return true;
+    // Younger instructions must leave enough registers for the
+    // not-yet-allocated part of the reserved set.
+    unsigned needed = nrr - usedInReserved();
+    return freeRegs > needed;
+}
+
+} // namespace vpr

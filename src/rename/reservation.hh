@@ -1,0 +1,93 @@
+/**
+ * @file
+ * NRR reservation tracker — the paper's deadlock-avoidance mechanism
+ * (section 3.3).
+ *
+ * The paper maintains, per register class, a pointer PRR to the NRR-th
+ * oldest in-flight instruction with a destination register, plus
+ * counters Reg (destination-writing instructions at or below PRR) and
+ * Used (how many of those already allocated a physical register). An
+ * instruction may allocate a physical register iff
+ *
+ *     freeRegs > NRR - Used   (leave room for the reserved set), or
+ *     it is itself one of the oldest NRR destination-writing
+ *     instructions (not younger than PRR).
+ *
+ * We represent the same state directly as an age-ordered deque of
+ * destination-writing instructions with an "allocated" flag; the oldest
+ * min(NRR, size) entries are the reserved set. This is exactly the
+ * PRR/Reg/Used bookkeeping, just held in one structure.
+ */
+
+#ifndef VPR_RENAME_RESERVATION_HH
+#define VPR_RENAME_RESERVATION_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace vpr
+{
+
+/** Deadlock-avoidance reservation bookkeeping for one register class. */
+class ReservationTracker
+{
+  public:
+    explicit ReservationTracker(unsigned nrr);
+
+    /** A destination-writing instruction was renamed (program order). */
+    void onRename(InstSeqNum seq);
+
+    /** The instruction allocated its physical register. */
+    void onAllocate(InstSeqNum seq);
+
+    /** The oldest instruction committed. */
+    void onCommit(InstSeqNum seq);
+
+    /** The youngest instruction was squashed. */
+    void onSquash(InstSeqNum seq);
+
+    /**
+     * The paper's allocation predicate.
+     *
+     * @param seq the completing/issuing instruction
+     * @param freeRegs free physical registers right now
+     * @return true if the instruction may take a register
+     */
+    bool mayAllocate(InstSeqNum seq, std::size_t freeRegs) const;
+
+    /** True if @p seq is within the oldest-NRR reserved set. */
+    bool isReserved(InstSeqNum seq) const;
+
+    /** Used counter: allocated instructions inside the reserved set. */
+    unsigned usedInReserved() const;
+
+    /** Reg counter: size of the reserved set (<= NRR). */
+    unsigned
+    reservedCount() const
+    {
+        return static_cast<unsigned>(
+            entries.size() < nrr ? entries.size() : nrr);
+    }
+
+    unsigned nrrValue() const { return nrr; }
+    std::size_t inFlight() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    void clear() { entries.clear(); }
+
+  private:
+    struct Entry
+    {
+        InstSeqNum seq;
+        bool allocated;
+    };
+
+    unsigned nrr;
+    std::deque<Entry> entries;  ///< age ordered, front = oldest
+};
+
+} // namespace vpr
+
+#endif // VPR_RENAME_RESERVATION_HH

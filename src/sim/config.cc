@@ -1,0 +1,68 @@
+#include "sim/config.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+void
+SimConfig::setPhysRegs(std::uint16_t numPhysRegs, int nrr)
+{
+    core.rename.numPhysRegs = numPhysRegs;
+    core.rename.numVPRegs =
+        static_cast<std::uint16_t>(kNumLogicalRegs + core.robSize);
+    std::uint16_t maxNrr =
+        static_cast<std::uint16_t>(numPhysRegs - kNumLogicalRegs);
+    std::uint16_t v = nrr < 0 ? maxNrr : static_cast<std::uint16_t>(nrr);
+    core.rename.nrrInt = v;
+    core.rename.nrrFp = v;
+}
+
+void
+SimConfig::setNrr(std::uint16_t nrr)
+{
+    core.rename.nrrInt = nrr;
+    core.rename.nrrFp = nrr;
+}
+
+void
+SimConfig::setScheme(RenameScheme scheme)
+{
+    core.scheme = scheme;
+}
+
+void
+SimConfig::validate() const
+{
+    const RenameConfig &r = core.rename;
+    if (r.numPhysRegs <= kNumLogicalRegs)
+        VPR_FATAL("numPhysRegs (", r.numPhysRegs,
+                  ") must exceed the ", kNumLogicalRegs,
+                  " logical registers");
+    if (isVirtualPhysical(core.scheme)) {
+        if (r.numVPRegs < kNumLogicalRegs + core.robSize)
+            VPR_FATAL("numVPRegs (", r.numVPRegs, ") must be >= NLR + "
+                      "window (", kNumLogicalRegs + core.robSize,
+                      ") so decode never starves for tags");
+        if (r.nrrInt < 1 || r.nrrFp < 1)
+            VPR_FATAL("NRR must be >= 1 (deadlock avoidance)");
+        if (r.nrrInt > r.numPhysRegs - kNumLogicalRegs ||
+            r.nrrFp > r.numPhysRegs - kNumLogicalRegs)
+            VPR_FATAL("NRR must be <= NPR - NLR = ",
+                      r.numPhysRegs - kNumLogicalRegs);
+    }
+    if (core.iqSize < core.robSize)
+        VPR_FATAL("iqSize must be >= robSize (unified queue)");
+}
+
+SimConfig
+paperConfig()
+{
+    SimConfig sc;
+    // CoreConfig defaults already encode section 4.1; make the
+    // dependent sizing explicit.
+    sc.setPhysRegs(64, 32);
+    return sc;
+}
+
+} // namespace vpr

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulation-level configuration: the core configuration plus run
+ * control (benchmark selection, warm-up, instruction budget).
+ */
+
+#ifndef VPR_SIM_CONFIG_HH
+#define VPR_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/core.hh"
+
+namespace vpr
+{
+
+/** Everything a single simulation run needs. */
+struct SimConfig
+{
+    CoreConfig core;
+
+    /** Committed instructions to skip before measuring (cache/BHT
+     *  warm-up; the paper skips 100 M then measures 50 M — we scale both
+     *  down, see DESIGN.md §4). */
+    std::uint64_t skipInsts = 40000;
+
+    /** Committed instructions to measure. */
+    std::uint64_t measureInsts = 400000;
+
+    /** Workload seed (0 = the kernel's default). */
+    std::uint64_t seed = 0;
+
+    /**
+     * Convenience: apply the paper's relationship between register-file
+     * size and the other renaming parameters — sets numPhysRegs, sizes
+     * the VP pool to NLR + window, and sets NRR to its maximum
+     * (NPR - NLR) unless @p nrr is given.
+     */
+    void setPhysRegs(std::uint16_t numPhysRegs, int nrr = -1);
+
+    /** Set both NRR values (int and FP use the same value, as in the
+     *  paper's experiments). */
+    void setNrr(std::uint16_t nrr);
+
+    /** Set the rename scheme. */
+    void setScheme(RenameScheme scheme);
+
+    /** Validate cross-parameter constraints; fatal()s on user error. */
+    void validate() const;
+};
+
+/** A SimConfig preloaded with the paper's section 4.1 machine. */
+SimConfig paperConfig();
+
+} // namespace vpr
+
+#endif // VPR_SIM_CONFIG_HH

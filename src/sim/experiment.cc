@@ -1,0 +1,94 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        VPR_ASSERT(v > 0.0, "harmonic mean of non-positive value");
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+SimResults
+runOne(const std::string &benchmark, SimConfig config)
+{
+    applyInstructionScale(config);
+    Simulator sim(benchmark, config);
+    return sim.run();
+}
+
+std::map<std::string, SimResults>
+runAll(const SimConfig &config)
+{
+    std::map<std::string, SimResults> out;
+    for (const auto &name : benchmarkNames())
+        out[name] = runOne(name, config);
+    return out;
+}
+
+double
+instructionScale()
+{
+    static double scale = [] {
+        const char *env = std::getenv("VPR_INSTS_SCALE");
+        if (!env)
+            return 1.0;
+        double v = std::atof(env);
+        if (v <= 0.0) {
+            VPR_WARN("ignoring bad VPR_INSTS_SCALE '", env, "'");
+            return 1.0;
+        }
+        return v;
+    }();
+    return scale;
+}
+
+void
+applyInstructionScale(SimConfig &config)
+{
+    double s = instructionScale();
+    config.skipInsts =
+        static_cast<std::uint64_t>(config.skipInsts * s);
+    config.measureInsts =
+        static_cast<std::uint64_t>(config.measureInsts * s);
+    if (config.measureInsts < 1000)
+        config.measureInsts = 1000;
+}
+
+void
+printTableHeader(std::ostream &os, const std::string &title,
+                 const std::vector<std::string> &columns)
+{
+    os << "\n== " << title << " ==\n";
+    os << std::left << std::setw(12) << "benchmark";
+    for (const auto &c : columns)
+        os << std::right << std::setw(12) << c;
+    os << "\n";
+    os << std::string(12 + 12 * columns.size(), '-') << "\n";
+}
+
+void
+printTableRow(std::ostream &os, const std::string &label,
+              const std::vector<double> &values, int precision)
+{
+    os << std::left << std::setw(12) << label;
+    os << std::fixed << std::setprecision(precision);
+    for (double v : values)
+        os << std::right << std::setw(12) << v;
+    os << "\n";
+}
+
+} // namespace vpr

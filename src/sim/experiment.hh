@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment harness: runs (benchmark × scheme × parameters) grids and
+ * formats tables in the paper's style. Every bench binary is a thin
+ * wrapper around these helpers.
+ */
+
+#ifndef VPR_SIM_EXPERIMENT_HH
+#define VPR_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace vpr
+{
+
+/** One cell of an experiment grid. */
+struct ExperimentCell
+{
+    std::string benchmark;
+    SimResults results;
+};
+
+/** Harmonic mean (the paper's average for IPC tables). */
+double harmonicMean(const std::vector<double> &values);
+
+/**
+ * Run one benchmark under @p config and return the results.
+ * @param mutate optional hook to adjust the config per run.
+ */
+SimResults runOne(const std::string &benchmark, SimConfig config);
+
+/**
+ * Run every benchmark of the paper under @p config.
+ * @return results keyed by benchmark name (paper order preserved via
+ *         benchmarkNames()).
+ */
+std::map<std::string, SimResults> runAll(const SimConfig &config);
+
+/** Scale factor for instruction budgets, settable from the command
+ *  line / environment (VPR_INSTS_SCALE) to trade time for fidelity. */
+double instructionScale();
+
+/** Apply the global instruction scale to a config. */
+void applyInstructionScale(SimConfig &config);
+
+/** Pretty-printing helpers for paper-style tables. @{ */
+void printTableHeader(std::ostream &os, const std::string &title,
+                      const std::vector<std::string> &columns);
+void printTableRow(std::ostream &os, const std::string &label,
+                   const std::vector<double> &values, int precision = 2);
+/** @} */
+
+} // namespace vpr
+
+#endif // VPR_SIM_EXPERIMENT_HH

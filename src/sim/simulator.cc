@@ -1,0 +1,76 @@
+#include "sim/simulator.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr
+{
+
+Simulator::Simulator(TraceStream &stream, const SimConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+    theCore = std::make_unique<Core>(stream, cfg.core);
+}
+
+Simulator::Simulator(const std::string &benchmark, const SimConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+    ownedStream = makeBenchmarkStream(benchmark, cfg.seed);
+    theCore = std::make_unique<Core>(*ownedStream, cfg.core);
+}
+
+SimResults
+Simulator::run()
+{
+    Core &c = *theCore;
+    if (cfg.skipInsts > 0)
+        c.runUntilCommitted(cfg.skipInsts);
+    c.resetStats();
+    std::uint64_t target = c.committedInsts() + cfg.measureInsts;
+    c.runUntilCommitted(target);
+
+    SimResults r;
+    r.stats = c.snapshot();
+    r.bhtAccuracy = c.fetchUnit().predictor().accuracy();
+    r.cacheMissRate = c.cache().missRate();
+    r.meanHoldCyclesInt =
+        c.renamer().pressure(RegClass::Int).meanHoldCycles();
+    r.meanHoldCyclesFp =
+        c.renamer().pressure(RegClass::Float).meanHoldCycles();
+    r.lsqForwards = c.lsq().forwards();
+    return r;
+}
+
+void
+Simulator::printReport(std::ostream &os, const SimResults &r) const
+{
+    const auto &s = r.stats;
+    os << std::fixed << std::setprecision(3);
+    os << "scheme            " << renameSchemeName(cfg.core.scheme)
+       << "\n";
+    os << "physRegs/file     " << cfg.core.rename.numPhysRegs << "\n";
+    os << "NRR (int/fp)      " << cfg.core.rename.nrrInt << "/"
+       << cfg.core.rename.nrrFp << "\n";
+    os << "cycles            " << s.cycles << "\n";
+    os << "committed         " << s.committed << "\n";
+    os << "IPC               " << s.ipc() << "\n";
+    os << "exec/commit       " << s.executionsPerCommit() << "\n";
+    os << "wb rejections     " << s.wbRejections << "\n";
+    os << "branches          " << s.branches << " (mispred "
+       << s.mispredicts << ")\n";
+    os << "bht accuracy      " << r.bhtAccuracy << "\n";
+    os << "cache miss rate   " << r.cacheMissRate << "\n";
+    os << "rename stalls     reg=" << s.renameStallReg
+       << " rob=" << s.renameStallRob << " iq=" << s.renameStallIq
+       << " lsq=" << s.renameStallLsq << "\n";
+    os << "avg busy regs     int=" << s.avgBusyIntRegs
+       << " fp=" << s.avgBusyFpRegs << "\n";
+    os << "mean hold cycles  int=" << r.meanHoldCyclesInt
+       << " fp=" << r.meanHoldCyclesFp << "\n";
+}
+
+} // namespace vpr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulator: owns a trace stream and a core, runs the warm-up /
+ * measurement protocol, and reports results.
+ */
+
+#ifndef VPR_SIM_SIMULATOR_HH
+#define VPR_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/config.hh"
+#include "trace/stream.hh"
+
+namespace vpr
+{
+
+/** Results of one measured simulation interval. */
+struct SimResults
+{
+    CoreStatsSnapshot stats;
+    double bhtAccuracy = 0.0;
+    double cacheMissRate = 0.0;
+    double meanHoldCyclesInt = 0.0;  ///< register pressure per value
+    double meanHoldCyclesFp = 0.0;
+    std::uint64_t lsqForwards = 0;
+
+    double ipc() const { return stats.ipc(); }
+};
+
+/** One simulation run: stream + core + measurement protocol. */
+class Simulator
+{
+  public:
+    /** Build with an externally owned stream. */
+    Simulator(TraceStream &stream, const SimConfig &config);
+
+    /** Build by benchmark name (owns the stream). */
+    Simulator(const std::string &benchmark, const SimConfig &config);
+
+    /** Warm up for skipInsts, measure for measureInsts, return stats. */
+    SimResults run();
+
+    /** Print a human-readable report of the last run. */
+    void printReport(std::ostream &os, const SimResults &r) const;
+
+    Core &core() { return *theCore; }
+    const Core &core() const { return *theCore; }
+
+  private:
+    SimConfig cfg;
+    std::unique_ptr<TraceStream> ownedStream;
+    std::unique_ptr<Core> theCore;
+};
+
+} // namespace vpr
+
+#endif // VPR_SIM_SIMULATOR_HH

@@ -1,0 +1,111 @@
+#include "trace/builder.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+TraceBuilder &
+TraceBuilder::append(StaticInst si)
+{
+    si.pc = nextPc;
+    nextPc += 4;
+    recs.push_back(si);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::alu(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::alu(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::mult(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::mult(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::div(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::div(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::fpAdd(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::fpAdd(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::fpMul(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::fpMul(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::fpDiv(RegId d, RegId s1, RegId s2)
+{
+    return append(StaticInst::fpDiv(d, s1, s2));
+}
+
+TraceBuilder &
+TraceBuilder::fpSqrt(RegId d, RegId s1)
+{
+    return append(StaticInst::fpSqrt(d, s1));
+}
+
+TraceBuilder &
+TraceBuilder::load(RegId d, RegId base, Addr addr)
+{
+    return append(StaticInst::load(d, base, addr));
+}
+
+TraceBuilder &
+TraceBuilder::store(RegId data, RegId base, Addr addr)
+{
+    return append(StaticInst::store(data, base, addr));
+}
+
+TraceBuilder &
+TraceBuilder::branch(RegId s1, bool taken, Addr target)
+{
+    return append(StaticInst::branch(s1, taken, target));
+}
+
+TraceBuilder &
+TraceBuilder::nop()
+{
+    return append(StaticInst::nop());
+}
+
+TraceBuilder &
+TraceBuilder::mark()
+{
+    markPos = recs.size();
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::repeat(unsigned n)
+{
+    VPR_ASSERT(markPos <= recs.size(), "bad mark");
+    std::vector<TraceRecord> body(recs.begin() + markPos, recs.end());
+    for (unsigned i = 1; i < n; ++i) {
+        for (auto si : body) {
+            // Keep the original PCs so loop iterations hit the same BHT
+            // entries, as a real re-executed loop body would.
+            recs.push_back(si);
+        }
+    }
+    return *this;
+}
+
+std::unique_ptr<VectorTraceStream>
+TraceBuilder::stream(bool loop) const
+{
+    return std::make_unique<VectorTraceStream>(recs, loop);
+}
+
+} // namespace vpr

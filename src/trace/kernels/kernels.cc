@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Benchmark registry: name → kernel constructor, paper reporting order.
+ */
+
+#include "trace/kernels/kernels.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+const std::vector<BenchmarkInfo> &
+benchmarkTable()
+{
+    static const std::vector<BenchmarkInfo> table = {
+        {"go", false,
+         "branchy game-tree search, short chains, low ILP"},
+        {"li", false,
+         "pointer-chasing interpreter over a >L1 heap"},
+        {"compress", false,
+         "LZW hash probes, dictionary partly resident"},
+        {"vortex", false,
+         "object database, random 512 KB working set"},
+        {"apsi", true,
+         "mixed-hit stencil with periodic divides"},
+        {"swim", true,
+         "independent streaming stencil over multi-MB arrays"},
+        {"mgrid", true,
+         "strided sweeps, ~100% miss, deep FP chains"},
+        {"hydro2d", true,
+         "cache-resident high-ILP accumulations"},
+        {"wave5", true,
+         "particle update, mostly resident, light scatter"},
+    };
+    return table;
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &b : benchmarkTable())
+        names.push_back(b.name);
+    return names;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const auto &b : benchmarkTable())
+        if (b.name == name)
+            return b;
+    VPR_FATAL("unknown benchmark '", name, "'");
+}
+
+KernelDesc
+makeKernel(const std::string &name, std::uint64_t seed)
+{
+    if (name == "go")
+        return makeGo(seed);
+    if (name == "li")
+        return makeLi(seed);
+    if (name == "compress")
+        return makeCompress(seed);
+    if (name == "vortex")
+        return makeVortex(seed);
+    if (name == "apsi")
+        return makeApsi(seed);
+    if (name == "swim")
+        return makeSwim(seed);
+    if (name == "mgrid")
+        return makeMgrid(seed);
+    if (name == "hydro2d")
+        return makeHydro2d(seed);
+    if (name == "wave5")
+        return makeWave5(seed);
+    VPR_FATAL("unknown benchmark '", name, "'");
+}
+
+std::unique_ptr<LoopTraceStream>
+makeBenchmarkStream(const std::string &name, std::uint64_t seed)
+{
+    return std::make_unique<LoopTraceStream>(makeKernel(name, seed));
+}
+
+} // namespace vpr

@@ -1,0 +1,186 @@
+#include "trace/loop_trace.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+InstTemplate
+InstTemplate::compute(OpClass op, RegId d, RegId s0, RegId s1)
+{
+    InstTemplate t;
+    t.op = op;
+    t.dest = d;
+    t.src0 = s0;
+    t.src1 = s1;
+    return t;
+}
+
+InstTemplate
+InstTemplate::loadFrom(int stream, RegId d, RegId base)
+{
+    InstTemplate t;
+    t.op = OpClass::Load;
+    t.dest = d;
+    t.src0 = base;
+    t.memStream = stream;
+    return t;
+}
+
+InstTemplate
+InstTemplate::storeTo(int stream, RegId data, RegId base)
+{
+    InstTemplate t;
+    t.op = OpClass::Store;
+    t.src0 = data;
+    t.src1 = base;
+    t.memStream = stream;
+    return t;
+}
+
+void
+KernelDesc::validate() const
+{
+    VPR_ASSERT(!blocks.empty(), "kernel '", name, "' has no blocks");
+    for (const auto &b : blocks) {
+        for (const auto &t : b.insts) {
+            if (isMemOp(t.op)) {
+                VPR_ASSERT(t.memStream >= 0 &&
+                           static_cast<std::size_t>(t.memStream) <
+                               streams.size(),
+                           "kernel '", name, "': bad memory stream index");
+            }
+        }
+        if (b.branch.kind != BranchDesc::Kind::None) {
+            VPR_ASSERT(static_cast<std::size_t>(b.branch.takenTarget) <
+                           blocks.size(),
+                       "kernel '", name, "': bad taken target");
+            VPR_ASSERT(static_cast<std::size_t>(b.branch.fallThrough) <
+                           blocks.size(),
+                       "kernel '", name, "': bad fall-through");
+            if (b.branch.kind == BranchDesc::Kind::Loop)
+                VPR_ASSERT(b.branch.tripCount >= 1, "kernel '", name,
+                           "': zero trip count");
+        }
+    }
+    for (const auto &s : streams) {
+        VPR_ASSERT(s.region >= s.elemSize, "kernel '", name,
+                   "': region smaller than element");
+        VPR_ASSERT(s.elemSize > 0, "kernel '", name, "': zero elem size");
+    }
+}
+
+LoopTraceStream::LoopTraceStream(KernelDesc d) : desc(std::move(d)),
+    rng(desc.seed)
+{
+    desc.validate();
+    streamPos.assign(desc.streams.size(), 0);
+    loopCount.assign(desc.blocks.size(), 0);
+
+    // Lay blocks out back to back in the simulated text segment so that
+    // distinct static branches map to distinct BHT entries.
+    blockPc.resize(desc.blocks.size());
+    Addr pc = desc.pcBase;
+    for (std::size_t i = 0; i < desc.blocks.size(); ++i) {
+        blockPc[i] = pc;
+        std::size_t n = desc.blocks[i].insts.size();
+        if (desc.blocks[i].branch.kind != BranchDesc::Kind::None)
+            ++n;
+        pc += n * 4;
+    }
+}
+
+void
+LoopTraceStream::reset()
+{
+    rng.reseed(desc.seed);
+    curBlock = 0;
+    curInst = 0;
+    streamPos.assign(desc.streams.size(), 0);
+    loopCount.assign(desc.blocks.size(), 0);
+}
+
+Addr
+LoopTraceStream::pcOf(std::size_t blk, std::size_t idx) const
+{
+    return blockPc[blk] + idx * 4;
+}
+
+Addr
+LoopTraceStream::nextAddr(int streamIdx)
+{
+    const MemStreamDesc &s = desc.streams[streamIdx];
+    std::uint64_t pos = streamPos[streamIdx]++;
+    std::uint64_t elems = s.region / s.elemSize;
+    switch (s.kind) {
+      case MemStreamDesc::Kind::Stride: {
+        std::int64_t off =
+            static_cast<std::int64_t>(pos) * s.stride;
+        std::uint64_t wrapped =
+            static_cast<std::uint64_t>(off) % s.region;
+        return s.base + roundDown(wrapped, s.elemSize);
+      }
+      case MemStreamDesc::Kind::Random:
+      case MemStreamDesc::Kind::PointerChase:
+        return s.base + rng.below(elems) * s.elemSize;
+      default:
+        VPR_PANIC("bad memory stream kind");
+    }
+}
+
+std::optional<TraceRecord>
+LoopTraceStream::next()
+{
+    const BlockDesc &blk = desc.blocks[curBlock];
+
+    if (curInst < blk.insts.size()) {
+        const InstTemplate &t = blk.insts[curInst];
+        TraceRecord rec;
+        rec.pc = pcOf(curBlock, curInst);
+        rec.op = t.op;
+        rec.dest = t.dest;
+        rec.src[0] = t.src0;
+        rec.src[1] = t.src1;
+        if (isMemOp(t.op)) {
+            rec.effAddr = nextAddr(t.memStream);
+            rec.memSize = desc.streams[t.memStream].elemSize;
+        }
+        ++curInst;
+        return rec;
+    }
+
+    // End of block: emit the branch (if any) and move on.
+    std::size_t blkIdx = curBlock;
+    curInst = 0;
+
+    if (blk.branch.kind == BranchDesc::Kind::None) {
+        curBlock = (curBlock + 1) % desc.blocks.size();
+        return next();
+    }
+
+    bool taken = false;
+    if (blk.branch.kind == BranchDesc::Kind::Loop) {
+        ++loopCount[blkIdx];
+        if (loopCount[blkIdx] < blk.branch.tripCount) {
+            taken = true;
+        } else {
+            loopCount[blkIdx] = 0;
+            taken = false;
+        }
+    } else {
+        taken = rng.chancePermille(blk.branch.takenPermille);
+    }
+
+    std::size_t nextBlock = taken
+        ? static_cast<std::size_t>(blk.branch.takenTarget)
+        : static_cast<std::size_t>(blk.branch.fallThrough);
+
+    TraceRecord rec = StaticInst::branch(
+        blk.branch.src, taken, blockPc[nextBlock]);
+    rec.pc = pcOf(blkIdx, blk.insts.size());
+    curBlock = nextBlock;
+    return rec;
+}
+
+} // namespace vpr

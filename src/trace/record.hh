@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Trace record definition.
+ *
+ * The simulator is trace driven, like the paper's ATOM-based framework.
+ * A trace record is simply a StaticInst: the static fields plus the
+ * dynamic information recorded by the tracer (effective address, branch
+ * outcome and target).
+ */
+
+#ifndef VPR_TRACE_RECORD_HH
+#define VPR_TRACE_RECORD_HH
+
+#include "isa/static_inst.hh"
+
+namespace vpr
+{
+
+/** One dynamic instruction as recorded in a trace. */
+using TraceRecord = StaticInst;
+
+} // namespace vpr
+
+#endif // VPR_TRACE_RECORD_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Abstract trace stream plus the simple vector-backed implementation.
+ */
+
+#ifndef VPR_TRACE_STREAM_HH
+#define VPR_TRACE_STREAM_HH
+
+#include <optional>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace vpr
+{
+
+/**
+ * A source of dynamic instructions. Streams must be deterministic:
+ * reset() followed by repeated next() always yields the same sequence.
+ */
+class TraceStream
+{
+  public:
+    virtual ~TraceStream() = default;
+
+    /** @return the next record, or nullopt at end of trace. */
+    virtual std::optional<TraceRecord> next() = 0;
+
+    /** Rewind to the beginning of the trace. */
+    virtual void reset() = 0;
+};
+
+/**
+ * A trace held in memory. Optionally replays the sequence forever, which
+ * turns a single loop body into an unbounded instruction stream.
+ */
+class VectorTraceStream : public TraceStream
+{
+  public:
+    explicit VectorTraceStream(std::vector<TraceRecord> records,
+                               bool loop = false)
+        : recs(std::move(records)), looping(loop), pos(0)
+    {}
+
+    std::optional<TraceRecord>
+    next() override
+    {
+        if (pos >= recs.size()) {
+            if (!looping || recs.empty())
+                return std::nullopt;
+            pos = 0;
+        }
+        return recs[pos++];
+    }
+
+    void reset() override { pos = 0; }
+
+    std::size_t size() const { return recs.size(); }
+
+  private:
+    std::vector<TraceRecord> recs;
+    bool looping;
+    std::size_t pos;
+};
+
+} // namespace vpr
+
+#endif // VPR_TRACE_STREAM_HH

@@ -1,0 +1,173 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'V', 'P', 'R', 'T', 'R', 'A', 'C', 'E'};
+
+/** On-disk record layout (packed, little endian, 40 bytes). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t effAddr;
+    std::uint64_t target;
+    std::uint8_t op;
+    std::uint8_t destClass, destIdxLo, destIdxHi;
+    std::uint8_t src0Class, src0IdxLo, src0IdxHi;
+    std::uint8_t src1Class, src1IdxLo, src1IdxHi;
+    std::uint8_t memSize;
+    std::uint8_t taken;
+    std::uint8_t pad[4];
+};
+static_assert(sizeof(DiskRecord) == 40, "disk record layout drifted");
+
+void
+packReg(const RegId &r, std::uint8_t &cls, std::uint8_t &lo,
+        std::uint8_t &hi)
+{
+    if (!r.valid()) {
+        cls = 0xff;
+        lo = hi = 0xff;
+        return;
+    }
+    cls = static_cast<std::uint8_t>(r.regClass());
+    lo = static_cast<std::uint8_t>(r.index() & 0xff);
+    hi = static_cast<std::uint8_t>(r.index() >> 8);
+}
+
+RegId
+unpackReg(std::uint8_t cls, std::uint8_t lo, std::uint8_t hi)
+{
+    if (cls == 0xff)
+        return RegId::none();
+    std::uint16_t idx =
+        static_cast<std::uint16_t>(lo) |
+        (static_cast<std::uint16_t>(hi) << 8);
+    return RegId(static_cast<RegClass>(cls), idx);
+}
+
+DiskRecord
+pack(const TraceRecord &r)
+{
+    DiskRecord d{};
+    d.pc = r.pc;
+    d.effAddr = r.effAddr;
+    d.target = r.target;
+    d.op = static_cast<std::uint8_t>(r.op);
+    packReg(r.dest, d.destClass, d.destIdxLo, d.destIdxHi);
+    packReg(r.src[0], d.src0Class, d.src0IdxLo, d.src0IdxHi);
+    packReg(r.src[1], d.src1Class, d.src1IdxLo, d.src1IdxHi);
+    d.memSize = r.memSize;
+    d.taken = r.taken ? 1 : 0;
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord r;
+    r.pc = d.pc;
+    r.effAddr = d.effAddr;
+    r.target = d.target;
+    VPR_ASSERT(d.op < kNumOpClasses, "trace file: bad op class ",
+               unsigned(d.op));
+    r.op = static_cast<OpClass>(d.op);
+    r.dest = unpackReg(d.destClass, d.destIdxLo, d.destIdxHi);
+    r.src[0] = unpackReg(d.src0Class, d.src0IdxLo, d.src0IdxHi);
+    r.src[1] = unpackReg(d.src1Class, d.src1IdxLo, d.src1IdxHi);
+    r.memSize = d.memSize;
+    r.taken = d.taken != 0;
+    return r;
+}
+
+} // namespace
+
+std::size_t
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        VPR_FATAL("cannot open trace file '", path, "' for writing");
+
+    std::uint32_t version = kTraceFormatVersion;
+    std::uint32_t count = static_cast<std::uint32_t>(records.size());
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1 ||
+        std::fwrite(&version, sizeof(version), 1, f) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        VPR_FATAL("short write on trace header '", path, "'");
+    }
+    for (const auto &r : records) {
+        DiskRecord d = pack(r);
+        if (std::fwrite(&d, sizeof(d), 1, f) != 1) {
+            std::fclose(f);
+            VPR_FATAL("short write on trace body '", path, "'");
+        }
+    }
+    std::fclose(f);
+    return records.size();
+}
+
+std::size_t
+writeTraceFile(const std::string &path, TraceStream &stream,
+               std::size_t maxRecords)
+{
+    std::vector<TraceRecord> recs;
+    recs.reserve(maxRecords);
+    for (std::size_t i = 0; i < maxRecords; ++i) {
+        auto r = stream.next();
+        if (!r)
+            break;
+        recs.push_back(*r);
+    }
+    return writeTraceFile(path, recs);
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        VPR_FATAL("cannot open trace file '", path, "'");
+
+    char magic[8];
+    std::uint32_t version = 0, count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        std::fclose(f);
+        VPR_FATAL("'", path, "' is not a vpr trace file");
+    }
+    if (std::fread(&version, sizeof(version), 1, f) != 1 ||
+        version != kTraceFormatVersion) {
+        std::fclose(f);
+        VPR_FATAL("'", path, "': unsupported trace version ", version);
+    }
+    if (std::fread(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        VPR_FATAL("'", path, "': truncated header");
+    }
+
+    std::vector<TraceRecord> recs;
+    recs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        DiskRecord d;
+        if (std::fread(&d, sizeof(d), 1, f) != 1) {
+            std::fclose(f);
+            VPR_FATAL("'", path, "': truncated at record ", i, " of ",
+                      count);
+        }
+        recs.push_back(unpack(d));
+    }
+    std::fclose(f);
+    return recs;
+}
+
+} // namespace vpr

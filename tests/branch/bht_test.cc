@@ -1,0 +1,119 @@
+/** @file Unit tests for the 2-bit BHT predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/bht.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Bht, PaperDefaultConfiguration)
+{
+    BhtPredictor bht;
+    EXPECT_EQ(bht.numEntries(), 2048u);
+}
+
+TEST(Bht, InitiallyWeaklyTaken)
+{
+    BhtPredictor bht(64);
+    EXPECT_TRUE(bht.predict(0x1000));
+    EXPECT_EQ(bht.counter(0x1000), 2);
+}
+
+TEST(Bht, TrainsTowardTaken)
+{
+    BhtPredictor bht(64);
+    bht.update(0x40, true);
+    EXPECT_EQ(bht.counter(0x40), 3);
+    bht.update(0x40, true);  // saturates
+    EXPECT_EQ(bht.counter(0x40), 3);
+    EXPECT_TRUE(bht.predict(0x40));
+}
+
+TEST(Bht, TrainsTowardNotTaken)
+{
+    BhtPredictor bht(64);
+    bht.update(0x40, false);
+    EXPECT_EQ(bht.counter(0x40), 1);
+    EXPECT_FALSE(bht.predict(0x40));
+    bht.update(0x40, false);
+    bht.update(0x40, false);  // saturates at 0
+    EXPECT_EQ(bht.counter(0x40), 0);
+}
+
+TEST(Bht, HysteresisNeedsTwoFlips)
+{
+    BhtPredictor bht(64);
+    // Drive to strongly taken.
+    bht.update(0x10, true);
+    // One not-taken outcome should not flip the prediction.
+    bht.update(0x10, false);
+    EXPECT_TRUE(bht.predict(0x10));
+    bht.update(0x10, false);
+    EXPECT_FALSE(bht.predict(0x10));
+}
+
+TEST(Bht, DistinctPcsUseDistinctCounters)
+{
+    BhtPredictor bht(64);
+    bht.update(0x0, false);
+    bht.update(0x0, false);
+    EXPECT_FALSE(bht.predict(0x0));
+    EXPECT_TRUE(bht.predict(0x4));  // neighbouring instruction unaffected
+}
+
+TEST(Bht, AliasingWrapsAroundTable)
+{
+    BhtPredictor bht(16);
+    // PCs 4 * 16 = 64 bytes apart alias in a 16-entry table.
+    bht.update(0x0, false);
+    bht.update(0x0, false);
+    EXPECT_FALSE(bht.predict(0x40));
+}
+
+TEST(Bht, AccuracyTracking)
+{
+    BhtPredictor bht(64);
+    // Alternate T/N: the 2-bit counter mispredicts often.
+    for (int i = 0; i < 100; ++i)
+        bht.predictAndUpdate(0x8, i % 2 == 0);
+    EXPECT_EQ(bht.lookups(), 100u);
+    EXPECT_GT(bht.mispredicts(), 30u);
+    EXPECT_LT(bht.accuracy(), 0.7);
+}
+
+TEST(Bht, PerfectLoopBranchAccuracy)
+{
+    BhtPredictor bht(64);
+    // Always-taken loop branch: after warm-up, always correct.
+    for (int i = 0; i < 100; ++i)
+        bht.predictAndUpdate(0x20, true);
+    EXPECT_GE(bht.accuracy(), 0.99);
+}
+
+TEST(Bht, ResetClearsStateAndStats)
+{
+    BhtPredictor bht(64);
+    bht.predictAndUpdate(0x8, false);
+    bht.predictAndUpdate(0x8, false);
+    bht.reset();
+    EXPECT_EQ(bht.lookups(), 0u);
+    EXPECT_EQ(bht.mispredicts(), 0u);
+    EXPECT_EQ(bht.counter(0x8), 2);
+}
+
+TEST(Bht, AccuracyIsOneWithNoBranches)
+{
+    BhtPredictor bht(64);
+    EXPECT_DOUBLE_EQ(bht.accuracy(), 1.0);
+}
+
+TEST(BhtDeath, NonPowerOfTwoSizePanics)
+{
+    EXPECT_DEATH(BhtPredictor(1000), "power of two");
+}
+
+} // namespace
+} // namespace vpr

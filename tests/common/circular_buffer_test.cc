@@ -1,0 +1,140 @@
+/** @file Unit tests for CircularBuffer. */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_buffer.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(CircularBuffer, StartsEmpty)
+{
+    CircularBuffer<int> b(4);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.capacity(), 4u);
+    EXPECT_EQ(b.freeSlots(), 4u);
+}
+
+TEST(CircularBuffer, PushBackGrows)
+{
+    CircularBuffer<int> b(4);
+    b.pushBack(1);
+    b.pushBack(2);
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.front(), 1);
+    EXPECT_EQ(b.back(), 2);
+}
+
+TEST(CircularBuffer, FillsToCapacity)
+{
+    CircularBuffer<int> b(3);
+    b.pushBack(1);
+    b.pushBack(2);
+    b.pushBack(3);
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.freeSlots(), 0u);
+}
+
+TEST(CircularBuffer, PopFrontFifoOrder)
+{
+    CircularBuffer<int> b(3);
+    b.pushBack(1);
+    b.pushBack(2);
+    b.pushBack(3);
+    b.popFront();
+    EXPECT_EQ(b.front(), 2);
+    b.popFront();
+    EXPECT_EQ(b.front(), 3);
+    b.popFront();
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(CircularBuffer, PopBackLifoFromTail)
+{
+    CircularBuffer<int> b(3);
+    b.pushBack(1);
+    b.pushBack(2);
+    b.popBack();
+    EXPECT_EQ(b.back(), 1);
+    EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(CircularBuffer, WrapsAround)
+{
+    CircularBuffer<int> b(3);
+    for (int i = 0; i < 100; ++i) {
+        b.pushBack(i);
+        if (b.size() == 3) {
+            EXPECT_EQ(b.front(), i - 2);
+            b.popFront();
+        }
+    }
+    // Elements survive wrapping in order.
+    EXPECT_EQ(b.at(0), 98);
+    EXPECT_EQ(b.at(1), 99);
+}
+
+TEST(CircularBuffer, LogicalIndexingOldestFirst)
+{
+    CircularBuffer<int> b(5);
+    for (int i = 10; i < 14; ++i)
+        b.pushBack(i);
+    b.popFront();
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(b.at(i), 11 + static_cast<int>(i));
+}
+
+TEST(CircularBuffer, PointerStabilityWhileAlive)
+{
+    // The ROB relies on element addresses staying fixed while the
+    // element is in the buffer, across pushes and pops of *other*
+    // elements.
+    CircularBuffer<int> b(4);
+    b.pushBack(1);
+    b.pushBack(2);
+    int *p2 = &b.at(1);
+    b.popFront();
+    b.pushBack(3);
+    b.pushBack(4);
+    EXPECT_EQ(*p2, 2);
+    EXPECT_EQ(&b.at(0), p2);
+}
+
+TEST(CircularBuffer, ClearResets)
+{
+    CircularBuffer<int> b(3);
+    b.pushBack(1);
+    b.pushBack(2);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    b.pushBack(9);
+    EXPECT_EQ(b.front(), 9);
+}
+
+TEST(CircularBufferDeath, OverflowPanics)
+{
+    CircularBuffer<int> b(1);
+    b.pushBack(1);
+    EXPECT_DEATH(b.pushBack(2), "pushBack on full");
+}
+
+TEST(CircularBufferDeath, UnderflowPanics)
+{
+    CircularBuffer<int> b(1);
+    EXPECT_DEATH(b.popFront(), "popFront on empty");
+    EXPECT_DEATH(b.front(), "front of empty");
+}
+
+TEST(CircularBufferDeath, OutOfRangeIndexPanics)
+{
+    CircularBuffer<int> b(4);
+    b.pushBack(1);
+    EXPECT_DEATH(b.at(1), "out of range");
+}
+
+} // namespace
+} // namespace vpr

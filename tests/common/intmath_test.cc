@@ -1,0 +1,66 @@
+/** @file Unit tests for the integer-math helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 32), 0u);
+    EXPECT_EQ(roundUp(1, 32), 32u);
+    EXPECT_EQ(roundUp(32, 32), 32u);
+    EXPECT_EQ(roundDown(31, 32), 0u);
+    EXPECT_EQ(roundDown(33, 32), 32u);
+}
+
+TEST(IntMath, PaperGmtWidthExample)
+{
+    // Section 3.2.1: GMT rows are log2(NVR) + log2(NPR) + 1 bits. For
+    // NVR = 160 and NPR = 64 that is 8 + 6 + 1 = 15 bits.
+    EXPECT_EQ(ceilLog2(160) + ceilLog2(64) + 1, 15u);
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,102 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Random, DeterministicPerSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, ZeroSeedRemapped)
+{
+    Random a(0);
+    EXPECT_NE(a.next64(), 0u);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Random, ChancePermilleApproximatesProbability)
+{
+    Random r(99);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chancePermille(250);
+    double p = static_cast<double>(hits) / n;
+    EXPECT_NEAR(p, 0.25, 0.01);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ReseedRestartsSequence)
+{
+    Random r(11);
+    auto first = r.next64();
+    r.next64();
+    r.reseed(11);
+    EXPECT_EQ(r.next64(), first);
+}
+
+TEST(Random, BitsLookBalanced)
+{
+    Random r(123);
+    int ones = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        ones += __builtin_popcountll(r.next64());
+    double frac = static_cast<double>(ones) / (64.0 * n);
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,116 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace vpr::stats
+{
+namespace
+{
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar s("s", "a counter");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, SetOverwrites)
+{
+    Scalar s("s", "gauge");
+    s.set(42);
+    EXPECT_EQ(s.value(), 42u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a("a", "mean");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 6.0);
+}
+
+TEST(Distribution, BucketsSamples)
+{
+    Distribution d("d", "dist", 0, 99, 10);
+    EXPECT_EQ(d.numBuckets(), 10u);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(95);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.bucketCount(9), 1u);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 15 + 15 + 95) / 4.0);
+}
+
+TEST(Distribution, UnderOverflow)
+{
+    Distribution d("d", "dist", 10, 19, 5);
+    d.sample(9);
+    d.sample(25);
+    d.sample(12);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_EQ(d.minSample(), 9u);
+    EXPECT_EQ(d.maxSample(), 25u);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    Distribution d("d", "dist", 0, 9, 1);
+    d.sample(3);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucketCount(3), 0u);
+}
+
+TEST(StatGroup, PrintsAllMembers)
+{
+    StatGroup g("grp");
+    Scalar s("grp.count", "counts things");
+    Average a("grp.avg", "averages things");
+    g.add(&s);
+    g.add(&a);
+    ++s;
+    a.sample(4.0);
+
+    std::ostringstream os;
+    g.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("grp.count"), std::string::npos);
+    EXPECT_NE(out.find("grp.avg"), std::string::npos);
+    EXPECT_NE(out.find("counts things"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllResetsMembers)
+{
+    StatGroup g("grp");
+    Scalar s("s", "d");
+    g.add(&s);
+    s += 10;
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(DistributionDeath, BadRangePanics)
+{
+    EXPECT_DEATH(Distribution("d", "x", 10, 5, 1), "range inverted");
+    EXPECT_DEATH(Distribution("d", "x", 0, 5, 0), "bucket size");
+}
+
+} // namespace
+} // namespace vpr::stats

@@ -1,0 +1,115 @@
+/** @file Unit tests for the functional-unit pool. */
+
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(FuPool, Table1UnitCounts)
+{
+    FuPoolConfig cfg;
+    EXPECT_EQ(cfg.count(FUType::SimpleInt), 3u);
+    EXPECT_EQ(cfg.count(FUType::ComplexInt), 2u);
+    EXPECT_EQ(cfg.count(FUType::EffAddr), 3u);
+    EXPECT_EQ(cfg.count(FUType::SimpleFp), 3u);
+    EXPECT_EQ(cfg.count(FUType::FpMul), 2u);
+    EXPECT_EQ(cfg.count(FUType::FpDivSqrt), 2u);
+}
+
+TEST(FuPool, PerCycleIssueLimit)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_EQ(pool.structuralHazards(), 1u);
+    // Next cycle the units are free again (pipelined).
+    pool.beginCycle(2);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 2, 3));
+}
+
+TEST(FuPool, BranchesShareSimpleIntUnits)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    EXPECT_TRUE(pool.tryIssue(OpClass::Branch, 1, 2));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_TRUE(pool.tryIssue(OpClass::Branch, 1, 2));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+}
+
+TEST(FuPool, UnpipelinedDividerStaysBusy)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    // Two dividers: both busy for 16 cycles.
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpDiv, 1, 17));
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpDiv, 1, 17));
+    pool.beginCycle(2);
+    EXPECT_EQ(pool.available(FUType::FpDivSqrt, 2), 0u);
+    EXPECT_FALSE(pool.tryIssue(OpClass::FpSqrt, 2, 18));
+    // After completion the units free up.
+    pool.beginCycle(17);
+    EXPECT_EQ(pool.available(FUType::FpDivSqrt, 17), 2u);
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpDiv, 17, 33));
+}
+
+TEST(FuPool, PipelinedMultiplierAcceptsEveryCycle)
+{
+    FuPool pool;
+    for (Cycle c = 1; c <= 5; ++c) {
+        pool.beginCycle(c);
+        EXPECT_TRUE(pool.tryIssue(OpClass::IntMult, c, c + 9));
+        EXPECT_TRUE(pool.tryIssue(OpClass::IntMult, c, c + 9));
+        EXPECT_FALSE(pool.tryIssue(OpClass::IntMult, c, c + 9));
+    }
+}
+
+TEST(FuPool, MixedDivAndMultShareComplexInt)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, 1, 68));  // unpipelined
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntMult, 1, 10));
+    pool.beginCycle(2);
+    // One unit is parked on the divide; the other is free.
+    EXPECT_EQ(pool.available(FUType::ComplexInt, 2), 1u);
+}
+
+TEST(FuPool, NopsNeedNoUnit)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(pool.tryIssue(OpClass::Nop, 1, 2));
+}
+
+TEST(FuPool, IssuedCountersPerType)
+{
+    FuPool pool;
+    pool.beginCycle(1);
+    pool.tryIssue(OpClass::FpAdd, 1, 5);
+    pool.tryIssue(OpClass::FpAdd, 1, 5);
+    pool.tryIssue(OpClass::Load, 1, 2);
+    EXPECT_EQ(pool.issuedOps(FUType::SimpleFp), 2u);
+    EXPECT_EQ(pool.issuedOps(FUType::EffAddr), 1u);
+}
+
+TEST(FuPool, CustomConfig)
+{
+    FuPoolConfig cfg;
+    cfg.simpleInt = 1;
+    FuPool pool(cfg);
+    pool.beginCycle(1);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntAlu, 1, 2));
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,142 @@
+/** @file Unit tests for the instruction queue. */
+
+#include <gtest/gtest.h>
+
+#include "core/iq.hh"
+
+namespace vpr
+{
+namespace
+{
+
+DynInst
+alu(InstSeqNum seq)
+{
+    DynInst d;
+    d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                           RegId::intReg(3));
+    d.seq = seq;
+    return d;
+}
+
+TEST(InstQueue, InsertKeepsAgeOrder)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1), b = alu(2), c = alu(3);
+    iq.insert(&a);
+    iq.insert(&c);
+    // Re-insertion of an older instruction (write-back squash path).
+    iq.insert(&b);
+    ASSERT_EQ(iq.size(), 3u);
+    EXPECT_EQ(iq.entries()[0]->seq, 1u);
+    EXPECT_EQ(iq.entries()[1]->seq, 2u);
+    EXPECT_EQ(iq.entries()[2]->seq, 3u);
+}
+
+TEST(InstQueue, RemoveSpecificEntry)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1), b = alu(2);
+    iq.insert(&a);
+    iq.insert(&b);
+    iq.remove(&a);
+    ASSERT_EQ(iq.size(), 1u);
+    EXPECT_EQ(iq.entries()[0]->seq, 2u);
+}
+
+TEST(InstQueue, WakeupMatchesClassAndTag)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1);
+    a.src[0].valid = true;
+    a.src[0].cls = RegClass::Int;
+    a.src[0].tag = 40;
+    a.src[1].valid = true;
+    a.src[1].cls = RegClass::Float;
+    a.src[1].tag = 40;  // same tag number, different class!
+    iq.insert(&a);
+
+    EXPECT_EQ(iq.wakeup(RegClass::Int, 40, 7), 1u);
+    EXPECT_TRUE(a.src[0].ready);
+    EXPECT_EQ(a.src[0].tag, 7);      // captured the physical register
+    EXPECT_FALSE(a.src[1].ready);    // FP operand untouched
+}
+
+TEST(InstQueue, WakeupIgnoresAlreadyReady)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1);
+    a.src[0].valid = true;
+    a.src[0].cls = RegClass::Int;
+    a.src[0].tag = 40;
+    a.src[0].ready = true;
+    iq.insert(&a);
+    EXPECT_EQ(iq.wakeup(RegClass::Int, 40, 9), 0u);
+    EXPECT_EQ(a.src[0].tag, 40);
+}
+
+TEST(InstQueue, WakeupHitsAllWaiters)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1), b = alu(2);
+    for (DynInst *d : {&a, &b}) {
+        d->src[0].valid = true;
+        d->src[0].cls = RegClass::Float;
+        d->src[0].tag = 99;
+        iq.insert(d);
+    }
+    EXPECT_EQ(iq.wakeup(RegClass::Float, 99, 3), 2u);
+    EXPECT_TRUE(a.src[0].ready && b.src[0].ready);
+}
+
+TEST(InstQueue, SquashYoungerThanDropsTail)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1), b = alu(5), c = alu(9);
+    iq.insert(&a);
+    iq.insert(&b);
+    iq.insert(&c);
+    iq.squashYoungerThan(5);
+    ASSERT_EQ(iq.size(), 2u);
+    EXPECT_EQ(iq.entries().back()->seq, 5u);
+    iq.squashYoungerThan(0);
+    EXPECT_TRUE(iq.empty());
+}
+
+TEST(InstQueue, CapacityTracking)
+{
+    InstQueue iq(2);
+    DynInst a = alu(1), b = alu(2);
+    EXPECT_FALSE(iq.full());
+    iq.insert(&a);
+    iq.insert(&b);
+    EXPECT_TRUE(iq.full());
+}
+
+TEST(InstQueueDeath, InsertIntoFullPanics)
+{
+    InstQueue iq(1);
+    DynInst a = alu(1), b = alu(2);
+    iq.insert(&a);
+    EXPECT_DEATH(iq.insert(&b), "full IQ");
+}
+
+TEST(InstQueueDeath, DuplicateInsertPanics)
+{
+    InstQueue iq(4);
+    DynInst a = alu(1), b = alu(2);
+    iq.insert(&a);
+    iq.insert(&b);
+    DynInst dup = alu(1);
+    EXPECT_DEATH(iq.insert(&dup), "duplicate IQ entry");
+}
+
+TEST(InstQueueDeath, RemoveAbsentPanics)
+{
+    InstQueue iq(4);
+    DynInst a = alu(1);
+    EXPECT_DEATH(iq.remove(&a), "not present");
+}
+
+} // namespace
+} // namespace vpr

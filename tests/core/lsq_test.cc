@@ -1,0 +1,186 @@
+/** @file Unit tests for the LSQ and PA-8000-style disambiguation. */
+
+#include <gtest/gtest.h>
+
+#include "core/lsq.hh"
+
+namespace vpr
+{
+namespace
+{
+
+DynInst
+load(InstSeqNum seq, Addr addr, unsigned size = 8)
+{
+    DynInst d;
+    d.si = StaticInst::load(RegId::intReg(1), RegId::intReg(2), addr);
+    d.si.memSize = static_cast<std::uint8_t>(size);
+    d.seq = seq;
+    return d;
+}
+
+DynInst
+store(InstSeqNum seq, Addr addr, unsigned size = 8)
+{
+    DynInst d;
+    d.si = StaticInst::store(RegId::intReg(3), RegId::intReg(2), addr);
+    d.si.memSize = static_cast<std::uint8_t>(size);
+    d.seq = seq;
+    return d;
+}
+
+TEST(Lsq, LoadWithNoOlderStoresIsReady)
+{
+    Lsq lsq(8);
+    DynInst l = load(1, 0x100);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Ready);
+}
+
+TEST(Lsq, LoadWaitsForUnknownStoreAddress)
+{
+    Lsq lsq(8);
+    DynInst s = store(1, 0x100);
+    DynInst l = load(2, 0x200);
+    lsq.insert(&s);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::UnknownAddress);
+    // Address known but only in the future: still unknown at cycle 10.
+    s.addrReady = true;
+    s.addrReadyCycle = 20;
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::UnknownAddress);
+    EXPECT_EQ(lsq.checkLoad(&l, 20), LoadHold::Ready);
+}
+
+TEST(Lsq, MatchingStoreForwards)
+{
+    Lsq lsq(8);
+    DynInst s = store(1, 0x100);
+    s.addrReady = true;
+    s.addrReadyCycle = 5;
+    DynInst l = load(2, 0x100);
+    lsq.insert(&s);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Forward);
+}
+
+TEST(Lsq, ContainedAccessForwards)
+{
+    Lsq lsq(8);
+    DynInst s = store(1, 0x100, 8);
+    s.addrReady = true;
+    s.addrReadyCycle = 0;
+    DynInst l = load(2, 0x104, 4);  // inside the store's 8 bytes
+    lsq.insert(&s);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Forward);
+}
+
+TEST(Lsq, PartialOverlapHolds)
+{
+    Lsq lsq(8);
+    DynInst s = store(1, 0x104, 4);
+    s.addrReady = true;
+    s.addrReadyCycle = 0;
+    DynInst l = load(2, 0x100, 8);  // covers more than the store wrote
+    lsq.insert(&s);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::PartialOverlap);
+}
+
+TEST(Lsq, NearestStoreWins)
+{
+    Lsq lsq(8);
+    DynInst s1 = store(1, 0x100);
+    DynInst s2 = store(2, 0x100);
+    s1.addrReady = s2.addrReady = true;
+    s1.addrReadyCycle = s2.addrReadyCycle = 0;
+    DynInst l = load(3, 0x100);
+    lsq.insert(&s1);
+    lsq.insert(&s2);
+    lsq.insert(&l);
+    // Forward (from s2, the youngest older store) — still Forward, and
+    // an unknown-address s2 would have blocked even though s1 matches.
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Forward);
+    s2.addrReady = false;
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::UnknownAddress);
+}
+
+TEST(Lsq, YoungerStoresDoNotAffectLoad)
+{
+    Lsq lsq(8);
+    DynInst l = load(1, 0x100);
+    DynInst s = store(2, 0x100);
+    lsq.insert(&l);
+    lsq.insert(&s);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Ready);
+}
+
+TEST(Lsq, DisjointStoresIgnored)
+{
+    Lsq lsq(8);
+    DynInst s = store(1, 0x200);
+    s.addrReady = true;
+    s.addrReadyCycle = 0;
+    DynInst l = load(2, 0x100);
+    lsq.insert(&s);
+    lsq.insert(&l);
+    EXPECT_EQ(lsq.checkLoad(&l, 10), LoadHold::Ready);
+}
+
+TEST(Lsq, SquashDropsYoungest)
+{
+    Lsq lsq(8);
+    DynInst a = load(1, 0x100), b = store(5, 0x200), c = load(9, 0x300);
+    lsq.insert(&a);
+    lsq.insert(&b);
+    lsq.insert(&c);
+    lsq.squashYoungerThan(5);
+    EXPECT_EQ(lsq.size(), 2u);
+    EXPECT_EQ(lsq.entries().back()->seq, 5u);
+}
+
+TEST(Lsq, RemoveAtCommit)
+{
+    Lsq lsq(8);
+    DynInst a = load(1, 0x100), b = load(2, 0x200);
+    lsq.insert(&a);
+    lsq.insert(&b);
+    lsq.remove(&a);
+    EXPECT_EQ(lsq.size(), 1u);
+    EXPECT_EQ(lsq.entries().front()->seq, 2u);
+}
+
+TEST(Lsq, HoldStatsAccumulate)
+{
+    Lsq lsq(8);
+    lsq.recordHold(LoadHold::Forward);
+    lsq.recordHold(LoadHold::UnknownAddress);
+    lsq.recordHold(LoadHold::UnknownAddress);
+    lsq.recordHold(LoadHold::PartialOverlap);
+    lsq.recordHold(LoadHold::Ready);  // not counted
+    EXPECT_EQ(lsq.forwards(), 1u);
+    EXPECT_EQ(lsq.unknownAddrHolds(), 2u);
+    EXPECT_EQ(lsq.partialOverlapHolds(), 1u);
+}
+
+TEST(LsqDeath, OutOfOrderInsertPanics)
+{
+    Lsq lsq(8);
+    DynInst a = load(5, 0x100), b = load(3, 0x200);
+    lsq.insert(&a);
+    EXPECT_DEATH(lsq.insert(&b), "program order");
+}
+
+TEST(LsqDeath, NonMemInsertPanics)
+{
+    Lsq lsq(8);
+    DynInst d;
+    d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                           RegId::intReg(3));
+    d.seq = 1;
+    EXPECT_DEATH(lsq.insert(&d), "non-memory");
+}
+
+} // namespace
+} // namespace vpr

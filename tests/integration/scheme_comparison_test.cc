@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cross-scheme behavioural properties from the paper, checked on the
+ * real workloads with short runs:
+ *  - VP with maximum NRR performs at least as well as conventional
+ *    renaming (section 3.3's "most conservative configuration");
+ *  - register pressure (holding time per value) is lower under VP;
+ *  - more physical registers never hurt;
+ *  - write-back allocation beats issue allocation on memory-bound FP
+ *    codes (Figure 6's direction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr
+{
+namespace
+{
+
+SimConfig
+quickConfig()
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 5000;
+    c.measureInsts = 40000;
+    c.core.fetch.wrongPath = WrongPathMode::Stall;
+    c.core.invariantChecks = true;
+    return c;
+}
+
+class PerBenchmark : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PerBenchmark, MaxNrrVpNotSlowerThanConventional)
+{
+    SimConfig c = quickConfig();
+    c.setScheme(RenameScheme::Conventional);
+    double conv = runOne(GetParam(), c).ipc();
+    c.setScheme(RenameScheme::VPAllocAtWriteback);
+    c.setNrr(32);
+    double vp = runOne(GetParam(), c).ipc();
+    // Paper: "expected to perform at least as well as the conventional
+    // scheme". Allow 3% slack for the +1-cycle commit free delay.
+    EXPECT_GE(vp, conv * 0.97) << GetParam();
+}
+
+TEST_P(PerBenchmark, VpReducesRegisterHoldingTime)
+{
+    SimConfig c = quickConfig();
+    c.setScheme(RenameScheme::Conventional);
+    auto conv = runOne(GetParam(), c);
+    c.setScheme(RenameScheme::VPAllocAtWriteback);
+    auto vp = runOne(GetParam(), c);
+
+    const auto &info = benchmarkInfo(GetParam());
+    double convHold =
+        info.isFp ? conv.meanHoldCyclesFp : conv.meanHoldCyclesInt;
+    double vpHold =
+        info.isFp ? vp.meanHoldCyclesFp : vp.meanHoldCyclesInt;
+    EXPECT_LT(vpHold, convHold) << GetParam();
+}
+
+TEST_P(PerBenchmark, MorePhysicalRegistersNeverHurt)
+{
+    SimConfig c = quickConfig();
+    for (RenameScheme s : {RenameScheme::Conventional,
+                           RenameScheme::VPAllocAtWriteback}) {
+        c.setScheme(s);
+        c.setPhysRegs(48);
+        double ipc48 = runOne(GetParam(), c).ipc();
+        c.setPhysRegs(96);
+        double ipc96 = runOne(GetParam(), c).ipc();
+        EXPECT_GE(ipc96, ipc48 * 0.98)
+            << GetParam() << " " << renameSchemeName(s);
+    }
+}
+
+TEST_P(PerBenchmark, NoRenameRegisterStallsUnderVp)
+{
+    SimConfig c = quickConfig();
+    c.setScheme(RenameScheme::VPAllocAtWriteback);
+    auto r = runOne(GetParam(), c);
+    // Decode can only stall for VP tags, which are sized to the window:
+    // physical-register decode stalls must be zero.
+    EXPECT_EQ(r.stats.renameStallReg, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PerBenchmark,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SchemeComparison, WritebackBeatsIssueOnMemoryBoundFp)
+{
+    SimConfig c = quickConfig();
+    for (const char *bench : {"swim", "mgrid"}) {
+        c.setScheme(RenameScheme::VPAllocAtWriteback);
+        c.setNrr(32);
+        double wb = runOne(bench, c).ipc();
+        c.setScheme(RenameScheme::VPAllocAtIssue);
+        double iss = runOne(bench, c).ipc();
+        EXPECT_GT(wb, iss) << bench;
+    }
+}
+
+TEST(SchemeComparison, FpBenchmarksGainMoreThanInteger)
+{
+    SimConfig c = quickConfig();
+    auto speedup = [&](const std::string &b) {
+        c.setScheme(RenameScheme::Conventional);
+        double conv = runOne(b, c).ipc();
+        c.setScheme(RenameScheme::VPAllocAtWriteback);
+        return runOne(b, c).ipc() / conv;
+    };
+    // The paper's headline qualitative claim.
+    double swim = speedup("swim");
+    double go = speedup("go");
+    double li = speedup("li");
+    EXPECT_GT(swim, 1.3);
+    EXPECT_LT(go, 1.15);
+    EXPECT_LT(li, 1.15);
+    EXPECT_GT(swim, go);
+}
+
+TEST(SchemeComparison, ReExecutionsOnlyUnderWritebackAllocation)
+{
+    SimConfig c = quickConfig();
+    c.setScheme(RenameScheme::VPAllocAtIssue);
+    auto iss = runOne("swim", c);
+    EXPECT_DOUBLE_EQ(iss.stats.executionsPerCommit(), 1.0);
+    EXPECT_EQ(iss.stats.wbRejections, 0u);
+
+    c.setScheme(RenameScheme::Conventional);
+    auto conv = runOne("swim", c);
+    EXPECT_DOUBLE_EQ(conv.stats.executionsPerCommit(), 1.0);
+}
+
+TEST(SchemeComparison, SmallerVpFileMatchesBiggerConventional)
+{
+    // Paper conclusion: VP with 48 registers ≈ conventional with 64.
+    SimConfig c = quickConfig();
+    std::vector<double> conv64, vp48;
+    for (const auto &name : benchmarkNames()) {
+        c.setScheme(RenameScheme::Conventional);
+        c.setPhysRegs(64);
+        conv64.push_back(runOne(name, c).ipc());
+        c.setScheme(RenameScheme::VPAllocAtWriteback);
+        c.setPhysRegs(48);
+        vp48.push_back(runOne(name, c).ipc());
+    }
+    double hConv = harmonicMean(conv64);
+    double hVp = harmonicMean(vp48);
+    EXPECT_GT(hVp, hConv * 0.9);
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,80 @@
+/** @file Unit tests for op classes: Table 1 latencies and FU mapping. */
+
+#include <gtest/gtest.h>
+
+#include "isa/op_class.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(OpClass, Table1Latencies)
+{
+    // Table 1 of the paper.
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMult), 9u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 67u);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 16u);
+    EXPECT_EQ(opLatency(OpClass::FpSqrt), 16u);
+    EXPECT_EQ(opLatency(OpClass::Branch), 1u);
+}
+
+TEST(OpClass, AddressGenerationIsOneCycle)
+{
+    EXPECT_EQ(opLatency(OpClass::Load), 1u);
+    EXPECT_EQ(opLatency(OpClass::Store), 1u);
+}
+
+TEST(OpClass, FuMapping)
+{
+    EXPECT_EQ(fuTypeFor(OpClass::IntAlu), FUType::SimpleInt);
+    EXPECT_EQ(fuTypeFor(OpClass::Branch), FUType::SimpleInt);
+    EXPECT_EQ(fuTypeFor(OpClass::IntMult), FUType::ComplexInt);
+    EXPECT_EQ(fuTypeFor(OpClass::IntDiv), FUType::ComplexInt);
+    EXPECT_EQ(fuTypeFor(OpClass::Load), FUType::EffAddr);
+    EXPECT_EQ(fuTypeFor(OpClass::Store), FUType::EffAddr);
+    EXPECT_EQ(fuTypeFor(OpClass::FpAdd), FUType::SimpleFp);
+    EXPECT_EQ(fuTypeFor(OpClass::FpMult), FUType::FpMul);
+    EXPECT_EQ(fuTypeFor(OpClass::FpDiv), FUType::FpDivSqrt);
+    EXPECT_EQ(fuTypeFor(OpClass::FpSqrt), FUType::FpDivSqrt);
+    EXPECT_EQ(fuTypeFor(OpClass::Nop), FUType::None);
+}
+
+TEST(OpClass, OnlyDividersUnpipelined)
+{
+    // "Functional units are fully pipelined except for integer and FP
+    // division" (paper section 4.1).
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        OpClass op = static_cast<OpClass>(i);
+        bool isDiv = op == OpClass::IntDiv || op == OpClass::FpDiv ||
+                     op == OpClass::FpSqrt;
+        EXPECT_EQ(opUnpipelined(op), isDiv) << opClassName(op);
+    }
+}
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_TRUE(isFpOp(OpClass::FpAdd));
+    EXPECT_TRUE(isFpOp(OpClass::FpSqrt));
+    EXPECT_FALSE(isFpOp(OpClass::Load));
+    EXPECT_FALSE(isFpOp(OpClass::Branch));
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        for (std::size_t j = i + 1; j < kNumOpClasses; ++j) {
+            EXPECT_STRNE(opClassName(static_cast<OpClass>(i)),
+                         opClassName(static_cast<OpClass>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,72 @@
+/** @file Unit tests for register identifiers. */
+
+#include <gtest/gtest.h>
+
+#include "isa/reg.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(RegId, DefaultIsInvalid)
+{
+    RegId r;
+    EXPECT_FALSE(r.valid());
+    EXPECT_EQ(r, RegId::none());
+    EXPECT_EQ(r.str(), "-");
+}
+
+TEST(RegId, NamedConstructors)
+{
+    RegId i = RegId::intReg(7);
+    RegId f = RegId::fpReg(12);
+    EXPECT_TRUE(i.valid());
+    EXPECT_EQ(i.regClass(), RegClass::Int);
+    EXPECT_EQ(i.index(), 7);
+    EXPECT_EQ(f.regClass(), RegClass::Float);
+    EXPECT_EQ(f.index(), 12);
+}
+
+TEST(RegId, Names)
+{
+    EXPECT_EQ(RegId::intReg(3).str(), "r3");
+    EXPECT_EQ(RegId::fpReg(31).str(), "f31");
+}
+
+TEST(RegId, EqualityRespectsClassAndIndex)
+{
+    EXPECT_EQ(RegId::intReg(4), RegId::intReg(4));
+    EXPECT_NE(RegId::intReg(4), RegId::intReg(5));
+    EXPECT_NE(RegId::intReg(4), RegId::fpReg(4));
+    // Two invalid ids compare equal regardless of class.
+    EXPECT_EQ(RegId::none(), RegId());
+}
+
+TEST(RegId, ClassIdx)
+{
+    EXPECT_EQ(classIdx(RegClass::Int), 0u);
+    EXPECT_EQ(classIdx(RegClass::Float), 1u);
+    EXPECT_EQ(kNumRegClasses, 2u);
+}
+
+TEST(RegId, ClassNames)
+{
+    EXPECT_STREQ(regClassName(RegClass::Int), "int");
+    EXPECT_STREQ(regClassName(RegClass::Float), "fp");
+}
+
+TEST(RegId, LogicalRegisterCountMatchesPaper)
+{
+    // The paper assumes 32 logical registers per class (Alpha/MIPS ISA).
+    EXPECT_EQ(kNumLogicalRegs, 32);
+}
+
+TEST(RegIdDeath, IndexOfInvalidPanics)
+{
+    RegId r = RegId::none();
+    EXPECT_DEATH(r.index(), "invalid RegId");
+}
+
+} // namespace
+} // namespace vpr

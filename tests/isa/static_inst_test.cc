@@ -1,0 +1,96 @@
+/** @file Unit tests for StaticInst. */
+
+#include <gtest/gtest.h>
+
+#include "isa/static_inst.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(StaticInst, AluBuilder)
+{
+    auto si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                              RegId::intReg(3));
+    EXPECT_EQ(si.op, OpClass::IntAlu);
+    EXPECT_TRUE(si.hasDest());
+    EXPECT_EQ(si.dest, RegId::intReg(1));
+    EXPECT_EQ(si.numSrcs(), 2u);
+    EXPECT_FALSE(si.isMem());
+    EXPECT_FALSE(si.isBranch());
+}
+
+TEST(StaticInst, LoadBuilder)
+{
+    auto si = StaticInst::load(RegId::fpReg(2), RegId::intReg(6), 0x100);
+    EXPECT_TRUE(si.isLoad());
+    EXPECT_TRUE(si.isMem());
+    EXPECT_EQ(si.effAddr, 0x100u);
+    EXPECT_EQ(si.dest, RegId::fpReg(2));
+    EXPECT_EQ(si.src[0], RegId::intReg(6));
+    EXPECT_EQ(si.numSrcs(), 1u);
+}
+
+TEST(StaticInst, StoreHasNoDest)
+{
+    auto si = StaticInst::store(RegId::fpReg(2), RegId::intReg(6), 0x80);
+    EXPECT_TRUE(si.isStore());
+    EXPECT_FALSE(si.hasDest());
+    // src[0] = data, src[1] = address base.
+    EXPECT_EQ(si.src[0], RegId::fpReg(2));
+    EXPECT_EQ(si.src[1], RegId::intReg(6));
+}
+
+TEST(StaticInst, BranchCarriesOutcome)
+{
+    auto si = StaticInst::branch(RegId::intReg(1), true, 0x4000);
+    EXPECT_TRUE(si.isBranch());
+    EXPECT_TRUE(si.taken);
+    EXPECT_EQ(si.target, 0x4000u);
+    EXPECT_FALSE(si.hasDest());
+}
+
+TEST(StaticInst, NopHasNothing)
+{
+    auto si = StaticInst::nop();
+    EXPECT_TRUE(si.isNop());
+    EXPECT_FALSE(si.hasDest());
+    EXPECT_EQ(si.numSrcs(), 0u);
+}
+
+TEST(StaticInst, FpSqrtSingleSource)
+{
+    auto si = StaticInst::fpSqrt(RegId::fpReg(1), RegId::fpReg(2));
+    EXPECT_EQ(si.op, OpClass::FpSqrt);
+    EXPECT_EQ(si.numSrcs(), 1u);
+}
+
+TEST(StaticInst, DisassembleMentionsOperands)
+{
+    auto si = StaticInst::fpMul(RegId::fpReg(5), RegId::fpReg(1),
+                                RegId::fpReg(2));
+    si.pc = 0x1000;
+    auto d = si.disassemble();
+    EXPECT_NE(d.find("fpmult"), std::string::npos);
+    EXPECT_NE(d.find("f5"), std::string::npos);
+    EXPECT_NE(d.find("f1"), std::string::npos);
+    EXPECT_NE(d.find("1000"), std::string::npos);
+}
+
+TEST(StaticInst, DisassembleBranchDirection)
+{
+    auto t = StaticInst::branch(RegId::intReg(1), true, 0x2000);
+    auto n = StaticInst::branch(RegId::intReg(1), false, 0x2000);
+    EXPECT_NE(t.disassemble().find(" T->"), std::string::npos);
+    EXPECT_NE(n.disassemble().find(" NT->"), std::string::npos);
+}
+
+TEST(StaticInst, DefaultMemSize)
+{
+    auto si = StaticInst::load(RegId::intReg(1), RegId::intReg(2), 0x0);
+    EXPECT_EQ(si.memSize, 8);
+}
+
+} // namespace
+} // namespace vpr

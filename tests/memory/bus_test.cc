@@ -1,0 +1,67 @@
+/** @file Unit tests for the L1-L2 bus occupancy model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/bus.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Bus, FirstTransferStartsImmediately)
+{
+    Bus bus(4);
+    EXPECT_EQ(bus.acquire(10), 10u);
+    EXPECT_EQ(bus.nextFreeCycle(), 14u);
+}
+
+TEST(Bus, BackToBackTransfersSerialize)
+{
+    Bus bus(4);
+    EXPECT_EQ(bus.acquire(10), 10u);
+    EXPECT_EQ(bus.acquire(10), 14u);
+    EXPECT_EQ(bus.acquire(10), 18u);
+}
+
+TEST(Bus, IdleGapResetsQueue)
+{
+    Bus bus(4);
+    bus.acquire(0);
+    EXPECT_EQ(bus.acquire(100), 100u);
+}
+
+TEST(Bus, QueueingCyclesAccumulated)
+{
+    Bus bus(4);
+    bus.acquire(0);   // 0-3
+    bus.acquire(0);   // waits 4
+    bus.acquire(2);   // starts at 8, waited 6
+    EXPECT_EQ(bus.queueingCycles(), 10u);
+    EXPECT_EQ(bus.transfers(), 3u);
+}
+
+TEST(Bus, PaperOccupancyDefault)
+{
+    // 32-byte line over a 64-bit bus = 4 cycles (paper section 4.1).
+    Bus bus;
+    EXPECT_EQ(bus.occupancy(), 4u);
+}
+
+TEST(Bus, ResetClears)
+{
+    Bus bus(4);
+    bus.acquire(5);
+    bus.reset();
+    EXPECT_EQ(bus.nextFreeCycle(), 0u);
+    EXPECT_EQ(bus.transfers(), 0u);
+    EXPECT_EQ(bus.queueingCycles(), 0u);
+}
+
+TEST(BusDeath, ZeroOccupancyPanics)
+{
+    EXPECT_DEATH(Bus(0), "positive");
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property tests for the lockup-free cache: random access streams must
+ * preserve timing and accounting invariants for any geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.hh"
+#include "memory/cache.hh"
+
+namespace vpr
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint64_t size;
+    unsigned assoc;
+    unsigned mshrs;
+};
+
+class CachePropertyTest
+    : public ::testing::TestWithParam<std::tuple<Geometry, std::uint64_t>>
+{
+};
+
+TEST_P(CachePropertyTest, RandomStreamInvariants)
+{
+    const auto &[geo, seed] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = geo.size;
+    cfg.lineSize = 32;
+    cfg.assoc = geo.assoc;
+    cfg.numMshrs = geo.mshrs;
+    NonBlockingCache cache(cfg);
+    Random rng(seed);
+
+    Cycle now = 0;
+    std::uint64_t demand = 0;
+    for (int i = 0; i < 20000; ++i) {
+        now += rng.below(3);
+        Addr addr = 0x100000 + rng.below(1 << 14);
+        bool write = rng.chancePermille(300);
+        auto r = cache.access(addr, write, now);
+
+        switch (r.outcome) {
+          case CacheOutcome::Hit:
+            // Hits complete exactly one hit latency later.
+            ASSERT_EQ(r.readyCycle, now + cfg.hitLatency);
+            ++demand;
+            break;
+          case CacheOutcome::Miss:
+            // A miss can never be faster than the raw penalty nor
+            // earlier than a hit.
+            ASSERT_GE(r.readyCycle, now + cfg.missPenalty);
+            ++demand;
+            break;
+          case CacheOutcome::MergedMiss:
+            ASSERT_GE(r.readyCycle, now + cfg.hitLatency);
+            ++demand;
+            break;
+          case CacheOutcome::Blocked:
+            // Blocked requires a full MSHR file.
+            ASSERT_EQ(cache.mshrs().size(), cfg.numMshrs);
+            break;
+        }
+        // MSHR occupancy never exceeds the configured limit.
+        ASSERT_LE(cache.mshrs().size(), cfg.numMshrs);
+    }
+
+    // Accounting: outcomes partition demand accesses.
+    EXPECT_EQ(cache.accesses(), demand);
+    EXPECT_EQ(cache.hits() + cache.misses() + cache.mergedMisses(),
+              demand);
+    EXPECT_GE(cache.missRate(), 0.0);
+    EXPECT_LE(cache.missRate(), 1.0);
+}
+
+TEST_P(CachePropertyTest, RepeatedLineEventuallyHits)
+{
+    const auto &[geo, seed] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = geo.size;
+    cfg.assoc = geo.assoc;
+    cfg.numMshrs = geo.mshrs;
+    NonBlockingCache cache(cfg);
+
+    cache.access(0x5000, false, 0);
+    auto r = cache.access(0x5000, false, 1000);
+    EXPECT_EQ(r.outcome, CacheOutcome::Hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CachePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(Geometry{1024, 1, 2}, Geometry{4096, 1, 8},
+                          Geometry{4096, 2, 4}, Geometry{16384, 1, 8},
+                          Geometry{16384, 4, 8}),
+        ::testing::Values(1ull, 42ull, 0xdeadull)),
+    [](const auto &info) {
+        const Geometry &geo = std::get<0>(info.param);
+        return "sz" + std::to_string(geo.size) + "w" +
+               std::to_string(geo.assoc) + "m" +
+               std::to_string(geo.mshrs) + "s" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace vpr

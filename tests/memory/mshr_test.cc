@@ -1,0 +1,96 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memory/mshr.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Mshr, AllocateAndFind)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.find(0x100), nullptr);
+    m.allocate(0x100, 50);
+    ASSERT_NE(m.find(0x100), nullptr);
+    EXPECT_EQ(m.find(0x100)->fillCycle, 50u);
+    EXPECT_EQ(m.find(0x100)->targets, 1u);
+}
+
+TEST(Mshr, FullAtCapacity)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 50);
+    EXPECT_FALSE(m.full());
+    m.allocate(0x200, 60);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.maxEntries(), 2u);
+}
+
+TEST(Mshr, MergeIncrementsTargets)
+{
+    MshrFile m(4);
+    Mshr &e = m.allocate(0x100, 50);
+    ++e.targets;
+    ++e.targets;
+    EXPECT_EQ(m.find(0x100)->targets, 3u);
+}
+
+TEST(Mshr, RetireReleasesOnlyExpired)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 50);
+    m.allocate(0x200, 60);
+    m.allocate(0x300, 70);
+
+    std::vector<Addr> retired;
+    m.retireUpTo(60, [&](const Mshr &e) { retired.push_back(e.lineAddr); });
+
+    ASSERT_EQ(retired.size(), 2u);
+    EXPECT_EQ(retired[0], 0x100u);
+    EXPECT_EQ(retired[1], 0x200u);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_NE(m.find(0x300), nullptr);
+    EXPECT_EQ(m.find(0x100), nullptr);
+}
+
+TEST(Mshr, RetirePreservesDirtyFlag)
+{
+    MshrFile m(4);
+    Mshr &e = m.allocate(0x100, 10);
+    e.dirty = true;
+    bool sawDirty = false;
+    m.retireUpTo(10, [&](const Mshr &x) { sawDirty = x.dirty; });
+    EXPECT_TRUE(sawDirty);
+}
+
+TEST(Mshr, ClearEmpties)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 50);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(m.full());
+}
+
+TEST(MshrDeath, DuplicateLinePanics)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 50);
+    EXPECT_DEATH(m.allocate(0x100, 60), "duplicate MSHR");
+}
+
+TEST(MshrDeath, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x100, 50);
+    EXPECT_DEATH(m.allocate(0x200, 60), "full MSHR");
+}
+
+} // namespace
+} // namespace vpr

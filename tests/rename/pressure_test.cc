@@ -1,0 +1,88 @@
+/** @file Unit tests for the register-pressure tracker. */
+
+#include <gtest/gtest.h>
+
+#include "rename/pressure.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Pressure, IntegratesHoldingTime)
+{
+    PressureTracker p(8);
+    p.onAlloc(0, 10);
+    p.onAlloc(1, 12);
+    p.onFree(0, 30);   // held 20
+    p.onFree(1, 42);   // held 30
+    EXPECT_EQ(p.totalHoldCycles(), 50u);
+    EXPECT_EQ(p.completedAllocations(), 2u);
+    EXPECT_DOUBLE_EQ(p.meanHoldCycles(), 25.0);
+}
+
+TEST(Pressure, TracksBusyAndPeak)
+{
+    PressureTracker p(8);
+    EXPECT_EQ(p.busy(), 0u);
+    p.onAlloc(0, 0);
+    p.onAlloc(1, 0);
+    p.onAlloc(2, 0);
+    EXPECT_EQ(p.busy(), 3u);
+    p.onFree(1, 5);
+    EXPECT_EQ(p.busy(), 2u);
+    EXPECT_EQ(p.peakBusy(), 3u);
+}
+
+TEST(Pressure, ReuseAfterFree)
+{
+    PressureTracker p(4);
+    p.onAlloc(2, 0);
+    p.onFree(2, 10);
+    p.onAlloc(2, 20);
+    p.onFree(2, 25);
+    EXPECT_EQ(p.totalHoldCycles(), 15u);
+}
+
+TEST(Pressure, ResetRebasesLiveAllocations)
+{
+    PressureTracker p(4);
+    p.onAlloc(0, 0);
+    p.onAlloc(1, 0);
+    p.onFree(1, 50);
+    p.reset(100);
+    EXPECT_EQ(p.totalHoldCycles(), 0u);
+    EXPECT_EQ(p.completedAllocations(), 0u);
+    EXPECT_EQ(p.busy(), 1u);  // register 0 still held
+    // Register 0 now counts from the reset point.
+    p.onFree(0, 110);
+    EXPECT_EQ(p.totalHoldCycles(), 10u);
+}
+
+TEST(Pressure, ZeroWhenNothingCompleted)
+{
+    PressureTracker p(4);
+    EXPECT_DOUBLE_EQ(p.meanHoldCycles(), 0.0);
+}
+
+TEST(PressureDeath, DoubleAllocPanics)
+{
+    PressureTracker p(4);
+    p.onAlloc(0, 0);
+    EXPECT_DEATH(p.onAlloc(0, 1), "double alloc");
+}
+
+TEST(PressureDeath, FreeUnallocatedPanics)
+{
+    PressureTracker p(4);
+    EXPECT_DEATH(p.onFree(0, 1), "unallocated");
+}
+
+TEST(PressureDeath, OutOfRangeRegPanics)
+{
+    PressureTracker p(4);
+    EXPECT_DEATH(p.onAlloc(4, 0), "bad phys reg");
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,82 @@
+/** @file Unit tests for the experiment harness helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(Experiment, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 2.0}), 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    // Harmonic mean is dominated by the smallest element — the reason
+    // the paper uses it for IPC.
+    EXPECT_LT(harmonicMean({0.5, 4.0}), 1.0);
+}
+
+TEST(Experiment, RunOneProducesPlausibleResults)
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 1000;
+    c.measureInsts = 10000;
+    auto r = runOne("compress", c);
+    EXPECT_GT(r.ipc(), 0.1);
+    EXPECT_LT(r.ipc(), 8.0);
+    EXPECT_GE(r.stats.committed, 10000u);
+    EXPECT_GT(r.bhtAccuracy, 0.5);
+}
+
+TEST(Experiment, RunAllCoversEveryBenchmark)
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 200;
+    c.measureInsts = 3000;
+    auto all = runAll(c);
+    EXPECT_EQ(all.size(), benchmarkNames().size());
+    for (const auto &name : benchmarkNames()) {
+        ASSERT_TRUE(all.count(name)) << name;
+        EXPECT_GT(all[name].ipc(), 0.0) << name;
+    }
+}
+
+TEST(Experiment, TableFormatting)
+{
+    std::ostringstream os;
+    printTableHeader(os, "My Table", {"a", "b"});
+    printTableRow(os, "row1", {1.5, 2.25}, 2);
+    std::string out = os.str();
+    EXPECT_NE(out.find("My Table"), std::string::npos);
+    EXPECT_NE(out.find("row1"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(Experiment, InstructionScaleAppliesToBudgets)
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 10000;
+    c.measureInsts = 50000;
+    applyInstructionScale(c);  // default scale 1.0
+    EXPECT_EQ(c.skipInsts, 10000u);
+    EXPECT_EQ(c.measureInsts, 50000u);
+}
+
+TEST(Experiment, MeasureFloorEnforced)
+{
+    SimConfig c = paperConfig();
+    c.measureInsts = 10;  // absurdly small
+    applyInstructionScale(c);
+    EXPECT_GE(c.measureInsts, 1000u);
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * vpr_sim — command-line driver for single simulation runs.
+ *
+ * Usage:
+ *   vpr_sim [options] <benchmark | trace.vprt>
+ *
+ * Options:
+ *   --scheme=conv|vp-wb|vp-issue|conv-er   renaming scheme
+ *   --regs=N          physical registers per file        (default 64)
+ *   --nrr=N           reserved registers (VP schemes)    (default max)
+ *   --rob=N           reorder-buffer / window size       (default 128)
+ *   --skip=N          committed instructions to warm up  (default 20000)
+ *   --insts=N         committed instructions to measure  (default 200000)
+ *   --miss=N          L1 miss penalty in cycles          (default 50)
+ *   --mshrs=N         outstanding misses                 (default 8)
+ *   --seed=N          workload seed (0 = kernel default)
+ *   --wrongpath       synthesize wrong-path fetch (default: stall)
+ *   --dump-trace=F,N  write the first N workload records to file F
+ *   --list            list built-in benchmarks and exit
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "trace/kernels/kernels.hh"
+#include "trace/trace_file.hh"
+
+using namespace vpr;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [options] <benchmark | trace.vprt>\n"
+                 "run '" << argv0 << " --list' for benchmarks; see the "
+                 "file header for all options\n";
+    std::exit(1);
+}
+
+bool
+matchArg(const char *arg, const char *key, const char **value)
+{
+    std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        *value = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+RenameScheme
+parseScheme(const std::string &s)
+{
+    if (s == "conv")
+        return RenameScheme::Conventional;
+    if (s == "vp-wb")
+        return RenameScheme::VPAllocAtWriteback;
+    if (s == "vp-issue")
+        return RenameScheme::VPAllocAtIssue;
+    if (s == "conv-er")
+        return RenameScheme::ConventionalEarlyRelease;
+    std::cerr << "unknown scheme '" << s
+              << "' (conv|vp-wb|vp-issue|conv-er)\n";
+    std::exit(1);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig config = paperConfig();
+    config.skipInsts = 20000;
+    config.measureInsts = 200000;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+
+    std::string target;
+    int nrr = -1;
+    std::string dumpSpec;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *v = nullptr;
+        if (std::strcmp(argv[i], "--list") == 0) {
+            for (const auto &info : benchmarkTable())
+                std::cout << info.name << (info.isFp ? "  [fp] " : " [int] ")
+                          << info.sketch << "\n";
+            return 0;
+        } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
+            config.core.fetch.wrongPath = WrongPathMode::Synthesize;
+        } else if (matchArg(argv[i], "--scheme", &v)) {
+            config.setScheme(parseScheme(v));
+        } else if (matchArg(argv[i], "--regs", &v)) {
+            config.setPhysRegs(
+                static_cast<std::uint16_t>(std::atoi(v)), nrr);
+        } else if (matchArg(argv[i], "--nrr", &v)) {
+            nrr = std::atoi(v);
+            config.setNrr(static_cast<std::uint16_t>(nrr));
+        } else if (matchArg(argv[i], "--rob", &v)) {
+            std::size_t n = static_cast<std::size_t>(std::atoll(v));
+            config.core.robSize = n;
+            config.core.iqSize = n;
+            config.core.lsqSize = n;
+            config.setPhysRegs(config.core.rename.numPhysRegs, nrr);
+        } else if (matchArg(argv[i], "--skip", &v)) {
+            config.skipInsts = std::strtoull(v, nullptr, 10);
+        } else if (matchArg(argv[i], "--insts", &v)) {
+            config.measureInsts = std::strtoull(v, nullptr, 10);
+        } else if (matchArg(argv[i], "--miss", &v)) {
+            config.core.cache.missPenalty =
+                static_cast<unsigned>(std::atoi(v));
+        } else if (matchArg(argv[i], "--mshrs", &v)) {
+            config.core.cache.numMshrs =
+                static_cast<unsigned>(std::atoi(v));
+        } else if (matchArg(argv[i], "--seed", &v)) {
+            config.seed = std::strtoull(v, nullptr, 10);
+        } else if (matchArg(argv[i], "--dump-trace", &v)) {
+            dumpSpec = v;
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else {
+            target = argv[i];
+        }
+    }
+    if (target.empty())
+        usage(argv[0]);
+
+    if (!dumpSpec.empty()) {
+        auto comma = dumpSpec.find(',');
+        std::string file = dumpSpec.substr(0, comma);
+        std::size_t n = comma == std::string::npos
+            ? 100000
+            : std::strtoull(dumpSpec.c_str() + comma + 1, nullptr, 10);
+        auto stream = makeBenchmarkStream(target, config.seed);
+        std::size_t written = writeTraceFile(file, *stream, n);
+        std::cout << "wrote " << written << " records to " << file
+                  << "\n";
+        return 0;
+    }
+
+    if (endsWith(target, ".vprt")) {
+        FileTraceStream stream(target);
+        // Finite trace: keep the warm-up from swallowing it whole.
+        if (config.skipInsts >= stream.size() / 2)
+            config.skipInsts = stream.size() / 10;
+        Simulator sim(stream, config);
+        SimResults r = sim.run();
+        sim.printReport(std::cout, r);
+    } else {
+        Simulator sim(target, config);
+        SimResults r = sim.run();
+        sim.printReport(std::cout, r);
+    }
+    return 0;
+}
