@@ -28,22 +28,31 @@ main(int argc, char **argv)
                      "(IPC, 64 regs)",
                      {"conv", "early-rel", "vp-wb", "er-gain", "vp-gain"});
 
-    std::vector<double> convAll, erAll, vpAll;
-    for (const auto &name : benchmarkNames()) {
-        SimConfig config = experimentConfig();
-
+    // Grid: (conv, early-release, vp) per benchmark, run on the engine.
+    SimConfig config = experimentConfig();
+    const auto &names = benchmarkNames();
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
         config.setScheme(RenameScheme::Conventional);
-        double conv = runOne(name, config).ipc();
+        cells.push_back({name, config});
         config.setScheme(RenameScheme::ConventionalEarlyRelease);
-        double er = runOne(name, config).ipc();
+        cells.push_back({name, config});
         config.setScheme(RenameScheme::VPAllocAtWriteback);
         config.setNrr(32);
-        double vp = runOne(name, config).ipc();
+        cells.push_back({name, config});
+    }
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
+
+    std::vector<double> convAll, erAll, vpAll;
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        double conv = results[3 * bi].ipc();
+        double er = results[3 * bi + 1].ipc();
+        double vp = results[3 * bi + 2].ipc();
 
         convAll.push_back(conv);
         erAll.push_back(er);
         vpAll.push_back(vp);
-        printTableRow(std::cout, name,
+        printTableRow(std::cout, names[bi],
                       {conv, er, vp, er / conv, vp / conv}, 3);
     }
     std::cout << std::string(12 + 12 * 5, '-') << "\n";

@@ -29,18 +29,31 @@ main(int argc, char **argv)
                      "(64 regs, write-back alloc)",
                      cols);
 
-    for (const char *name : {"swim", "mgrid", "apsi", "compress"}) {
-        std::vector<double> row;
+    // Grid: (conv, vp) per (benchmark × MSHR count), run on the engine.
+    const std::vector<std::string> names = {"swim", "mgrid", "apsi",
+                                            "compress"};
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
         for (unsigned m : mshrs) {
             SimConfig config = experimentConfig();
             config.core.cache.numMshrs = m;
             config.setScheme(RenameScheme::Conventional);
-            double conv = runOne(name, config).ipc();
+            cells.push_back({name, config});
             config.setScheme(RenameScheme::VPAllocAtWriteback);
-            double vp = runOne(name, config).ipc();
+            cells.push_back({name, config});
+        }
+    }
+    std::vector<SimResults> results =
+        runGrid(cells, defaultJobs());
+
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < mshrs.size(); ++i) {
+            double conv = results[2 * (bi * mshrs.size() + i)].ipc();
+            double vp = results[2 * (bi * mshrs.size() + i) + 1].ipc();
             row.push_back(vp / conv);
         }
-        printTableRow(std::cout, name, row, 3);
+        printTableRow(std::cout, names[bi], row, 3);
     }
 
     std::cout << "\nexpectation: with very few MSHRs both schemes are "

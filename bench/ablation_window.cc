@@ -30,24 +30,36 @@ main(int argc, char **argv)
                      "write-back alloc, NRR=32)",
                      cols);
 
-    std::vector<std::vector<double>> colVals(windows.size());
-    for (const auto &name : benchmarkNames()) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < windows.size(); ++i) {
+    // Grid: (conv, vp) per (benchmark × window size), run on the engine.
+    const auto &names = benchmarkNames();
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
+        for (std::size_t w : windows) {
             SimConfig config = experimentConfig();
-            config.core.robSize = windows[i];
-            config.core.iqSize = windows[i];
-            config.core.lsqSize = windows[i];
+            config.core.robSize = w;
+            config.core.iqSize = w;
+            config.core.lsqSize = w;
             config.setPhysRegs(64, 32);  // resizes the VP pool too
 
             config.setScheme(RenameScheme::Conventional);
-            double conv = runOne(name, config).ipc();
+            cells.push_back({name, config});
             config.setScheme(RenameScheme::VPAllocAtWriteback);
-            double vp = runOne(name, config).ipc();
+            cells.push_back({name, config});
+        }
+    }
+    std::vector<SimResults> results =
+        runGrid(cells, defaultJobs());
+
+    std::vector<std::vector<double>> colVals(windows.size());
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+            double conv = results[2 * (bi * windows.size() + i)].ipc();
+            double vp = results[2 * (bi * windows.size() + i) + 1].ipc();
             row.push_back(vp / conv);
             colVals[i].push_back(vp / conv);
         }
-        printTableRow(std::cout, name, row, 3);
+        printTableRow(std::cout, names[bi], row, 3);
     }
     std::cout << std::string(12 + 12 * windows.size(), '-') << "\n";
     std::vector<double> means;

@@ -21,15 +21,16 @@ using namespace vpr::bench;
 namespace
 {
 
-double
-speedup(const std::string &bench, WrongPathMode mode)
+void
+appendCells(std::vector<GridCell> &cells, const std::string &bench,
+            WrongPathMode mode)
 {
     SimConfig config = experimentConfig();
     config.core.fetch.wrongPath = mode;
     config.setScheme(RenameScheme::Conventional);
-    double conv = runOne(bench, config).ipc();
+    cells.push_back({bench, config});
     config.setScheme(RenameScheme::VPAllocAtWriteback);
-    return runOne(bench, config).ipc() / conv;
+    cells.push_back({bench, config});
 }
 
 } // namespace
@@ -39,17 +40,28 @@ main(int argc, char **argv)
 {
     parseArgs(argc, argv);
 
+    // Grid: (conv, vp) under each misprediction model per benchmark.
+    const auto &names = benchmarkNames();
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
+        appendCells(cells, name, WrongPathMode::Stall);
+        appendCells(cells, name, WrongPathMode::Synthesize);
+    }
+    std::vector<SimResults> results =
+        runGrid(cells, defaultJobs());
+
     printTableHeader(std::cout,
                      "Ablation: VP speedup under both misprediction "
                      "models (64 regs, NRR=32)",
                      {"stall", "wrong-path"});
     std::vector<double> stallAll, wpAll;
-    for (const auto &name : benchmarkNames()) {
-        double st = speedup(name, WrongPathMode::Stall);
-        double wp = speedup(name, WrongPathMode::Synthesize);
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        double st = results[4 * bi + 1].ipc() / results[4 * bi].ipc();
+        double wp =
+            results[4 * bi + 3].ipc() / results[4 * bi + 2].ipc();
         stallAll.push_back(st);
         wpAll.push_back(wp);
-        printTableRow(std::cout, name, {st, wp}, 3);
+        printTableRow(std::cout, names[bi], {st, wp}, 3);
     }
     std::cout << std::string(36, '-') << "\n";
     printTableRow(std::cout, "geomean",

@@ -15,11 +15,18 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0) {
             setenv("VPR_INSTS_SCALE", argv[i] + 8, 1);
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            setenv("VPR_JOBS", argv[i] + 7, 1);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--scale=<factor>]\n"
+            std::printf("usage: %s [--scale=<factor>] [--jobs=<n>]\n"
                         "  --scale scales the simulated instruction "
                         "budget (default 1.0;\n"
-                        "  also settable via VPR_INSTS_SCALE)\n",
+                        "  also settable via VPR_INSTS_SCALE)\n"
+                        "  --jobs runs grid cells on <n> worker threads "
+                        "(default 1; 0 = one\n"
+                        "  per hardware thread; also settable via "
+                        "VPR_JOBS). Output is\n"
+                        "  byte-identical for every value of --jobs.\n",
                         argv[0]);
             std::exit(0);
         }
@@ -39,6 +46,7 @@ experimentConfig()
     // Trace-driven methodology: fetch stalls on a detected
     // misprediction, as in the paper's ATOM-based framework.
     config.core.fetch.wrongPath = WrongPathMode::Stall;
+    config.jobs = defaultJobs();
     return config;
 }
 
@@ -58,13 +66,24 @@ printSpeedupFigure(const std::string &title, RenameScheme scheme,
                    const std::vector<unsigned> &nrrValues)
 {
     SimConfig config = experimentConfig();
+    const auto &names = benchmarkNames();
 
-    // Baseline: conventional renaming, same machine.
-    std::vector<double> base;
-    for (const auto &name : benchmarkNames()) {
-        config.setScheme(RenameScheme::Conventional);
-        base.push_back(runOne(name, config).ipc());
+    // One grid for the whole figure: the conventional baselines first,
+    // then every (benchmark × NRR) cell. All of it runs on the engine
+    // at once; result order is fixed by cell order, so the printed
+    // table does not depend on --jobs.
+    std::vector<GridCell> cells;
+    config.setScheme(RenameScheme::Conventional);
+    for (const auto &name : names)
+        cells.push_back({name, config});
+    for (const auto &name : names) {
+        for (unsigned nrr : nrrValues) {
+            config.setScheme(scheme);
+            config.setNrr(static_cast<std::uint16_t>(nrr));
+            cells.push_back({name, config});
+        }
     }
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
 
     std::vector<std::string> cols;
     for (unsigned nrr : nrrValues)
@@ -73,19 +92,17 @@ printSpeedupFigure(const std::string &title, RenameScheme scheme,
 
     std::vector<double> lastColumn;
     std::vector<std::vector<double>> columns(nrrValues.size());
-    std::size_t bi = 0;
-    for (const auto &name : benchmarkNames()) {
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        double base = results[bi].ipc();
         std::vector<double> row;
         for (std::size_t c = 0; c < nrrValues.size(); ++c) {
-            config.setScheme(scheme);
-            config.setNrr(static_cast<std::uint16_t>(nrrValues[c]));
-            double ipc = runOne(name, config).ipc();
-            row.push_back(ipc / base[bi]);
-            columns[c].push_back(ipc / base[bi]);
+            double ipc =
+                results[names.size() + bi * nrrValues.size() + c].ipc();
+            row.push_back(ipc / base);
+            columns[c].push_back(ipc / base);
         }
         lastColumn.push_back(row.back());
-        printTableRow(std::cout, name, row, 3);
-        ++bi;
+        printTableRow(std::cout, names[bi], row, 3);
     }
 
     std::vector<double> means;

@@ -19,11 +19,13 @@
 namespace vpr::bench
 {
 
-/** Parse --scale=<f> into VPR_INSTS_SCALE before anything runs. */
+/** Parse --scale=<f> into VPR_INSTS_SCALE and --jobs=<n> into VPR_JOBS
+ *  before anything runs. */
 void parseArgs(int argc, char **argv);
 
 /** The SimConfig all paper experiments start from: section 4.1 machine,
- *  trace-driven fetch stall on mispredictions, scaled-down budget. */
+ *  trace-driven fetch stall on mispredictions, scaled-down budget,
+ *  jobs from VPR_JOBS (see --jobs). */
 SimConfig experimentConfig();
 
 /** Run conv + one VP scheme for every benchmark and print speedups in

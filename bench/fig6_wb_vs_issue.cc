@@ -18,6 +18,21 @@ main(int argc, char **argv)
     parseArgs(argc, argv);
 
     SimConfig config = experimentConfig();
+    const auto &names = benchmarkNames();
+
+    // Grid: (conv, wb, issue) cell triple per benchmark.
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
+        config.setScheme(RenameScheme::Conventional);
+        cells.push_back({name, config});
+        config.setScheme(RenameScheme::VPAllocAtWriteback);
+        config.setNrr(32);
+        cells.push_back({name, config});
+        config.setScheme(RenameScheme::VPAllocAtIssue);
+        config.setNrr(32);
+        cells.push_back({name, config});
+    }
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
 
     printTableHeader(std::cout,
                      "Figure 6: write-back vs issue allocation "
@@ -25,21 +40,14 @@ main(int argc, char **argv)
                      {"writeback", "issue"});
 
     std::vector<double> wbAll, issAll;
-    for (const auto &name : benchmarkNames()) {
-        config.setScheme(RenameScheme::Conventional);
-        double conv = runOne(name, config).ipc();
-
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(32);
-        double wb = runOne(name, config).ipc() / conv;
-
-        config.setScheme(RenameScheme::VPAllocAtIssue);
-        config.setNrr(32);
-        double iss = runOne(name, config).ipc() / conv;
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        double conv = results[3 * bi].ipc();
+        double wb = results[3 * bi + 1].ipc() / conv;
+        double iss = results[3 * bi + 2].ipc() / conv;
 
         wbAll.push_back(wb);
         issAll.push_back(iss);
-        printTableRow(std::cout, name, {wb, iss}, 3);
+        printTableRow(std::cout, names[bi], {wb, iss}, 3);
     }
     std::cout << std::string(36, '-') << "\n";
     printTableRow(std::cout, "geomean", {geoMean(wbAll), geoMean(issAll)},

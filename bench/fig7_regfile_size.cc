@@ -31,22 +31,33 @@ main(int argc, char **argv)
                      "(VP: write-back alloc, NRR = NPR-32)",
                      cols);
 
-    std::vector<std::vector<double>> convI(sizes.size()),
-        vpI(sizes.size());
-    for (const auto &name : benchmarkNames()) {
-        std::vector<double> row;
+    // Grid: (conv, vp) per (benchmark × size), run on the engine.
+    const auto &names = benchmarkNames();
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             config.setPhysRegs(sizes[i]);  // NRR = max = NPR - 32
             config.setScheme(RenameScheme::Conventional);
-            double c = runOne(name, config).ipc();
+            cells.push_back({name, config});
             config.setScheme(RenameScheme::VPAllocAtWriteback);
-            double v = runOne(name, config).ipc();
+            cells.push_back({name, config});
+        }
+    }
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
+
+    std::vector<std::vector<double>> convI(sizes.size()),
+        vpI(sizes.size());
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            double c = results[2 * (bi * sizes.size() + i)].ipc();
+            double v = results[2 * (bi * sizes.size() + i) + 1].ipc();
             row.push_back(c);
             row.push_back(v);
             convI[i].push_back(c);
             vpI[i].push_back(v);
         }
-        printTableRow(std::cout, name, row, 2);
+        printTableRow(std::cout, names[bi], row, 2);
     }
 
     std::cout << std::string(12 + 12 * cols.size(), '-') << "\n";

@@ -30,6 +30,18 @@ runTable(unsigned missPenalty, bool verbose)
 {
     SimConfig config = experimentConfig();
     config.core.cache.missPenalty = missPenalty;
+    const auto &names = benchmarkNames();
+
+    // Grid: (conv, vp) cell pair per benchmark, run on the engine.
+    std::vector<GridCell> cells;
+    for (const auto &name : names) {
+        config.setScheme(RenameScheme::Conventional);
+        cells.push_back({name, config});
+        config.setScheme(RenameScheme::VPAllocAtWriteback);
+        config.setNrr(32);
+        cells.push_back({name, config});
+    }
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
 
     std::vector<double> convIpcs, vpIpcs;
     if (verbose)
@@ -38,12 +50,10 @@ runTable(unsigned missPenalty, bool verbose)
                          "(write-back alloc, NRR=32, 64 regs, miss=" +
                              std::to_string(missPenalty) + ")",
                          {"conv", "virt-phys", "imp(%)", "exec/ci"});
-    for (const auto &name : benchmarkNames()) {
-        config.setScheme(RenameScheme::Conventional);
-        SimResults conv = runOne(name, config);
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(32);
-        SimResults vp = runOne(name, config);
+    for (std::size_t bi = 0; bi < names.size(); ++bi) {
+        const std::string &name = names[bi];
+        const SimResults &conv = results[2 * bi];
+        const SimResults &vp = results[2 * bi + 1];
 
         convIpcs.push_back(conv.ipc());
         vpIpcs.push_back(vp.ipc());

@@ -6,13 +6,19 @@
  * allocation policies and prints the speedup curve over conventional
  * renaming — the per-benchmark view behind Figures 4 and 5.
  *
- * Usage: nrr_explorer [benchmark] [physRegs]  (defaults: hydro2d 64)
+ * The whole sweep is submitted to the ParallelExperimentEngine as one
+ * grid; the printed table is byte-identical for every --jobs value.
+ *
+ * Usage: nrr_explorer [--jobs N] [benchmark] [physRegs]
+ *        (defaults: hydro2d 64, jobs 1; jobs 0 = one per hw thread)
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/experiment.hh"
 #include "trace/kernels/kernels.hh"
@@ -22,9 +28,25 @@ using namespace vpr;
 int
 main(int argc, char **argv)
 {
-    std::string bench = argc > 1 ? argv[1] : "hydro2d";
-    std::uint16_t physRegs =
-        argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2])) : 64;
+    std::string bench = "hydro2d";
+    std::uint16_t physRegs = 64;
+    unsigned jobs = 1;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = parseJobs(argv[++i]);
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = parseJobs(argv[i] + 7);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() > 0)
+        bench = positional[0];
+    if (positional.size() > 1)
+        physRegs =
+            static_cast<std::uint16_t>(std::atoi(positional[1].c_str()));
 
     SimConfig config = paperConfig();
     config.setPhysRegs(physRegs);
@@ -32,29 +54,45 @@ main(int argc, char **argv)
     config.measureInsts = 80000;
     config.core.fetch.wrongPath = WrongPathMode::Stall;
 
-    config.setScheme(RenameScheme::Conventional);
-    double conv = runOne(bench, config).ipc();
+    // The NRR points of the sweep (powers of two up to NPR - NLR, with
+    // the maximum always included).
+    std::uint16_t maxNrr =
+        static_cast<std::uint16_t>(physRegs - kNumLogicalRegs);
+    std::vector<std::uint16_t> nrrs;
+    for (std::uint16_t nrr = 1; nrr <= maxNrr; nrr *= 2) {
+        nrrs.push_back(nrr);
+        if (nrr == maxNrr)
+            break;
+        if (nrr * 2 > maxNrr)
+            nrr = maxNrr / 2;  // make sure the max value is included
+    }
 
+    // One grid: the conventional baseline plus (writeback, issue) cells
+    // for every NRR point.
+    std::vector<GridCell> cells;
+    config.setScheme(RenameScheme::Conventional);
+    cells.push_back({bench, config});
+    for (std::uint16_t nrr : nrrs) {
+        config.setNrr(nrr);
+        config.setScheme(RenameScheme::VPAllocAtWriteback);
+        cells.push_back({bench, config});
+        config.setScheme(RenameScheme::VPAllocAtIssue);
+        cells.push_back({bench, config});
+    }
+    std::vector<SimResults> results = runGrid(cells, jobs);
+
+    double conv = results[0].ipc();
     std::cout << "benchmark " << bench << ", " << physRegs
               << " physical registers/file; conventional IPC = "
               << std::fixed << std::setprecision(3) << conv << "\n\n";
     std::cout << std::setw(6) << "NRR" << std::setw(14) << "writeback"
               << std::setw(14) << "issue" << "   (speedup over conv)\n";
 
-    std::uint16_t maxNrr =
-        static_cast<std::uint16_t>(physRegs - kNumLogicalRegs);
-    for (std::uint16_t nrr = 1; nrr <= maxNrr; nrr *= 2) {
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(nrr);
-        double wb = runOne(bench, config).ipc() / conv;
-        config.setScheme(RenameScheme::VPAllocAtIssue);
-        double iss = runOne(bench, config).ipc() / conv;
-        std::cout << std::setw(6) << nrr << std::setw(14) << wb
+    for (std::size_t i = 0; i < nrrs.size(); ++i) {
+        double wb = results[1 + 2 * i].ipc() / conv;
+        double iss = results[2 + 2 * i].ipc() / conv;
+        std::cout << std::setw(6) << nrrs[i] << std::setw(14) << wb
                   << std::setw(14) << iss << "\n";
-        if (nrr == maxNrr)
-            break;
-        if (nrr * 2 > maxNrr)
-            nrr = maxNrr / 2;  // make sure the max value is printed
     }
     std::cout << "\nLow NRR starves the oldest instructions (they must "
                  "wait for re-execution slots);\nhigh NRR reserves "

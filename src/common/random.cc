@@ -1,4 +1,19 @@
 #include "common/random.hh"
 
-// Random is header-only; this translation unit exists so the build file can
-// list the module and future out-of-line additions have a home.
+namespace vpr
+{
+
+std::uint64_t
+deriveSeed(std::uint64_t masterSeed, std::uint64_t salt)
+{
+    // splitmix64 finalizer over (master, salt). The golden-ratio
+    // multiple decorrelates consecutive salts; the final zero guard
+    // keeps the result usable as an xorshift64* state directly.
+    std::uint64_t z = masterSeed + 0x9e3779b97f4a7c15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace vpr

@@ -75,6 +75,16 @@ class Random
     std::uint64_t state;
 };
 
+/**
+ * Derive an independent, well-mixed seed for one named consumer of a
+ * run's master seed (SimConfig::seed). Each stochastic component of a
+ * simulation (kernel stream, wrong-path synthesis, ...) seeds its own
+ * Random from deriveSeed(masterSeed, <component salt>), so components
+ * never share a generator and parallel grid cells are reproducible
+ * run-to-run. splitmix64 finalizer; never returns 0.
+ */
+std::uint64_t deriveSeed(std::uint64_t masterSeed, std::uint64_t salt);
+
 } // namespace vpr
 
 #endif // VPR_COMMON_RANDOM_HH

@@ -1,88 +1,60 @@
 #include "core/core.hh"
 
 #include "common/logging.hh"
-#include "rename/conventional.hh"
-#include "rename/early_release.hh"
-#include "rename/virtual_physical.hh"
 
 namespace vpr
 {
 
-std::unique_ptr<RenameManager>
-makeRenameManager(RenameScheme scheme, const RenameConfig &config)
-{
-    switch (scheme) {
-      case RenameScheme::Conventional:
-        return std::make_unique<ConventionalRename>(config);
-      case RenameScheme::VPAllocAtWriteback:
-        return std::make_unique<VirtualPhysicalRename>(config, false);
-      case RenameScheme::VPAllocAtIssue:
-        return std::make_unique<VirtualPhysicalRename>(config, true);
-      case RenameScheme::ConventionalEarlyRelease:
-        return std::make_unique<EarlyReleaseRename>(config);
-      default:
-        VPR_PANIC("bad rename scheme");
-    }
-}
-
 Core::Core(TraceStream &stream, const CoreConfig &config)
-    : cfg(config),
-      renameMgr(makeRenameManager(config.scheme, config.rename)),
-      fetch(stream, config.fetch),
-      theRob(config.robSize),
-      theIq(config.iqSize),
-      theLsq(config.lsqSize),
-      theCache(config.cache),
-      fus(config.fu),
-      regPorts(config.regReadPorts, config.regWritePorts),
-      cachePortSched(config.cachePorts)
+    : state(stream, config),
+      fetchBuffer(state.fetch),
+      fetchRedirect(state.fetch),
+      commit(state),
+      complete(state, completions, fetchRedirect, *this),
+      issue(state, completions),
+      rename(state, fetchBuffer),
+      fetchStage(state),
+      stageGraph{&commit, &complete, &issue, &rename, &fetchStage}
 {
-    VPR_ASSERT(cfg.iqSize >= cfg.robSize,
-               "unified IQ must hold every in-flight instruction "
-               "(write-back squashes re-insert issued instructions)");
 }
 
 bool
 Core::done() const
 {
-    return fetch.done() && theRob.empty();
+    return state.fetch.done() && state.rob.empty();
 }
 
 bool
 Core::tick()
 {
-    ++curCycle;
-    renameMgr->tick(curCycle);
-    fus.beginCycle(curCycle);
-    regPorts.beginCycle(curCycle);
-    cachePortSched.pruneBefore(curCycle);
+    state.beginCycle();
 
-    commitStage();
-    completeStage();
-    issueStage();
-    renameStage();
-    fetch.tick(curCycle);
+    // Back-to-front: a result produced by an earlier (older) stage this
+    // cycle is visible to the later (younger) stages of the same cycle.
+    for (Stage *stage : stageGraph)
+        stage->tick();
 
-    theRob.sampleOccupancy();
+    state.rob.sampleOccupancy();
     busyIntRegsSum +=
-        static_cast<double>(renameMgr->busyPhysRegs(RegClass::Int));
-    busyFpRegsSum +=
-        static_cast<double>(renameMgr->busyPhysRegs(RegClass::Float));
+        static_cast<double>(state.renameMgr->busyPhysRegs(RegClass::Int));
+    busyFpRegsSum += static_cast<double>(
+        state.renameMgr->busyPhysRegs(RegClass::Float));
 
-    if (cfg.invariantChecks && (curCycle & 0x3f) == 0)
-        renameMgr->checkInvariants();
+    if (state.cfg.invariantChecks && (state.curCycle & 0x3f) == 0)
+        state.renameMgr->checkInvariants();
 
-    if (curCycle - lastCommitCycle > cfg.deadlockThreshold &&
-        !theRob.empty()) {
-        VPR_PANIC("deadlock: no commit for ", cfg.deadlockThreshold,
-                  " cycles; head ", theRob.head().toString(),
-                  " freeInt=", renameMgr->freePhysRegs(RegClass::Int),
-                  " freeFp=", renameMgr->freePhysRegs(RegClass::Float),
-                  " iq=", theIq.size(), " lsq=", theLsq.size(),
-                  " mshrs=", theCache.mshrs().size(),
-                  " portUsedNow=", cachePortSched.used(curCycle),
-                  " storesWaiting=", storesAwaitingData.size(),
-                  " events=", events.size());
+    if (state.curCycle - state.lastCommitCycle >
+            state.cfg.deadlockThreshold &&
+        !state.rob.empty()) {
+        VPR_PANIC("deadlock: no commit for ", state.cfg.deadlockThreshold,
+                  " cycles; head ", state.rob.head().toString(),
+                  " freeInt=", state.renameMgr->freePhysRegs(RegClass::Int),
+                  " freeFp=", state.renameMgr->freePhysRegs(RegClass::Float),
+                  " iq=", state.iq.size(), " lsq=", state.lsq.size(),
+                  " mshrs=", state.cache.mshrs().size(),
+                  " portUsedNow=", state.cachePortSched.used(state.curCycle),
+                  " storesWaiting=", completions.parkedStoreCount(),
+                  " events=", completions.pendingEvents());
     }
 
     return !done();
@@ -91,397 +63,61 @@ Core::tick()
 void
 Core::runUntilCommitted(std::uint64_t maxCommitted)
 {
-    while (nCommitted < maxCommitted && tick()) {
+    while (commit.committedTotal() < maxCommitted && tick()) {
     }
 }
 
 void
-Core::commitStage()
+Core::squashYoungerThan(InstSeqNum youngestKept)
 {
-    for (unsigned n = 0; n < cfg.commitWidth && !theRob.empty(); ++n) {
-        DynInst &head = theRob.head();
-        if (head.phase != InstPhase::Completed)
-            break;
-        VPR_ASSERT(!head.wrongPath, "committing a wrong-path instruction");
-
-        if (head.isStore()) {
-            // Stores update the data cache at commit. They need a cache
-            // port and a non-blocked cache; otherwise commit retries.
-            if (!cachePortSched.tryClaim(curCycle)) {
-                ++nStoreCommitStalls;
-                break;
-            }
-            auto res = theCache.access(head.si.effAddr, true, curCycle);
-            if (res.outcome == CacheOutcome::Blocked) {
-                ++nStoreCommitStalls;
-                break;
-            }
-            theLsq.remove(&head);
-        } else if (head.isLoad()) {
-            theLsq.remove(&head);
-        }
-
-        renameMgr->commitInst(head, curCycle);
-        head.phase = InstPhase::Committed;
-        head.commitCycle = curCycle;
-        ++nCommitted;
-        nCommittedExecutions += head.executions;
-        lastCommitCycle = curCycle;
-        theRob.commitHead();
-    }
-}
-
-void
-Core::completeStage()
-{
-    while (!events.empty() && events.top().when <= curCycle) {
-        CompletionEvent ev = events.top();
-        events.pop();
-        VPR_ASSERT(ev.when == curCycle, "completion event missed: when=",
-                   ev.when, " now=", curCycle);
-
-        DynInst *inst = ev.inst;
-        // Stale events: the instruction was squashed (slot possibly
-        // reused by a younger instruction).
-        if (inst->seq != ev.seq || inst->phase != InstPhase::Issued)
-            continue;
-
-        CompleteResult res = renameMgr->complete(*inst, curCycle);
-        if (!res.ok) {
-            // VP write-back allocation denied a register: squash back
-            // to the instruction queue and re-execute (paper §3.3).
-            ++nWbRejections;
-            inst->phase = InstPhase::Renamed;
-            theIq.insert(inst);
-            continue;
-        }
-
-        inst->phase = InstPhase::Completed;
-        inst->completeCycle = curCycle;
-
-        if (inst->hasDest()) {
-            VPR_ASSERT(inst->physReg != kNoReg,
-                       "completed without a physical register");
-            theIq.wakeup(inst->destClass(), inst->wakeupTag,
-                         inst->physReg);
-            // Issued stores parked on their data operand listen too.
-            for (auto &[store, seq] : storesAwaitingData) {
-                if (store->seq != seq)
-                    continue;
-                auto &s = store->src[0];
-                if (s.valid && !s.ready && s.cls == inst->destClass() &&
-                    s.tag == inst->wakeupTag) {
-                    s.tag = inst->physReg;
-                    s.ready = true;
-                }
-            }
-        }
-
-        if (inst->mispredictedBranch) {
-            // Branch resolution: recovery walk + fetch redirect.
-            squashYoungerThan(inst->seq);
-            fetch.resolveBranch(curCycle);
-        }
-    }
-
-    // Stores whose data arrived (possibly via this cycle's broadcasts)
-    // complete now that both address and data are known.
-    std::size_t keep = 0;
-    for (auto &[inst, seq] : storesAwaitingData) {
-        if (inst->seq != seq || inst->phase != InstPhase::Issued)
-            continue;  // squashed
-        if (inst->operandsReady()) {
-            Cycle when = curCycle + 1 > inst->addrReadyCycle
-                ? curCycle + 1
-                : inst->addrReadyCycle;
-            events.push({when, seq, inst});
-        } else {
-            storesAwaitingData[keep++] = {inst, seq};
-        }
-    }
-    storesAwaitingData.resize(keep);
-}
-
-void
-Core::squashYoungerThan(InstSeqNum seq)
-{
-    theIq.squashYoungerThan(seq);
-    theLsq.squashYoungerThan(seq);
-    while (!theRob.empty() && theRob.tail().seq > seq) {
-        DynInst &tail = theRob.tail();
-        renameMgr->squashInst(tail, curCycle);
-        tail.phase = InstPhase::Squashed;
-        ++nSquashed;
-        theRob.squashTail();
-    }
-}
-
-bool
-Core::tryIssueOne(DynInst *inst)
-{
-    if (!inst->issueOperandsReady())
-        return false;
-
-    OpClass op = inst->si.op;
-
-    // A re-execution (squashed at write-back for lack of a register,
-    // paper §3.3) already performed its memory access and disambiguation;
-    // it only needs to traverse the execution pipeline again.
-    const bool reExecution = inst->executions > 0;
-
-    // Memory disambiguation (PA-8000 style) for loads.
-    LoadHold hold = LoadHold::Ready;
-    if (inst->isLoad() && !reExecution) {
-        hold = theLsq.checkLoad(inst, curCycle);
-        if (hold == LoadHold::UnknownAddress ||
-            hold == LoadHold::PartialOverlap) {
-            theLsq.recordHold(hold);
-            return false;
-        }
-    }
-
-    // Functional unit available?
-    if (fus.available(fuTypeFor(op), curCycle) == 0)
-        return false;
-
-    // Register-file read ports. A store reads only its address operand
-    // at issue; the data register is picked up when it completes.
-    unsigned nIntReads = 0, nFpReads = 0;
-    for (std::size_t i = 0; i < kMaxSrcRegs; ++i) {
-        const auto &s = inst->src[i];
-        if (!s.valid)
-            continue;
-        if (inst->isStore() && i == 0)
-            continue;
-        if (s.cls == RegClass::Int)
-            ++nIntReads;
-        else
-            ++nFpReads;
-    }
-    if (!regPorts.canClaimReads(nIntReads, nFpReads))
-        return false;
-
-    // Cache port and MSHR space for loads that really access the cache.
-    bool needsCache =
-        inst->isLoad() && hold != LoadHold::Forward && !reExecution;
-    if (needsCache) {
-        if (cachePortSched.used(curCycle + 1) >= cfg.cachePorts)
-            return false;
-        if (theCache.wouldBlock(inst->si.effAddr, curCycle + 1))
-            return false;
-    }
-
-    // The renamer's issue gate (VP issue-allocation policy).
-    if (!renameMgr->tryIssue(*inst, curCycle))
-        return false;
-
-    // All checks passed: commit the side effects.
-    regPorts.tryClaimReads(nIntReads, nFpReads);
-
-    Cycle raw;
-    if (inst->isLoad()) {
-        if (reExecution) {
-            // The line was filled by the first execution; the retry hits.
-            raw = curCycle + 1 + theCache.config().hitLatency;
-        } else if (hold == LoadHold::Forward) {
-            theLsq.recordHold(hold);
-            inst->storeForwarded = true;
-            raw = curCycle + 1 + theCache.config().hitLatency;
-        } else {
-            bool claimed = cachePortSched.tryClaim(curCycle + 1);
-            VPR_ASSERT(claimed, "cache port vanished");
-            auto res =
-                theCache.access(inst->si.effAddr, false, curCycle + 1);
-            VPR_ASSERT(res.outcome != CacheOutcome::Blocked,
-                       "cache blocked after wouldBlock said otherwise");
-            raw = res.readyCycle;
-        }
-        inst->addrReady = true;
-        inst->addrReadyCycle = curCycle + 1;
-    } else if (inst->isStore()) {
-        // Address generation only; data is written to the cache at
-        // commit. The store completes once address *and* data are
-        // known; with the data still in flight it parks in
-        // storesAwaitingData (handled at the end of completeStage).
-        raw = curCycle + 1;
-        inst->addrReady = true;
-        inst->addrReadyCycle = curCycle + 1;
-        if (!inst->operandsReady()) {
-            inst->phase = InstPhase::Issued;
-            inst->issueCycle = curCycle;
-            ++inst->executions;
-            ++nIssued;
-            storesAwaitingData.emplace_back(inst, inst->seq);
-            bool fuOkStore = fus.tryIssue(op, curCycle, raw);
-            VPR_ASSERT(fuOkStore, "FU vanished after availability check");
-            return true;
-        }
-    } else {
-        raw = curCycle + opLatency(op);
-    }
-
-    // Schedule the result write port; completion slips if all write
-    // ports at the ideal cycle are taken. Re-executions write only on
-    // their final (successful) attempt; charging a slot per retry would
-    // let rejection storms build an unbounded port backlog that no real
-    // machine exhibits, so retries bypass the scheduler.
-    Cycle completion = inst->hasDest() && !reExecution
-        ? regPorts.scheduleWrite(inst->destClass(), raw)
-        : raw;
-
-    bool fuOk = fus.tryIssue(op, curCycle, completion);
-    VPR_ASSERT(fuOk, "FU vanished after availability check");
-
-    inst->phase = InstPhase::Issued;
-    inst->issueCycle = curCycle;
-    ++inst->executions;
-    ++nIssued;
-    events.push({completion, inst->seq, inst});
-    return true;
-}
-
-void
-Core::issueStage()
-{
-    // Oldest-first selection over a snapshot (issue mutates the queue).
-    // Two passes: first executions have priority; re-executions fill the
-    // remaining slots ("resources that otherwise would be unused",
-    // paper §4.2.1).
-    std::vector<DynInst *> candidates(theIq.entries());
-    unsigned issued = 0;
-    for (int pass = 0; pass < 2 && issued < cfg.issueWidth; ++pass) {
-        for (DynInst *inst : candidates) {
-            if (issued >= cfg.issueWidth)
-                break;
-            if ((inst->executions > 0) != (pass == 1))
-                continue;
-            if (inst->phase != InstPhase::Renamed)
-                continue;  // issued in the first pass
-            if (tryIssueOne(inst)) {
-                theIq.remove(inst);
-                ++issued;
-            }
-        }
-    }
-}
-
-void
-Core::renameStage()
-{
-    for (unsigned n = 0; n < cfg.renameWidth && fetch.hasInst(); ++n) {
-        const FetchedInst &fi = fetch.peek();
-
-        if (theRob.full()) {
-            ++nRenameStallRob;
-            break;
-        }
-        if (theIq.full()) {
-            ++nRenameStallIq;
-            break;
-        }
-        if (fi.si.isMem() && theLsq.full()) {
-            ++nRenameStallLsq;
-            break;
-        }
-
-        unsigned nInt = 0, nFp = 0;
-        if (fi.si.hasDest()) {
-            if (fi.si.dest.regClass() == RegClass::Int)
-                nInt = 1;
-            else
-                nFp = 1;
-        }
-        if (!renameMgr->canRename(nInt, nFp)) {
-            ++nRenameStallReg;
-            break;
-        }
-
-        FetchedInst f = fetch.pop();
-        DynInst d;
-        d.si = f.si;
-        d.seq = ++nextSeq;
-        d.wrongPath = f.wrongPath;
-        d.mispredictedBranch = f.mispredictedBranch;
-        d.fetchCycle = f.fetchCycle;
-
-        DynInst *inst = theRob.insert(d);
-        renameMgr->renameInst(*inst, curCycle);
-        theIq.insert(inst);
-        if (inst->isMem())
-            theLsq.insert(inst);
-    }
-}
-
-bool
-Core::hasPendingEvent(InstSeqNum seq) const
-{
-    auto copy = events;
-    while (!copy.empty()) {
-        if (copy.top().seq == seq)
-            return true;
-        copy.pop();
-    }
-    for (const auto &[inst, sn] : storesAwaitingData)
-        if (sn == seq)
-            return true;
-    return false;
+    state.squashYoungerThan(youngestKept);
+    for (Stage *stage : stageGraph)
+        stage->squash(youngestKept);
 }
 
 void
 Core::resetStats()
 {
-    baseline.cycles = curCycle;
-    baseline.committed = nCommitted;
-    baseline.committedExecutions = nCommittedExecutions;
-    baseline.issued = nIssued;
-    baseline.squashed = nSquashed;
-    baseline.wbRejections = nWbRejections;
-    baseline.branches = fetch.branches();
-    baseline.mispredicts = fetch.mispredicts();
-    baseline.renameStallReg = nRenameStallReg;
-    baseline.renameStallRob = nRenameStallRob;
-    baseline.renameStallIq = nRenameStallIq;
-    baseline.renameStallLsq = nRenameStallLsq;
-    baseline.storeCommitStalls = nStoreCommitStalls;
-    baseline.cacheMisses = theCache.misses() + theCache.mergedMisses();
-    baseline.cacheAccesses = theCache.accesses();
-    baseline.avgBusyIntRegs = busyIntRegsSum;
-    baseline.avgBusyFpRegs = busyFpRegsSum;
+    baseCycles = state.curCycle;
+    baseSquashed = state.nSquashed;
+    baseCacheMisses = state.cache.misses() + state.cache.mergedMisses();
+    baseCacheAccesses = state.cache.accesses();
+    baseBusyIntRegsSum = busyIntRegsSum;
+    baseBusyFpRegsSum = busyFpRegsSum;
 
-    renameMgr->pressure(RegClass::Int).reset(curCycle);
-    renameMgr->pressure(RegClass::Float).reset(curCycle);
-    theRob.occupancyStat().reset();
+    for (Stage *stage : stageGraph)
+        stage->resetStats();
+
+    state.renameMgr->pressure(RegClass::Int).reset(state.curCycle);
+    state.renameMgr->pressure(RegClass::Float).reset(state.curCycle);
+    state.rob.occupancyStat().reset();
 }
 
 CoreStatsSnapshot
 Core::snapshot() const
 {
     CoreStatsSnapshot s;
-    s.cycles = curCycle - baseline.cycles;
-    s.committed = nCommitted - baseline.committed;
-    s.committedExecutions =
-        nCommittedExecutions - baseline.committedExecutions;
-    s.issued = nIssued - baseline.issued;
-    s.squashed = nSquashed - baseline.squashed;
-    s.wbRejections = nWbRejections - baseline.wbRejections;
-    s.branches = fetch.branches() - baseline.branches;
-    s.mispredicts = fetch.mispredicts() - baseline.mispredicts;
-    s.renameStallReg = nRenameStallReg - baseline.renameStallReg;
-    s.renameStallRob = nRenameStallRob - baseline.renameStallRob;
-    s.renameStallIq = nRenameStallIq - baseline.renameStallIq;
-    s.renameStallLsq = nRenameStallLsq - baseline.renameStallLsq;
-    s.storeCommitStalls =
-        nStoreCommitStalls - baseline.storeCommitStalls;
-    s.cacheMisses = theCache.misses() + theCache.mergedMisses() -
-                    baseline.cacheMisses;
-    s.cacheAccesses = theCache.accesses() - baseline.cacheAccesses;
+    s.cycles = state.curCycle - baseCycles;
+    s.committed = commit.committedDelta();
+    s.committedExecutions = commit.committedExecutionsDelta();
+    s.issued = issue.issuedDelta();
+    s.squashed = state.nSquashed - baseSquashed;
+    s.wbRejections = complete.wbRejectionsDelta();
+    s.branches = fetchStage.branchesDelta();
+    s.mispredicts = fetchStage.mispredictsDelta();
+    s.renameStallReg = rename.stallRegDelta();
+    s.renameStallRob = rename.stallRobDelta();
+    s.renameStallIq = rename.stallIqDelta();
+    s.renameStallLsq = rename.stallLsqDelta();
+    s.storeCommitStalls = commit.storeCommitStallsDelta();
+    s.cacheMisses = state.cache.misses() + state.cache.mergedMisses() -
+                    baseCacheMisses;
+    s.cacheAccesses = state.cache.accesses() - baseCacheAccesses;
     if (s.cycles > 0) {
-        s.avgBusyIntRegs =
-            (busyIntRegsSum - baseline.avgBusyIntRegs) /
-            static_cast<double>(s.cycles);
-        s.avgBusyFpRegs =
-            (busyFpRegsSum - baseline.avgBusyFpRegs) /
-            static_cast<double>(s.cycles);
+        s.avgBusyIntRegs = (busyIntRegsSum - baseBusyIntRegsSum) /
+                           static_cast<double>(s.cycles);
+        s.avgBusyFpRegs = (busyFpRegsSum - baseBusyFpRegsSum) /
+                          static_cast<double>(s.cycles);
     }
     return s;
 }

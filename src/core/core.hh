@@ -3,8 +3,12 @@
  * The out-of-order core: an 8-wide dynamically scheduled processor with
  * precise exceptions, matching section 4.1 of the paper.
  *
- * Pipeline (one call to tick() = one cycle), processed back to front so
- * same-cycle producer→consumer wakeups behave like a bypass network:
+ * Core is a thin composition root. The pipeline logic lives in five
+ * stage classes under core/stages/ behind the common Stage interface;
+ * Core owns the shared PipelineState, the inter-stage latches, and the
+ * stage graph, and ticks the stages back to front (one call to tick() =
+ * one cycle) so same-cycle producer→consumer wakeups behave like a
+ * bypass network:
  *
  *   commit  — up to commitWidth in-order retires; stores write the
  *             cache; the renamer frees the previous mapping.
@@ -23,46 +27,22 @@
 #ifndef VPR_CORE_CORE_HH
 #define VPR_CORE_CORE_HH
 
+#include <array>
 #include <memory>
-#include <queue>
-#include <vector>
 
-#include "core/fetch.hh"
-#include "core/fu_pool.hh"
-#include "core/iq.hh"
-#include "core/lsq.hh"
-#include "core/regfile_ports.hh"
-#include "core/rob.hh"
-#include "memory/cache.hh"
-#include "rename/rename_iface.hh"
+#include "core/core_config.hh"
+#include "core/stages/commit_stage.hh"
+#include "core/stages/complete_stage.hh"
+#include "core/stages/fetch_stage.hh"
+#include "core/stages/issue_stage.hh"
+#include "core/stages/latches.hh"
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/rename_stage.hh"
+#include "core/stages/stage.hh"
+#include "rename/factory.hh"
 
 namespace vpr
 {
-
-/** Full configuration of one core (defaults = the paper's machine). */
-struct CoreConfig
-{
-    unsigned renameWidth = 8;
-    unsigned issueWidth = 8;
-    unsigned commitWidth = 8;
-    std::size_t robSize = 128;
-    std::size_t iqSize = 128;
-    std::size_t lsqSize = 128;
-    unsigned regReadPorts = 16;
-    unsigned regWritePorts = 8;
-    unsigned cachePorts = 3;
-
-    RenameScheme scheme = RenameScheme::VPAllocAtWriteback;
-    RenameConfig rename;
-    FetchConfig fetch;
-    FuPoolConfig fu;
-    CacheConfig cache;
-
-    /** Run the renamer's invariant self-check every 64 cycles. */
-    bool invariantChecks = false;
-    /** Panic if no instruction commits for this many cycles. */
-    Cycle deadlockThreshold = 200000;
-};
 
 /** Counters reported after a run (deltas since the last resetStats). */
 struct CoreStatsSnapshot
@@ -104,8 +84,8 @@ struct CoreStatsSnapshot
     }
 };
 
-/** One simulated out-of-order core. */
-class Core
+/** One simulated out-of-order core: state + latches + stage graph. */
+class Core : public SquashCoordinator
 {
   public:
     Core(TraceStream &stream, const CoreConfig &config);
@@ -116,8 +96,8 @@ class Core
     /** Run until @p maxCommitted instructions committed (or done). */
     void runUntilCommitted(std::uint64_t maxCommitted);
 
-    Cycle cycle() const { return curCycle; }
-    std::uint64_t committedInsts() const { return nCommitted; }
+    Cycle cycle() const { return state.curCycle; }
+    std::uint64_t committedInsts() const { return commit.committedTotal(); }
     bool done() const;
 
     /** Start a measurement interval: zero all delta counters. */
@@ -127,84 +107,60 @@ class Core
     CoreStatsSnapshot snapshot() const;
 
     /** True if a completion event for @p seq is pending (tests/debug). */
-    bool hasPendingEvent(InstSeqNum seq) const;
+    bool
+    hasPendingEvent(InstSeqNum seq) const
+    {
+        return completions.pendingFor(seq);
+    }
+
+    /** SquashCoordinator: recovery walk over the shared structures,
+     *  then fan the squash out to every stage's private state. */
+    void squashYoungerThan(InstSeqNum youngestKept) override;
+
+    /** The stage graph in tick order, back (commit) to front (fetch). */
+    const std::array<Stage *, 5> &stages() const { return stageGraph; }
 
     /** Component access (tests / detailed reporting). @{ */
-    const Rob &rob() const { return theRob; }
-    const InstQueue &iq() const { return theIq; }
-    const Lsq &lsq() const { return theLsq; }
-    const NonBlockingCache &cache() const { return theCache; }
-    const FetchUnit &fetchUnit() const { return fetch; }
-    const RenameManager &renamer() const { return *renameMgr; }
-    RenameManager &renamer() { return *renameMgr; }
-    const FuPool &fuPool() const { return fus; }
-    const CoreConfig &config() const { return cfg; }
+    const Rob &rob() const { return state.rob; }
+    const InstQueue &iq() const { return state.iq; }
+    const Lsq &lsq() const { return state.lsq; }
+    const NonBlockingCache &cache() const { return state.cache; }
+    const FetchUnit &fetchUnit() const { return state.fetch; }
+    const RenameManager &renamer() const { return *state.renameMgr; }
+    RenameManager &renamer() { return *state.renameMgr; }
+    const FuPool &fuPool() const { return state.fus; }
+    const CoreConfig &config() const { return state.cfg; }
     /** @} */
 
   private:
-    struct CompletionEvent
-    {
-        Cycle when;
-        InstSeqNum seq;
-        DynInst *inst;
+    PipelineState state;
 
-        bool
-        operator>(const CompletionEvent &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
-    };
+    // Inter-stage latches/ports (see stages/latches.hh).
+    CompletionQueue completions;
+    FetchBufferPort fetchBuffer;
+    FetchRedirectPort fetchRedirect;
 
-    void commitStage();
-    void completeStage();
-    void issueStage();
-    void renameStage();
-    bool tryIssueOne(DynInst *inst);
-    void squashYoungerThan(InstSeqNum seq);
+    // The stages, back to front.
+    CommitStage commit;
+    CompleteStage complete;
+    IssueStage issue;
+    RenameStage rename;
+    FetchStage fetchStage;
+    std::array<Stage *, 5> stageGraph;
 
-    CoreConfig cfg;
-    std::unique_ptr<RenameManager> renameMgr;
-    FetchUnit fetch;
-    Rob theRob;
-    InstQueue theIq;
-    Lsq theLsq;
-    NonBlockingCache theCache;
-    FuPool fus;
-    RegFilePorts regPorts;
-    PortSchedule cachePortSched;
+    // Interval baselines for state-level counters (stage counters are
+    // baselined inside the stages themselves).
+    Cycle baseCycles = 0;
+    std::uint64_t baseSquashed = 0;
+    std::uint64_t baseCacheMisses = 0;
+    std::uint64_t baseCacheAccesses = 0;
+    double baseBusyIntRegsSum = 0.0;
+    double baseBusyFpRegsSum = 0.0;
 
-    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
-                        std::greater<CompletionEvent>>
-        events;
-
-    /** Issued stores whose data operand has not been produced yet; they
-     *  complete once the data broadcast arrives. */
-    std::vector<std::pair<DynInst *, InstSeqNum>> storesAwaitingData;
-
-    Cycle curCycle = 0;
-    InstSeqNum nextSeq = 0;
-    Cycle lastCommitCycle = 0;
-
-    // Monotonic counters; snapshots subtract the reset-time baseline.
-    std::uint64_t nCommitted = 0;
-    std::uint64_t nCommittedExecutions = 0;
-    std::uint64_t nIssued = 0;
-    std::uint64_t nSquashed = 0;
-    std::uint64_t nWbRejections = 0;
-    std::uint64_t nRenameStallReg = 0;
-    std::uint64_t nRenameStallRob = 0;
-    std::uint64_t nRenameStallIq = 0;
-    std::uint64_t nRenameStallLsq = 0;
-    std::uint64_t nStoreCommitStalls = 0;
+    // Busy-register integrals, sampled once per cycle.
     double busyIntRegsSum = 0.0;
     double busyFpRegsSum = 0.0;
-
-    CoreStatsSnapshot baseline;  ///< counters at the last resetStats()
 };
-
-/** Build the rename manager implementing @p scheme. */
-std::unique_ptr<RenameManager>
-makeRenameManager(RenameScheme scheme, const RenameConfig &config);
 
 } // namespace vpr
 

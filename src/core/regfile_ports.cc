@@ -1,4 +1,76 @@
 #include "core/regfile_ports.hh"
 
-// All members are defined inline in the header; this translation unit
-// anchors the module in the build.
+namespace vpr
+{
+
+bool
+PortSchedule::tryClaim(Cycle cycle)
+{
+    unsigned &used = usage[cycle];
+    if (used >= ports)
+        return false;
+    ++used;
+    return true;
+}
+
+Cycle
+PortSchedule::claimFirstFree(Cycle earliest)
+{
+    Cycle c = earliest;
+    while (!tryClaim(c))
+        ++c;
+    return c;
+}
+
+void
+PortSchedule::pruneBefore(Cycle now)
+{
+    usage.erase(usage.begin(), usage.lower_bound(now));
+}
+
+unsigned
+PortSchedule::used(Cycle cycle) const
+{
+    auto it = usage.find(cycle);
+    return it == usage.end() ? 0 : it->second;
+}
+
+void
+RegFilePorts::beginCycle(Cycle now)
+{
+    readsUsed[0] = readsUsed[1] = 0;
+    writes[0].pruneBefore(now);
+    writes[1].pruneBefore(now);
+}
+
+bool
+RegFilePorts::canClaimReads(unsigned nInt, unsigned nFp) const
+{
+    return readsUsed[classIdx(RegClass::Int)] + nInt <= nReadPorts &&
+           readsUsed[classIdx(RegClass::Float)] + nFp <= nReadPorts;
+}
+
+bool
+RegFilePorts::tryClaimReads(unsigned nInt, unsigned nFp)
+{
+    if (!canClaimReads(nInt, nFp))
+        return false;
+    readsUsed[classIdx(RegClass::Int)] += nInt;
+    readsUsed[classIdx(RegClass::Float)] += nFp;
+    return true;
+}
+
+void
+RegFilePorts::unclaimReads(unsigned nInt, unsigned nFp)
+{
+    readsUsed[classIdx(RegClass::Int)] -= nInt;
+    readsUsed[classIdx(RegClass::Float)] -= nFp;
+}
+
+Cycle
+RegFilePorts::scheduleWrite(RegClass cls, Cycle earliest)
+{
+    return writes[classIdx(cls)].claimFirstFree(earliest);
+}
+
+} // namespace vpr

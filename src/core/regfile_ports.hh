@@ -6,7 +6,8 @@
  * the cache has 3 ports. Reads are consumed at issue within one cycle;
  * writes are scheduled at completion time (completion slips to the next
  * cycle with a free port); cache ports are claimed for the cycle of the
- * access.
+ * access. The arbitration logic lives in regfile_ports.cc so the many
+ * stage translation units that include this header stay light.
  */
 
 #ifndef VPR_CORE_REGFILE_PORTS_HH
@@ -30,42 +31,18 @@ class PortSchedule
     {}
 
     /** Claim a port at exactly @p cycle; false if none left. */
-    bool
-    tryClaim(Cycle cycle)
-    {
-        unsigned &used = usage[cycle];
-        if (used >= ports)
-            return false;
-        ++used;
-        return true;
-    }
+    bool tryClaim(Cycle cycle);
 
     /** First cycle >= @p earliest with a free port; claims it. */
-    Cycle
-    claimFirstFree(Cycle earliest)
-    {
-        Cycle c = earliest;
-        while (!tryClaim(c))
-            ++c;
-        return c;
-    }
+    Cycle claimFirstFree(Cycle earliest);
 
     /** Drop bookkeeping for cycles before @p now. */
-    void
-    pruneBefore(Cycle now)
-    {
-        usage.erase(usage.begin(), usage.lower_bound(now));
-    }
+    void pruneBefore(Cycle now);
 
     unsigned portsPerCycle() const { return ports; }
 
     /** Ports already claimed at @p cycle (tests). */
-    unsigned
-    used(Cycle cycle) const
-    {
-        auto it = usage.find(cycle);
-        return it == usage.end() ? 0 : it->second;
-    }
+    unsigned used(Cycle cycle) const;
 
     void clear() { usage.clear(); }
 
@@ -84,47 +61,19 @@ class RegFilePorts
     {}
 
     /** Start a cycle: read ports replenish. */
-    void
-    beginCycle(Cycle now)
-    {
-        readsUsed[0] = readsUsed[1] = 0;
-        writes[0].pruneBefore(now);
-        writes[1].pruneBefore(now);
-    }
+    void beginCycle(Cycle now);
 
     /** Could @p nInt integer and @p nFp FP reads be claimed now? */
-    bool
-    canClaimReads(unsigned nInt, unsigned nFp) const
-    {
-        return readsUsed[classIdx(RegClass::Int)] + nInt <= nReadPorts &&
-               readsUsed[classIdx(RegClass::Float)] + nFp <= nReadPorts;
-    }
+    bool canClaimReads(unsigned nInt, unsigned nFp) const;
 
     /** Claim read ports for one issuing instruction (both classes). */
-    bool
-    tryClaimReads(unsigned nInt, unsigned nFp)
-    {
-        if (!canClaimReads(nInt, nFp))
-            return false;
-        readsUsed[classIdx(RegClass::Int)] += nInt;
-        readsUsed[classIdx(RegClass::Float)] += nFp;
-        return true;
-    }
+    bool tryClaimReads(unsigned nInt, unsigned nFp);
 
     /** Undo a claim made this cycle (issue aborted later in the chain). */
-    void
-    unclaimReads(unsigned nInt, unsigned nFp)
-    {
-        readsUsed[classIdx(RegClass::Int)] -= nInt;
-        readsUsed[classIdx(RegClass::Float)] -= nFp;
-    }
+    void unclaimReads(unsigned nInt, unsigned nFp);
 
     /** Schedule a result write at the first free cycle >= earliest. */
-    Cycle
-    scheduleWrite(RegClass cls, Cycle earliest)
-    {
-        return writes[classIdx(cls)].claimFirstFree(earliest);
-    }
+    Cycle scheduleWrite(RegClass cls, Cycle earliest);
 
     unsigned readPortsPerCycle() const { return nReadPorts; }
     unsigned

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Commit stage: up to commitWidth in-order retires per cycle; stores
+ * write the data cache (needing a cache port and an unblocked cache);
+ * the renamer frees the previous mapping of each retired destination.
+ */
+
+#ifndef VPR_CORE_STAGES_COMMIT_STAGE_HH
+#define VPR_CORE_STAGES_COMMIT_STAGE_HH
+
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/stage.hh"
+
+namespace vpr
+{
+
+/** The commit/retire stage. */
+class CommitStage : public Stage
+{
+  public:
+    explicit CommitStage(PipelineState &state) : s(state) {}
+
+    const char *name() const override { return "commit"; }
+
+    void tick() override;
+
+    void
+    squash(InstSeqNum) override
+    {
+        // Commit only ever touches the ROB head, which is never younger
+        // than a resolving branch; nothing to recover.
+    }
+
+    void
+    resetStats() override
+    {
+        baseCommitted = nCommitted;
+        baseCommittedExecutions = nCommittedExecutions;
+        baseStoreCommitStalls = nStoreCommitStalls;
+    }
+
+    /** Committed instructions since construction (monotonic). */
+    std::uint64_t committedTotal() const { return nCommitted; }
+
+    /** Interval counters since the last resetStats. @{ */
+    std::uint64_t
+    committedDelta() const
+    {
+        return nCommitted - baseCommitted;
+    }
+    std::uint64_t
+    committedExecutionsDelta() const
+    {
+        return nCommittedExecutions - baseCommittedExecutions;
+    }
+    std::uint64_t
+    storeCommitStallsDelta() const
+    {
+        return nStoreCommitStalls - baseStoreCommitStalls;
+    }
+    /** @} */
+
+  private:
+    PipelineState &s;
+    std::uint64_t nCommitted = 0;
+    std::uint64_t nCommittedExecutions = 0;
+    std::uint64_t nStoreCommitStalls = 0;
+    std::uint64_t baseCommitted = 0;
+    std::uint64_t baseCommittedExecutions = 0;
+    std::uint64_t baseStoreCommitStalls = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_COMMIT_STAGE_HH

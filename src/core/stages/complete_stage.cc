@@ -1,0 +1,82 @@
+#include "core/stages/complete_stage.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+void
+CompleteStage::tick()
+{
+    const Cycle now = s.curCycle;
+
+    while (completions.hasDue(now)) {
+        CompletionEvent ev = completions.popDue();
+        VPR_ASSERT(ev.when == now, "completion event missed: when=",
+                   ev.when, " now=", now);
+
+        DynInst *inst = ev.inst;
+        // Stale events: the instruction was squashed (slot possibly
+        // reused by a younger instruction).
+        if (inst->seq != ev.seq || inst->phase != InstPhase::Issued)
+            continue;
+
+        CompleteResult res = s.renameMgr->complete(*inst, now);
+        if (!res.ok) {
+            // VP write-back allocation denied a register: squash back
+            // to the instruction queue and re-execute (paper §3.3).
+            ++nWbRejections;
+            inst->phase = InstPhase::Renamed;
+            s.iq.insert(inst);
+            continue;
+        }
+
+        inst->phase = InstPhase::Completed;
+        inst->completeCycle = now;
+
+        if (inst->hasDest()) {
+            VPR_ASSERT(inst->physReg != kNoReg,
+                       "completed without a physical register");
+            s.iq.wakeup(inst->destClass(), inst->wakeupTag,
+                        inst->physReg);
+            // Issued stores parked on their data operand listen too.
+            for (auto &[store, seq] : completions.parkedStores()) {
+                if (store->seq != seq)
+                    continue;
+                auto &src = store->src[0];
+                if (src.valid && !src.ready &&
+                    src.cls == inst->destClass() &&
+                    src.tag == inst->wakeupTag) {
+                    src.tag = inst->physReg;
+                    src.ready = true;
+                }
+            }
+        }
+
+        if (inst->mispredictedBranch) {
+            // Branch resolution: recovery walk + fetch redirect.
+            squasher.squashYoungerThan(inst->seq);
+            redirect.redirect(now);
+        }
+    }
+
+    // Stores whose data arrived (possibly via this cycle's broadcasts)
+    // complete now that both address and data are known.
+    auto &parked = completions.parkedStores();
+    std::size_t keep = 0;
+    for (auto &[inst, seq] : parked) {
+        if (inst->seq != seq || inst->phase != InstPhase::Issued)
+            continue;  // squashed
+        if (inst->operandsReady()) {
+            Cycle when = now + 1 > inst->addrReadyCycle
+                ? now + 1
+                : inst->addrReadyCycle;
+            completions.schedule(when, seq, inst);
+        } else {
+            parked[keep++] = {inst, seq};
+        }
+    }
+    parked.resize(keep);
+}
+
+} // namespace vpr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Complete (write-back) stage: drains due completion events from the
+ * CompletionQueue. Write-back register allocation happens here — the VP
+ * write-back policy may refuse and squash the instruction back to the
+ * IQ; values broadcast to the IQ; mispredicted branches trigger the
+ * recovery walk (via the SquashCoordinator) and the fetch redirect
+ * (via the FetchRedirectPort).
+ */
+
+#ifndef VPR_CORE_STAGES_COMPLETE_STAGE_HH
+#define VPR_CORE_STAGES_COMPLETE_STAGE_HH
+
+#include "core/stages/latches.hh"
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/stage.hh"
+
+namespace vpr
+{
+
+/** The completion/write-back stage. */
+class CompleteStage : public Stage
+{
+  public:
+    CompleteStage(PipelineState &state, CompletionQueue &completionQueue,
+                  FetchRedirectPort &redirectPort,
+                  SquashCoordinator &squashCoordinator)
+        : s(state), completions(completionQueue), redirect(redirectPort),
+          squasher(squashCoordinator)
+    {}
+
+    const char *name() const override { return "complete"; }
+
+    void tick() override;
+
+    void
+    squash(InstSeqNum youngestKept) override
+    {
+        completions.squashYoungerThan(youngestKept);
+    }
+
+    void
+    resetStats() override
+    {
+        baseWbRejections = nWbRejections;
+    }
+
+    /** VP write-back allocation denials since the last resetStats. */
+    std::uint64_t
+    wbRejectionsDelta() const
+    {
+        return nWbRejections - baseWbRejections;
+    }
+
+  private:
+    PipelineState &s;
+    CompletionQueue &completions;
+    FetchRedirectPort &redirect;
+    SquashCoordinator &squasher;
+    std::uint64_t nWbRejections = 0;
+    std::uint64_t baseWbRejections = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_COMPLETE_STAGE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fetch stage: fills the fetch buffer from the trace through the
+ * FetchUnit (perfect I-cache, BHT-predicted branches, optional
+ * wrong-path synthesis). Runs last in the back-to-front tick, so a
+ * branch resolved by the complete stage this cycle redirects fetch
+ * before it runs.
+ */
+
+#ifndef VPR_CORE_STAGES_FETCH_STAGE_HH
+#define VPR_CORE_STAGES_FETCH_STAGE_HH
+
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/stage.hh"
+
+namespace vpr
+{
+
+/** The fetch stage. */
+class FetchStage : public Stage
+{
+  public:
+    explicit FetchStage(PipelineState &state) : s(state) {}
+
+    const char *name() const override { return "fetch"; }
+
+    void
+    tick() override
+    {
+        s.fetch.tick(s.curCycle);
+    }
+
+    void
+    squash(InstSeqNum) override
+    {
+        // The wrong-path flush happens synchronously through the
+        // FetchRedirectPort when the branch resolves; nothing else to do.
+    }
+
+    void
+    resetStats() override
+    {
+        baseBranches = s.fetch.branches();
+        baseMispredicts = s.fetch.mispredicts();
+    }
+
+    /** Interval counters since the last resetStats. @{ */
+    std::uint64_t
+    branchesDelta() const
+    {
+        return s.fetch.branches() - baseBranches;
+    }
+    std::uint64_t
+    mispredictsDelta() const
+    {
+        return s.fetch.mispredicts() - baseMispredicts;
+    }
+    /** @} */
+
+  private:
+    PipelineState &s;
+    std::uint64_t baseBranches = 0;
+    std::uint64_t baseMispredicts = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_FETCH_STAGE_HH

@@ -1,0 +1,157 @@
+#include "core/stages/issue_stage.hh"
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+bool
+IssueStage::tryIssueOne(DynInst *inst)
+{
+    if (!inst->issueOperandsReady())
+        return false;
+
+    OpClass op = inst->si.op;
+    const Cycle now = s.curCycle;
+
+    // A re-execution (squashed at write-back for lack of a register,
+    // paper §3.3) already performed its memory access and disambiguation;
+    // it only needs to traverse the execution pipeline again.
+    const bool reExecution = inst->executions > 0;
+
+    // Memory disambiguation (PA-8000 style) for loads.
+    LoadHold hold = LoadHold::Ready;
+    if (inst->isLoad() && !reExecution) {
+        hold = s.lsq.checkLoad(inst, now);
+        if (hold == LoadHold::UnknownAddress ||
+            hold == LoadHold::PartialOverlap) {
+            s.lsq.recordHold(hold);
+            return false;
+        }
+    }
+
+    // Functional unit available?
+    if (s.fus.available(fuTypeFor(op), now) == 0)
+        return false;
+
+    // Register-file read ports. A store reads only its address operand
+    // at issue; the data register is picked up when it completes.
+    unsigned nIntReads = 0, nFpReads = 0;
+    for (std::size_t i = 0; i < kMaxSrcRegs; ++i) {
+        const auto &src = inst->src[i];
+        if (!src.valid)
+            continue;
+        if (inst->isStore() && i == 0)
+            continue;
+        if (src.cls == RegClass::Int)
+            ++nIntReads;
+        else
+            ++nFpReads;
+    }
+    if (!s.regPorts.canClaimReads(nIntReads, nFpReads))
+        return false;
+
+    // Cache port and MSHR space for loads that really access the cache.
+    bool needsCache =
+        inst->isLoad() && hold != LoadHold::Forward && !reExecution;
+    if (needsCache) {
+        if (s.cachePortSched.used(now + 1) >= s.cfg.cachePorts)
+            return false;
+        if (s.cache.wouldBlock(inst->si.effAddr, now + 1))
+            return false;
+    }
+
+    // The renamer's issue gate (VP issue-allocation policy).
+    if (!s.renameMgr->tryIssue(*inst, now))
+        return false;
+
+    // All checks passed: commit the side effects.
+    s.regPorts.tryClaimReads(nIntReads, nFpReads);
+
+    Cycle raw;
+    if (inst->isLoad()) {
+        if (reExecution) {
+            // The line was filled by the first execution; the retry hits.
+            raw = now + 1 + s.cache.config().hitLatency;
+        } else if (hold == LoadHold::Forward) {
+            s.lsq.recordHold(hold);
+            inst->storeForwarded = true;
+            raw = now + 1 + s.cache.config().hitLatency;
+        } else {
+            bool claimed = s.cachePortSched.tryClaim(now + 1);
+            VPR_ASSERT(claimed, "cache port vanished");
+            auto res = s.cache.access(inst->si.effAddr, false, now + 1);
+            VPR_ASSERT(res.outcome != CacheOutcome::Blocked,
+                       "cache blocked after wouldBlock said otherwise");
+            raw = res.readyCycle;
+        }
+        inst->addrReady = true;
+        inst->addrReadyCycle = now + 1;
+    } else if (inst->isStore()) {
+        // Address generation only; data is written to the cache at
+        // commit. The store completes once address *and* data are
+        // known; with the data still in flight it parks in the
+        // CompletionQueue (drained at the end of the complete stage).
+        raw = now + 1;
+        inst->addrReady = true;
+        inst->addrReadyCycle = now + 1;
+        if (!inst->operandsReady()) {
+            inst->phase = InstPhase::Issued;
+            inst->issueCycle = now;
+            ++inst->executions;
+            ++nIssued;
+            completions.parkStore(inst, inst->seq);
+            bool fuOkStore = s.fus.tryIssue(op, now, raw);
+            VPR_ASSERT(fuOkStore, "FU vanished after availability check");
+            return true;
+        }
+    } else {
+        raw = now + opLatency(op);
+    }
+
+    // Schedule the result write port; completion slips if all write
+    // ports at the ideal cycle are taken. Re-executions write only on
+    // their final (successful) attempt; charging a slot per retry would
+    // let rejection storms build an unbounded port backlog that no real
+    // machine exhibits, so retries bypass the scheduler.
+    Cycle completion = inst->hasDest() && !reExecution
+        ? s.regPorts.scheduleWrite(inst->destClass(), raw)
+        : raw;
+
+    bool fuOk = s.fus.tryIssue(op, now, completion);
+    VPR_ASSERT(fuOk, "FU vanished after availability check");
+
+    inst->phase = InstPhase::Issued;
+    inst->issueCycle = now;
+    ++inst->executions;
+    ++nIssued;
+    completions.schedule(completion, inst->seq, inst);
+    return true;
+}
+
+void
+IssueStage::tick()
+{
+    // Oldest-first selection over a snapshot (issue mutates the queue).
+    // Two passes: first executions have priority; re-executions fill the
+    // remaining slots ("resources that otherwise would be unused",
+    // paper §4.2.1).
+    std::vector<DynInst *> candidates(s.iq.entries());
+    unsigned issued = 0;
+    for (int pass = 0; pass < 2 && issued < s.cfg.issueWidth; ++pass) {
+        for (DynInst *inst : candidates) {
+            if (issued >= s.cfg.issueWidth)
+                break;
+            if ((inst->executions > 0) != (pass == 1))
+                continue;
+            if (inst->phase != InstPhase::Renamed)
+                continue;  // issued in the first pass
+            if (tryIssueOne(inst)) {
+                s.iq.remove(inst);
+                ++issued;
+            }
+        }
+    }
+}
+
+} // namespace vpr

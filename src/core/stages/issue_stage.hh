@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Issue stage: oldest-first selection over ready IQ entries constrained
+ * by functional units, register-file read ports, cache ports, memory
+ * disambiguation and the renamer's issue gate. Completion events it
+ * schedules land in the CompletionQueue latch consumed by the complete
+ * stage.
+ */
+
+#ifndef VPR_CORE_STAGES_ISSUE_STAGE_HH
+#define VPR_CORE_STAGES_ISSUE_STAGE_HH
+
+#include "core/stages/latches.hh"
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/stage.hh"
+
+namespace vpr
+{
+
+/** The issue/execute stage. */
+class IssueStage : public Stage
+{
+  public:
+    IssueStage(PipelineState &state, CompletionQueue &completionQueue)
+        : s(state), completions(completionQueue)
+    {}
+
+    const char *name() const override { return "issue"; }
+
+    void tick() override;
+
+    void
+    squash(InstSeqNum) override
+    {
+        // Selection re-reads the IQ each cycle; nothing buffered here.
+    }
+
+    void
+    resetStats() override
+    {
+        baseIssued = nIssued;
+    }
+
+    /** Instructions issued since construction (monotonic). */
+    std::uint64_t issuedTotal() const { return nIssued; }
+    /** Instructions issued since the last resetStats. */
+    std::uint64_t issuedDelta() const { return nIssued - baseIssued; }
+
+  private:
+    /** Try to issue one instruction; true on success. */
+    bool tryIssueOne(DynInst *inst);
+
+    PipelineState &s;
+    CompletionQueue &completions;
+    std::uint64_t nIssued = 0;
+    std::uint64_t baseIssued = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_ISSUE_STAGE_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Explicit inter-stage latches and ports.
+ *
+ * Instead of stages mutating each other's members, every inter-stage
+ * signal travels through one of these objects, owned by the composition
+ * root and injected into the stages that drive or sample them:
+ *
+ *   CompletionQueue   issue -> complete: scheduled completion events and
+ *                     stores parked on an in-flight data operand.
+ *   FetchBufferPort   fetch -> rename: the fetch buffer's consumer side.
+ *   FetchRedirectPort complete -> fetch: the branch-resolution wire.
+ */
+
+#ifndef VPR_CORE_STAGES_LATCHES_HH
+#define VPR_CORE_STAGES_LATCHES_HH
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/fetch.hh"
+
+namespace vpr
+{
+
+/** A scheduled "instruction finishes execution" event. */
+struct CompletionEvent
+{
+    Cycle when;
+    InstSeqNum seq;
+    DynInst *inst;
+
+    bool
+    operator>(const CompletionEvent &o) const
+    {
+        return when != o.when ? when > o.when : seq > o.seq;
+    }
+};
+
+/**
+ * The issue→complete latch: a time-ordered queue of completion events
+ * plus the issued stores waiting for their data operand. Events for
+ * squashed instructions are filtered lazily at pop time (the ROB slot
+ * may have been reused, so the (seq, phase) pair is re-checked), which
+ * keeps recovery O(squashed instructions).
+ */
+class CompletionQueue
+{
+  public:
+    /** Schedule @p inst to complete at @p when. */
+    void
+    schedule(Cycle when, InstSeqNum seq, DynInst *inst)
+    {
+        events.push({when, seq, inst});
+    }
+
+    /** Is an event due at or before @p now? */
+    bool
+    hasDue(Cycle now) const
+    {
+        return !events.empty() && events.top().when <= now;
+    }
+
+    /** Pop the next due event (caller must check hasDue). */
+    CompletionEvent
+    popDue()
+    {
+        CompletionEvent ev = events.top();
+        events.pop();
+        return ev;
+    }
+
+    std::size_t pendingEvents() const { return events.size(); }
+
+    /** Park an issued store until its data operand is produced. */
+    void
+    parkStore(DynInst *inst, InstSeqNum seq)
+    {
+        storesAwaitingData.emplace_back(inst, seq);
+    }
+
+    std::vector<std::pair<DynInst *, InstSeqNum>> &
+    parkedStores()
+    {
+        return storesAwaitingData;
+    }
+
+    std::size_t parkedStoreCount() const { return storesAwaitingData.size(); }
+
+    /** Drop parked stores younger than @p youngestKept (recovery). */
+    void
+    squashYoungerThan(InstSeqNum youngestKept)
+    {
+        std::size_t keep = 0;
+        for (auto &entry : storesAwaitingData)
+            if (entry.second <= youngestKept)
+                storesAwaitingData[keep++] = entry;
+        storesAwaitingData.resize(keep);
+    }
+
+    /** True if any event or parked store references @p seq (tests). */
+    bool
+    pendingFor(InstSeqNum seq) const
+    {
+        auto copy = events;
+        while (!copy.empty()) {
+            if (copy.top().seq == seq)
+                return true;
+            copy.pop();
+        }
+        for (const auto &[inst, sn] : storesAwaitingData)
+            if (sn == seq)
+                return true;
+        return false;
+    }
+
+  private:
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        events;
+
+    /** Issued stores whose data operand has not been produced yet; they
+     *  complete once the data broadcast arrives. */
+    std::vector<std::pair<DynInst *, InstSeqNum>> storesAwaitingData;
+};
+
+/** The consumer side of the fetch buffer (fetch→rename latch). */
+class FetchBufferPort
+{
+  public:
+    explicit FetchBufferPort(FetchUnit &unit) : fetch(unit) {}
+
+    bool hasInst() const { return fetch.hasInst(); }
+    const FetchedInst &peek() const { return fetch.peek(); }
+    FetchedInst pop() { return fetch.pop(); }
+
+  private:
+    FetchUnit &fetch;
+};
+
+/** The branch-resolution wire (complete→fetch). Driving it redirects
+ *  fetch immediately, within the same cycle — the consumer stages that
+ *  tick later this cycle (rename, fetch) observe the flushed buffer. */
+class FetchRedirectPort
+{
+  public:
+    explicit FetchRedirectPort(FetchUnit &unit) : fetch(unit) {}
+
+    void redirect(Cycle now) { fetch.resolveBranch(now); }
+
+  private:
+    FetchUnit &fetch;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_LATCHES_HH

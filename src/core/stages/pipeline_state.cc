@@ -1,0 +1,50 @@
+#include "core/stages/pipeline_state.hh"
+
+#include "common/logging.hh"
+#include "rename/factory.hh"
+
+namespace vpr
+{
+
+PipelineState::PipelineState(TraceStream &stream, const CoreConfig &config)
+    : cfg(config),
+      renameMgr(makeRenamer(config.scheme, config.rename)),
+      fetch(stream, config.fetch),
+      rob(config.robSize),
+      iq(config.iqSize),
+      lsq(config.lsqSize),
+      cache(config.cache),
+      fus(config.fu),
+      regPorts(config.regReadPorts, config.regWritePorts),
+      cachePortSched(config.cachePorts)
+{
+    VPR_ASSERT(cfg.iqSize >= cfg.robSize,
+               "unified IQ must hold every in-flight instruction "
+               "(write-back squashes re-insert issued instructions)");
+}
+
+void
+PipelineState::beginCycle()
+{
+    ++curCycle;
+    renameMgr->tick(curCycle);
+    fus.beginCycle(curCycle);
+    regPorts.beginCycle(curCycle);
+    cachePortSched.pruneBefore(curCycle);
+}
+
+void
+PipelineState::squashYoungerThan(InstSeqNum youngestKept)
+{
+    iq.squashYoungerThan(youngestKept);
+    lsq.squashYoungerThan(youngestKept);
+    while (!rob.empty() && rob.tail().seq > youngestKept) {
+        DynInst &tail = rob.tail();
+        renameMgr->squashInst(tail, curCycle);
+        tail.phase = InstPhase::Squashed;
+        ++nSquashed;
+        rob.squashTail();
+    }
+}
+
+} // namespace vpr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The shared microarchitectural state of one core.
+ *
+ * PipelineState owns the structures that are genuinely shared between
+ * stages in a real machine — ROB, IQ, LSQ, cache, functional units,
+ * register/cache ports, the renamer — plus the global cycle counter and
+ * sequence-number allocator. Stages receive a reference to it; purely
+ * stage-to-stage signals travel through the latches in latches.hh
+ * instead.
+ */
+
+#ifndef VPR_CORE_STAGES_PIPELINE_STATE_HH
+#define VPR_CORE_STAGES_PIPELINE_STATE_HH
+
+#include <memory>
+
+#include "core/core_config.hh"
+#include "core/iq.hh"
+#include "core/lsq.hh"
+#include "core/regfile_ports.hh"
+#include "core/rob.hh"
+
+namespace vpr
+{
+
+/** Shared structures and clocks of one core's pipeline. */
+struct PipelineState
+{
+    PipelineState(TraceStream &stream, const CoreConfig &config);
+
+    /** Per-cycle bookkeeping common to every stage; advances the clock. */
+    void beginCycle();
+
+    /**
+     * Branch recovery over the shared structures: drop IQ/LSQ entries
+     * and walk the ROB youngest-first down to @p youngestKept, undoing
+     * each rename (the paper's recovery walk).
+     */
+    void squashYoungerThan(InstSeqNum youngestKept);
+
+    CoreConfig cfg;
+    std::unique_ptr<RenameManager> renameMgr;
+    FetchUnit fetch;
+    Rob rob;
+    InstQueue iq;
+    Lsq lsq;
+    NonBlockingCache cache;
+    FuPool fus;
+    RegFilePorts regPorts;
+    PortSchedule cachePortSched;
+
+    Cycle curCycle = 0;
+    InstSeqNum nextSeq = 0;
+    Cycle lastCommitCycle = 0;
+    std::uint64_t nSquashed = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_PIPELINE_STATE_HH

@@ -1,0 +1,53 @@
+#include "core/stages/rename_stage.hh"
+
+namespace vpr
+{
+
+void
+RenameStage::tick()
+{
+    for (unsigned k = 0; k < s.cfg.renameWidth && fetched.hasInst(); ++k) {
+        const FetchedInst &fi = fetched.peek();
+
+        if (s.rob.full()) {
+            ++n.stallRob;
+            break;
+        }
+        if (s.iq.full()) {
+            ++n.stallIq;
+            break;
+        }
+        if (fi.si.isMem() && s.lsq.full()) {
+            ++n.stallLsq;
+            break;
+        }
+
+        unsigned nInt = 0, nFp = 0;
+        if (fi.si.hasDest()) {
+            if (fi.si.dest.regClass() == RegClass::Int)
+                nInt = 1;
+            else
+                nFp = 1;
+        }
+        if (!s.renameMgr->canRename(nInt, nFp)) {
+            ++n.stallReg;
+            break;
+        }
+
+        FetchedInst f = fetched.pop();
+        DynInst d;
+        d.si = f.si;
+        d.seq = ++s.nextSeq;
+        d.wrongPath = f.wrongPath;
+        d.mispredictedBranch = f.mispredictedBranch;
+        d.fetchCycle = f.fetchCycle;
+
+        DynInst *inst = s.rob.insert(d);
+        s.renameMgr->renameInst(*inst, s.curCycle);
+        s.iq.insert(inst);
+        if (inst->isMem())
+            s.lsq.insert(inst);
+    }
+}
+
+} // namespace vpr

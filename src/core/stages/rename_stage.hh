@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rename stage: drains the fetch buffer into ROB/IQ/LSQ through the
+ * RenameManager, stalling on full structures or an empty free list.
+ */
+
+#ifndef VPR_CORE_STAGES_RENAME_STAGE_HH
+#define VPR_CORE_STAGES_RENAME_STAGE_HH
+
+#include "core/stages/latches.hh"
+#include "core/stages/pipeline_state.hh"
+#include "core/stages/stage.hh"
+
+namespace vpr
+{
+
+/** The rename/dispatch stage. */
+class RenameStage : public Stage
+{
+  public:
+    RenameStage(PipelineState &state, FetchBufferPort &fetchBuffer)
+        : s(state), fetched(fetchBuffer)
+    {}
+
+    const char *name() const override { return "rename"; }
+
+    void tick() override;
+
+    void
+    squash(InstSeqNum) override
+    {
+        // Rename holds no instruction state between cycles; the fetch
+        // buffer (its input latch) is flushed by the redirect port.
+    }
+
+    void
+    resetStats() override
+    {
+        base = Counters{};
+        base.stallReg = n.stallReg;
+        base.stallRob = n.stallRob;
+        base.stallIq = n.stallIq;
+        base.stallLsq = n.stallLsq;
+    }
+
+    /** Interval counters since the last resetStats. @{ */
+    std::uint64_t stallRegDelta() const { return n.stallReg - base.stallReg; }
+    std::uint64_t stallRobDelta() const { return n.stallRob - base.stallRob; }
+    std::uint64_t stallIqDelta() const { return n.stallIq - base.stallIq; }
+    std::uint64_t stallLsqDelta() const { return n.stallLsq - base.stallLsq; }
+    /** @} */
+
+  private:
+    struct Counters
+    {
+        std::uint64_t stallReg = 0;
+        std::uint64_t stallRob = 0;
+        std::uint64_t stallIq = 0;
+        std::uint64_t stallLsq = 0;
+    };
+
+    PipelineState &s;
+    FetchBufferPort &fetched;
+    Counters n;
+    Counters base;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_RENAME_STAGE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The common interface of the pipeline stages.
+ *
+ * The core is a small graph of five stages (commit, complete, issue,
+ * rename, fetch) ticked back to front once per cycle, so a value
+ * produced this cycle is visible to the consumer stages that run later
+ * in the same tick — the same idiom as gem5's TimeBuffer-connected
+ * stages. Stages hold their own statistics and communicate only through
+ * the shared PipelineState structures (ROB/IQ/LSQ and friends) and the
+ * explicit latch/port objects in latches.hh; no stage reaches into
+ * another stage.
+ */
+
+#ifndef VPR_CORE_STAGES_STAGE_HH
+#define VPR_CORE_STAGES_STAGE_HH
+
+#include "common/types.hh"
+
+namespace vpr
+{
+
+/** One pipeline stage. */
+class Stage
+{
+  public:
+    virtual ~Stage() = default;
+
+    /** Stage name for diagnostics and ordering tests. */
+    virtual const char *name() const = 0;
+
+    /** Run the stage for the current cycle. */
+    virtual void tick() = 0;
+
+    /**
+     * Branch recovery: discard stage-local state belonging to
+     * instructions younger than @p youngestKept. The shared structures
+     * (ROB/IQ/LSQ, rename maps) are recovered by
+     * PipelineState::squashYoungerThan; this hook is only for latches
+     * and buffers a stage owns privately.
+     */
+    virtual void squash(InstSeqNum youngestKept) = 0;
+
+    /** Start a measurement interval: baseline the stage's counters. */
+    virtual void resetStats() = 0;
+};
+
+/**
+ * Recovery entry point handed to the stage that detects mispredictions.
+ * Implemented by the composition root (Core), which walks the shared
+ * structures and then fans the squash out to every stage.
+ */
+class SquashCoordinator
+{
+  public:
+    virtual ~SquashCoordinator() = default;
+
+    /** Squash every instruction younger than @p youngestKept. */
+    virtual void squashYoungerThan(InstSeqNum youngestKept) = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_CORE_STAGES_STAGE_HH

@@ -5,22 +5,8 @@
 namespace vpr
 {
 
-const char *
-renameSchemeName(RenameScheme s)
-{
-    switch (s) {
-      case RenameScheme::Conventional:
-        return "conventional";
-      case RenameScheme::VPAllocAtWriteback:
-        return "vp-writeback";
-      case RenameScheme::VPAllocAtIssue:
-        return "vp-issue";
-      case RenameScheme::ConventionalEarlyRelease:
-        return "conv-early-release";
-      default:
-        VPR_PANIC("bad rename scheme");
-    }
-}
+// renameSchemeName lives in factory.cc next to the scheme registry, so
+// a scheme's name and constructor are registered in one place.
 
 RenameManager::RenameManager(const RenameConfig &config)
     : cfg(config),

@@ -28,8 +28,24 @@ struct SimConfig
     /** Committed instructions to measure. */
     std::uint64_t measureInsts = 400000;
 
-    /** Workload seed (0 = the kernel's default). */
+    /**
+     * Workload seed (0 = the kernel's default). A non-zero seed feeds
+     * the benchmark kernel stream directly and every other stochastic
+     * component through common/random's deriveSeed with a per-component
+     * salt (currently the wrong-path synthesis RNG; see
+     * threadSeed in simulator.cc), so a (benchmark, config, seed) triple is
+     * reproducible bit-for-bit — also when many grid cells run
+     * concurrently.
+     */
     std::uint64_t seed = 0;
+
+    /**
+     * Worker threads for grid sweeps through the
+     * ParallelExperimentEngine: 1 = serial, 0 = one per hardware
+     * thread. A single simulation is always single-threaded; jobs
+     * only parallelizes *across* grid cells.
+     */
+    unsigned jobs = 1;
 
     /**
      * Convenience: apply the paper's relationship between register-file

@@ -30,12 +30,24 @@ runOne(const std::string &benchmark, SimConfig config)
     return sim.run();
 }
 
+std::vector<SimResults>
+runGrid(const std::vector<GridCell> &cells, unsigned jobs)
+{
+    ParallelExperimentEngine engine(jobs);
+    return engine.run(cells);
+}
+
 std::map<std::string, SimResults>
 runAll(const SimConfig &config)
 {
-    std::map<std::string, SimResults> out;
+    std::vector<GridCell> cells;
     for (const auto &name : benchmarkNames())
-        out[name] = runOne(name, config);
+        cells.push_back({name, config});
+    std::vector<SimResults> results = runGrid(cells, config.jobs);
+
+    std::map<std::string, SimResults> out;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        out[cells[i].benchmark] = results[i];
     return out;
 }
 
@@ -54,6 +66,29 @@ instructionScale()
         return v;
     }();
     return scale;
+}
+
+unsigned
+parseJobs(const char *text)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > 4096) {
+        VPR_WARN("ignoring bad jobs value '", text,
+                 "' (want 0 = hw threads, or a worker count)");
+        return 1;
+    }
+    return static_cast<unsigned>(v);  // 0 = one per hardware thread
+}
+
+unsigned
+defaultJobs()
+{
+    static unsigned jobs = [] {
+        const char *env = std::getenv("VPR_JOBS");
+        return env ? parseJobs(env) : 1u;
+    }();
+    return jobs;
 }
 
 void

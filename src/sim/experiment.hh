@@ -14,29 +14,32 @@
 #include <string>
 #include <vector>
 
+#include "sim/parallel_engine.hh"
 #include "sim/simulator.hh"
 
 namespace vpr
 {
-
-/** One cell of an experiment grid. */
-struct ExperimentCell
-{
-    std::string benchmark;
-    SimResults results;
-};
 
 /** Harmonic mean (the paper's average for IPC tables). */
 double harmonicMean(const std::vector<double> &values);
 
 /**
  * Run one benchmark under @p config and return the results.
- * @param mutate optional hook to adjust the config per run.
  */
 SimResults runOne(const std::string &benchmark, SimConfig config);
 
 /**
- * Run every benchmark of the paper under @p config.
+ * Run a whole grid of cells on the parallel engine with @p jobs worker
+ * threads (1 = serial, 0 = one per hardware thread) and return results
+ * in cell order. This is the workhorse every bench binary sweeps
+ * through; results are independent of jobs.
+ */
+std::vector<SimResults> runGrid(const std::vector<GridCell> &cells,
+                                unsigned jobs);
+
+/**
+ * Run every benchmark of the paper under @p config, using config.jobs
+ * worker threads.
  * @return results keyed by benchmark name (paper order preserved via
  *         benchmarkNames()).
  */
@@ -45,6 +48,15 @@ std::map<std::string, SimResults> runAll(const SimConfig &config);
 /** Scale factor for instruction budgets, settable from the command
  *  line / environment (VPR_INSTS_SCALE) to trade time for fidelity. */
 double instructionScale();
+
+/** Default worker-thread count for grid sweeps: the VPR_JOBS
+ *  environment variable (0 = one per hardware thread), or 1. */
+unsigned defaultJobs();
+
+/** Strictly parse a --jobs/VPR_JOBS value: "0" = one per hardware
+ *  thread, a positive integer = that many workers; anything else
+ *  warns and falls back to 1 worker. */
+unsigned parseJobs(const char *text);
 
 /** Apply the global instruction scale to a config. */
 void applyInstructionScale(SimConfig &config);

@@ -1,0 +1,91 @@
+#include "sim/parallel_engine.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/experiment.hh"
+
+namespace vpr
+{
+
+namespace
+{
+
+SimResults
+runCell(const GridCell &cell)
+{
+    SimConfig config = cell.config;
+    applyInstructionScale(config);
+    Simulator sim(cell.benchmark, config);
+    return sim.run();
+}
+
+} // namespace
+
+ParallelExperimentEngine::ParallelExperimentEngine(unsigned jobs)
+    : nJobs(jobs)
+{
+    if (nJobs == 0) {
+        nJobs = std::thread::hardware_concurrency();
+        if (nJobs == 0)
+            nJobs = 1;
+    }
+}
+
+unsigned
+ParallelExperimentEngine::workersFor(std::size_t cellCount) const
+{
+    return cellCount < nJobs ? static_cast<unsigned>(cellCount) : nJobs;
+}
+
+std::vector<SimResults>
+ParallelExperimentEngine::run(const std::vector<GridCell> &cells) const
+{
+    std::vector<SimResults> results(cells.size());
+
+    const unsigned workers = workersFor(cells.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            results[i] = runCell(cells[i]);
+        return results;
+    }
+
+    // Dynamic work queue: cells vary wildly in runtime (IPC differs 5×
+    // between benchmarks), so static striping would leave workers idle.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorLock;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= cells.size() || failed.load())
+                return;
+            try {
+                results[i] = runCell(cells[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errorLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace vpr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ParallelExperimentEngine: runs (benchmark × scheme × parameter) grid
+ * cells on a pool of worker threads.
+ *
+ * Every Simulator owns its trace stream and core, so grid cells are
+ * share-nothing and embarrassingly parallel; the only shared state is
+ * the atomic work-queue cursor. Results are written into a slot indexed
+ * by the cell's position, so the output order — and therefore every
+ * table printed from it — is byte-identical regardless of the number of
+ * jobs or the interleaving of workers.
+ */
+
+#ifndef VPR_SIM_PARALLEL_ENGINE_HH
+#define VPR_SIM_PARALLEL_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace vpr
+{
+
+/** One cell of an experiment grid: a benchmark under a configuration. */
+struct GridCell
+{
+    std::string benchmark;
+    SimConfig config;
+};
+
+/** The work-queue + thread-pool experiment runner. */
+class ParallelExperimentEngine
+{
+  public:
+    /**
+     * @param jobs worker threads; 1 = serial in the calling thread,
+     *        0 = one per hardware thread.
+     */
+    explicit ParallelExperimentEngine(unsigned jobs = 1);
+
+    /**
+     * Run every cell and return results in cell order. The instruction
+     * scale (VPR_INSTS_SCALE) is applied to each cell exactly as the
+     * serial runOne does. Deterministic: results depend only on the
+     * cells, never on jobs or scheduling.
+     */
+    std::vector<SimResults> run(const std::vector<GridCell> &cells) const;
+
+    unsigned jobs() const { return nJobs; }
+
+    /** Threads actually used for @p cellCount cells. */
+    unsigned workersFor(std::size_t cellCount) const;
+
+  private:
+    unsigned nJobs;
+};
+
+} // namespace vpr
+
+#endif // VPR_SIM_PARALLEL_ENGINE_HH

@@ -3,15 +3,35 @@
 #include <iomanip>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "trace/kernels/kernels.hh"
 
 namespace vpr
 {
 
+namespace
+{
+
+/** Component salt for deriveSeed: the wrong-path synthesis RNG. */
+constexpr std::uint64_t kWrongPathSalt = 0x77f00dull;
+
+/** Thread the run's master seed into every stochastic component the
+ *  config controls; with seed 0 the per-component defaults apply. */
+void
+threadSeed(SimConfig &cfg)
+{
+    if (cfg.seed != 0)
+        cfg.core.fetch.wrongPathSeed =
+            deriveSeed(cfg.seed, kWrongPathSalt);
+}
+
+} // namespace
+
 Simulator::Simulator(TraceStream &stream, const SimConfig &config)
     : cfg(config)
 {
     cfg.validate();
+    threadSeed(cfg);
     theCore = std::make_unique<Core>(stream, cfg.core);
 }
 
@@ -19,6 +39,7 @@ Simulator::Simulator(const std::string &benchmark, const SimConfig &config)
     : cfg(config)
 {
     cfg.validate();
+    threadSeed(cfg);
     ownedStream = makeBenchmarkStream(benchmark, cfg.seed);
     theCore = std::make_unique<Core>(*ownedStream, cfg.core);
 }

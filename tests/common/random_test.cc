@@ -98,5 +98,32 @@ TEST(Random, BitsLookBalanced)
     EXPECT_NEAR(frac, 0.5, 0.01);
 }
 
+TEST(DeriveSeed, DeterministicPerInputs)
+{
+    EXPECT_EQ(deriveSeed(42, 7), deriveSeed(42, 7));
+    EXPECT_NE(deriveSeed(42, 7), deriveSeed(42, 8));
+    EXPECT_NE(deriveSeed(42, 7), deriveSeed(43, 7));
+}
+
+TEST(DeriveSeed, NeverReturnsZero)
+{
+    // Zero would collapse the consumer's xorshift64* state.
+    for (std::uint64_t m = 0; m < 64; ++m)
+        for (std::uint64_t s = 0; s < 64; ++s)
+            EXPECT_NE(deriveSeed(m, s), 0u);
+}
+
+TEST(DeriveSeed, ConsecutiveSaltsDecorrelate)
+{
+    // Seeding two Randoms from adjacent salts must give unrelated
+    // streams (the reason components never share a generator).
+    Random a(deriveSeed(5, 0)), b(deriveSeed(5, 1));
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
 } // namespace
 } // namespace vpr

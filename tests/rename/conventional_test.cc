@@ -168,7 +168,8 @@ TEST(Conventional, InvariantsHoldThroughRandomishSequence)
     std::vector<DynInst> live;
     InstSeqNum seq = 0;
     for (int round = 0; round < 50; ++round) {
-        auto d = inst(++seq,
+        ++seq;
+        auto d = inst(seq,
                       StaticInst::alu(RegId::intReg(seq % 32),
                                       RegId::intReg((seq + 1) % 32),
                                       RegId::intReg((seq + 2) % 32)));

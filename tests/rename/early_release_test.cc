@@ -142,7 +142,8 @@ TEST(EarlyRelease, PressureLowerThanPlainConventional)
         for (int i = 0; i < 200; ++i) {
             ++now;
             rn.tick(now);
-            DynInst d = alu(++seq, seq % 16, (seq + 1) % 16, 2);
+            ++seq;
+            DynInst d = alu(seq, seq % 16, (seq + 1) % 16, 2);
             rn.renameInst(d, now);
             rn.tryIssue(d, now);
             rn.complete(d, now + 20);  // long-ish lifetime

@@ -1,0 +1,85 @@
+/** @file Tests for the rename-scheme factory/registry. */
+
+#include <gtest/gtest.h>
+
+#include "rename/conventional.hh"
+#include "rename/factory.hh"
+
+namespace vpr
+{
+namespace
+{
+
+RenameConfig
+cfg()
+{
+    RenameConfig rc;
+    rc.numPhysRegs = 64;
+    rc.numVPRegs = 160;
+    rc.nrrInt = 8;
+    rc.nrrFp = 8;
+    return rc;
+}
+
+TEST(RenameFactory, EveryEnumeratorConstructs)
+{
+    const RenameScheme all[] = {
+        RenameScheme::Conventional,
+        RenameScheme::VPAllocAtWriteback,
+        RenameScheme::VPAllocAtIssue,
+        RenameScheme::ConventionalEarlyRelease,
+    };
+    for (RenameScheme s : all) {
+        auto rn = makeRenamer(s, cfg());
+        ASSERT_NE(rn, nullptr) << renameSchemeName(s);
+        EXPECT_EQ(rn->scheme(), s);
+        EXPECT_STRNE(renameSchemeName(s), "");
+    }
+}
+
+TEST(RenameFactory, RegistryListsEveryBuiltinScheme)
+{
+    auto schemes = registeredRenameSchemes();
+    EXPECT_EQ(schemes.size(), 4u);
+    for (RenameScheme s : schemes) {
+        auto rn = makeRenamer(s, cfg());
+        EXPECT_EQ(rn->scheme(), s);
+    }
+}
+
+TEST(RenameFactory, ReRegistrationReplacesTheFactory)
+{
+    static int constructions = 0;
+    constructions = 0;
+    registerRenameScheme(RenameScheme::Conventional, "conventional",
+                         [](const RenameConfig &c) {
+                             ++constructions;
+                             return std::make_unique<ConventionalRename>(
+                                 c);
+                         });
+    auto rn = makeRenamer(RenameScheme::Conventional, cfg());
+    EXPECT_EQ(constructions, 1);
+    EXPECT_EQ(rn->scheme(), RenameScheme::Conventional);
+
+    // Restore the stock factory for the rest of the suite.
+    registerRenameScheme(RenameScheme::Conventional, "conventional",
+                         [](const RenameConfig &c) {
+                             return std::make_unique<ConventionalRename>(
+                                 c);
+                         });
+}
+
+TEST(RenameFactory, SchemeNamesAreStable)
+{
+    EXPECT_STREQ(renameSchemeName(RenameScheme::Conventional),
+                 "conventional");
+    EXPECT_STREQ(renameSchemeName(RenameScheme::VPAllocAtWriteback),
+                 "vp-writeback");
+    EXPECT_STREQ(renameSchemeName(RenameScheme::VPAllocAtIssue),
+                 "vp-issue");
+    EXPECT_STREQ(renameSchemeName(RenameScheme::ConventionalEarlyRelease),
+                 "conv-early-release");
+}
+
+} // namespace
+} // namespace vpr

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/random.hh"
-#include "core/core.hh"
+#include "rename/factory.hh"
 #include "rename/conventional.hh"
 #include "rename/virtual_physical.hh"
 
@@ -81,7 +81,7 @@ TEST_P(RollbackPropertyTest, SquashIsExactInverse)
     rc.numVPRegs = 160;
     rc.nrrInt = 8;
     rc.nrrFp = 8;
-    auto rn = makeRenameManager(scheme, rc);
+    auto rn = makeRenamer(scheme, rc);
     Random rng(seed);
 
     InstSeqNum seq = 0;

@@ -1,0 +1,86 @@
+/** @file Unit tests for the ParallelExperimentEngine. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/kernels/kernels.hh"
+
+namespace vpr
+{
+namespace
+{
+
+SimConfig
+tiny()
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 500;
+    c.measureInsts = 5000;
+    c.core.fetch.wrongPath = WrongPathMode::Stall;
+    return c;
+}
+
+TEST(ParallelEngine, EmptyGridIsFine)
+{
+    ParallelExperimentEngine engine(4);
+    EXPECT_TRUE(engine.run({}).empty());
+}
+
+TEST(ParallelEngine, WorkerCountIsBoundedByCells)
+{
+    ParallelExperimentEngine engine(8);
+    EXPECT_EQ(engine.jobs(), 8u);
+    EXPECT_EQ(engine.workersFor(3), 3u);
+    EXPECT_EQ(engine.workersFor(100), 8u);
+    EXPECT_EQ(engine.workersFor(0), 0u);
+}
+
+TEST(ParallelEngine, ZeroMeansHardwareConcurrency)
+{
+    ParallelExperimentEngine engine(0);
+    EXPECT_GE(engine.jobs(), 1u);
+}
+
+TEST(ParallelEngine, ResultsKeepCellOrderAcrossJobCounts)
+{
+    // A grid of unequal-runtime cells: results must land in cell order
+    // and be identical for every worker count.
+    std::vector<GridCell> cells;
+    SimConfig c = tiny();
+    for (const char *name : {"compress", "swim", "li", "go"}) {
+        c.setScheme(RenameScheme::Conventional);
+        cells.push_back({name, c});
+        c.setScheme(RenameScheme::VPAllocAtWriteback);
+        cells.push_back({name, c});
+    }
+
+    std::vector<SimResults> serial = runGrid(cells, 1);
+    std::vector<SimResults> parallel = runGrid(cells, 4);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles)
+            << cells[i].benchmark << " cell " << i;
+        EXPECT_EQ(serial[i].stats.committed,
+                  parallel[i].stats.committed);
+        EXPECT_EQ(serial[i].stats.issued, parallel[i].stats.issued);
+        EXPECT_DOUBLE_EQ(serial[i].ipc(), parallel[i].ipc());
+    }
+}
+
+TEST(ParallelEngine, RunAllUsesConfigJobs)
+{
+    SimConfig c = tiny();
+    c.skipInsts = 200;
+    c.measureInsts = 2000;
+    c.jobs = 3;
+    auto all = runAll(c);
+    EXPECT_EQ(all.size(), benchmarkNames().size());
+    for (const auto &name : benchmarkNames()) {
+        ASSERT_TRUE(all.count(name)) << name;
+        EXPECT_GT(all[name].ipc(), 0.0) << name;
+    }
+}
+
+} // namespace
+} // namespace vpr

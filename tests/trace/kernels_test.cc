@@ -124,8 +124,9 @@ TEST_P(KernelMixTest, LoadsHaveValidDestAndAddress)
             EXPECT_TRUE(r->dest.valid());
             EXPECT_NE(r->effAddr, 0u);
         }
-        if (r->isStore())
+        if (r->isStore()) {
             EXPECT_FALSE(r->dest.valid());
+        }
     }
 }
 

@@ -3,7 +3,10 @@
  * vpr_sim — command-line driver for single simulation runs.
  *
  * Usage:
- *   vpr_sim [options] <benchmark | trace.vprt>
+ *   vpr_sim [options] <benchmark | trace.vprt | all>
+ *
+ * The target "all" runs every built-in benchmark through the parallel
+ * experiment engine and prints an IPC summary table (use --jobs).
  *
  * Options:
  *   --scheme=conv|vp-wb|vp-issue|conv-er   renaming scheme
@@ -15,6 +18,7 @@
  *   --miss=N          L1 miss penalty in cycles          (default 50)
  *   --mshrs=N         outstanding misses                 (default 8)
  *   --seed=N          workload seed (0 = kernel default)
+ *   --jobs=N          worker threads for "all" (0 = hw threads)
  *   --wrongpath       synthesize wrong-path fetch (default: stall)
  *   --dump-trace=F,N  write the first N workload records to file F
  *   --list            list built-in benchmarks and exit
@@ -25,7 +29,7 @@
 #include <iostream>
 #include <string>
 
-#include "sim/simulator.hh"
+#include "sim/experiment.hh"
 #include "trace/kernels/kernels.hh"
 #include "trace/trace_file.hh"
 
@@ -128,6 +132,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(v));
         } else if (matchArg(argv[i], "--seed", &v)) {
             config.seed = std::strtoull(v, nullptr, 10);
+        } else if (matchArg(argv[i], "--jobs", &v)) {
+            config.jobs = parseJobs(v);
         } else if (matchArg(argv[i], "--dump-trace", &v)) {
             dumpSpec = v;
         } else if (argv[i][0] == '-') {
@@ -149,6 +155,31 @@ main(int argc, char **argv)
         std::size_t written = writeTraceFile(file, *stream, n);
         std::cout << "wrote " << written << " records to " << file
                   << "\n";
+        return 0;
+    }
+
+    if (target == "all") {
+        // Sweep every benchmark on the parallel engine and summarize.
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames())
+            cells.push_back({name, config});
+        std::vector<SimResults> results = runGrid(cells, config.jobs);
+
+        printTableHeader(std::cout,
+                         std::string("IPC, scheme=") +
+                             renameSchemeName(config.core.scheme),
+                         {"ipc", "exec/ci", "missrate"});
+        std::vector<double> ipcs;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const SimResults &r = results[i];
+            ipcs.push_back(r.ipc());
+            printTableRow(std::cout, cells[i].benchmark,
+                          {r.ipc(), r.stats.executionsPerCommit(),
+                           r.cacheMissRate},
+                          3);
+        }
+        std::cout << std::string(48, '-') << "\n";
+        printTableRow(std::cout, "hmean", {harmonicMean(ipcs)}, 3);
         return 0;
     }
 
