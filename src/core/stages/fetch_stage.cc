@@ -1,0 +1,38 @@
+#include "core/stages/fetch_stage.hh"
+
+namespace vpr
+{
+
+void
+FetchStage::tick()
+{
+    s.fetch.tick(s.curCycle);
+}
+
+void
+FetchStage::squash(InstSeqNum)
+{
+    // The wrong-path flush happens synchronously through the
+    // FetchRedirectPort when the branch resolves; nothing else to do.
+}
+
+void
+FetchStage::resetStats()
+{
+    baseBranches = s.fetch.branches();
+    baseMispredicts = s.fetch.mispredicts();
+}
+
+std::uint64_t
+FetchStage::branchesDelta() const
+{
+    return s.fetch.branches() - baseBranches;
+}
+
+std::uint64_t
+FetchStage::mispredictsDelta() const
+{
+    return s.fetch.mispredicts() - baseMispredicts;
+}
+
+} // namespace vpr

@@ -24,37 +24,13 @@ class FetchStage : public Stage
 
     const char *name() const override { return "fetch"; }
 
-    void
-    tick() override
-    {
-        s.fetch.tick(s.curCycle);
-    }
-
-    void
-    squash(InstSeqNum) override
-    {
-        // The wrong-path flush happens synchronously through the
-        // FetchRedirectPort when the branch resolves; nothing else to do.
-    }
-
-    void
-    resetStats() override
-    {
-        baseBranches = s.fetch.branches();
-        baseMispredicts = s.fetch.mispredicts();
-    }
+    void tick() override;
+    void squash(InstSeqNum youngestKept) override;
+    void resetStats() override;
 
     /** Interval counters since the last resetStats. @{ */
-    std::uint64_t
-    branchesDelta() const
-    {
-        return s.fetch.branches() - baseBranches;
-    }
-    std::uint64_t
-    mispredictsDelta() const
-    {
-        return s.fetch.mispredicts() - baseMispredicts;
-    }
+    std::uint64_t branchesDelta() const;
+    std::uint64_t mispredictsDelta() const;
     /** @} */
 
   private:
