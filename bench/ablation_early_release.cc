@@ -8,65 +8,13 @@
  * the *first* (decode→write-back holding), citing Moudgill et al. and
  * Smith & Sohi for the *second* (dead value waiting for its
  * superseder's commit). This bench runs all four schemes so the two
- * factors can be compared head to head.
+ * factors can be compared head to head. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    printTableHeader(std::cout,
-                     "Ablation: early release vs virtual-physical "
-                     "(IPC, 64 regs)",
-                     {"conv", "early-rel", "vp-wb", "er-gain", "vp-gain"});
-
-    // Grid: (conv, early-release, vp) per benchmark, run on the engine.
-    SimConfig config = experimentConfig();
-    const auto &names = benchmarkNames();
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        config.setScheme(RenameScheme::Conventional);
-        cells.push_back({name, config});
-        config.setScheme(RenameScheme::ConventionalEarlyRelease);
-        cells.push_back({name, config});
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(32);
-        cells.push_back({name, config});
-    }
-    std::vector<SimResults> results = runGrid(cells, config.jobs);
-
-    std::vector<double> convAll, erAll, vpAll;
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        double conv = results[3 * bi].ipc();
-        double er = results[3 * bi + 1].ipc();
-        double vp = results[3 * bi + 2].ipc();
-
-        convAll.push_back(conv);
-        erAll.push_back(er);
-        vpAll.push_back(vp);
-        printTableRow(std::cout, names[bi],
-                      {conv, er, vp, er / conv, vp / conv}, 3);
-    }
-    std::cout << std::string(12 + 12 * 5, '-') << "\n";
-    printTableRow(std::cout, "hmean",
-                  {harmonicMean(convAll), harmonicMean(erAll),
-                   harmonicMean(vpAll),
-                   harmonicMean(erAll) / harmonicMean(convAll),
-                   harmonicMean(vpAll) / harmonicMean(convAll)},
-                  3);
-
-    std::cout << "\nexpectation: early release helps (it shortens the "
-                 "tail of a value's lifetime) but recovers only part of "
-                 "the virtual-physical gain — on miss-bound codes the "
-                 "decode->write-back holding time dominates, which is "
-                 "the paper's motivating argument.\n";
-    return 0;
+    return vpr::bench::figureMain("ablation_early_release", argc, argv);
 }

@@ -6,59 +6,13 @@
  * more cache misses than 32 rename registers allow. That makes the
  * 8-entry MSHR file (paper §4.1) the complementary ceiling: this bench
  * sweeps it to show where the VP speedup saturates.
+ * Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    const std::vector<unsigned> mshrs = {2, 4, 8, 16, 32};
-    std::vector<std::string> cols;
-    for (auto m : mshrs)
-        cols.push_back("MSHR=" + std::to_string(m));
-    printTableHeader(std::cout,
-                     "Ablation: VP speedup vs outstanding-miss limit "
-                     "(64 regs, write-back alloc)",
-                     cols);
-
-    // Grid: (conv, vp) per (benchmark × MSHR count), run on the engine.
-    const std::vector<std::string> names = {"swim", "mgrid", "apsi",
-                                            "compress"};
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        for (unsigned m : mshrs) {
-            SimConfig config = experimentConfig();
-            config.core.cache.numMshrs = m;
-            config.setScheme(RenameScheme::Conventional);
-            cells.push_back({name, config});
-            config.setScheme(RenameScheme::VPAllocAtWriteback);
-            cells.push_back({name, config});
-        }
-    }
-    std::vector<SimResults> results =
-        runGrid(cells, defaultJobs());
-
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < mshrs.size(); ++i) {
-            double conv = results[2 * (bi * mshrs.size() + i)].ipc();
-            double vp = results[2 * (bi * mshrs.size() + i) + 1].ipc();
-            row.push_back(vp / conv);
-        }
-        printTableRow(std::cout, names[bi], row, 3);
-    }
-
-    std::cout << "\nexpectation: with very few MSHRs both schemes are "
-                 "pinned to the same miss ceiling (speedup -> 1); the "
-                 "speedup grows with MSHRs until the 128-entry window "
-                 "becomes the limit.\n";
-    return 0;
+    return vpr::bench::figureMain("ablation_mshr", argc, argv);
 }

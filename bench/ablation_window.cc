@@ -6,70 +6,13 @@
  * "future architectures with a larger instruction window and thus, a
  * much higher register pressure". This bench sweeps the ROB from 32 to
  * 256 entries at a fixed 64-register file and reports the VP/conv
- * speedup per window size.
+ * speedup per window size. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    const std::vector<std::size_t> windows = {32, 64, 128, 256};
-    std::vector<std::string> cols;
-    for (auto w : windows)
-        cols.push_back("ROB=" + std::to_string(w));
-    printTableHeader(std::cout,
-                     "Ablation: VP speedup vs window size (64 regs, "
-                     "write-back alloc, NRR=32)",
-                     cols);
-
-    // Grid: (conv, vp) per (benchmark × window size), run on the engine.
-    const auto &names = benchmarkNames();
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        for (std::size_t w : windows) {
-            SimConfig config = experimentConfig();
-            config.core.robSize = w;
-            config.core.iqSize = w;
-            config.core.lsqSize = w;
-            config.setPhysRegs(64, 32);  // resizes the VP pool too
-
-            config.setScheme(RenameScheme::Conventional);
-            cells.push_back({name, config});
-            config.setScheme(RenameScheme::VPAllocAtWriteback);
-            cells.push_back({name, config});
-        }
-    }
-    std::vector<SimResults> results =
-        runGrid(cells, defaultJobs());
-
-    std::vector<std::vector<double>> colVals(windows.size());
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < windows.size(); ++i) {
-            double conv = results[2 * (bi * windows.size() + i)].ipc();
-            double vp = results[2 * (bi * windows.size() + i) + 1].ipc();
-            row.push_back(vp / conv);
-            colVals[i].push_back(vp / conv);
-        }
-        printTableRow(std::cout, names[bi], row, 3);
-    }
-    std::cout << std::string(12 + 12 * windows.size(), '-') << "\n";
-    std::vector<double> means;
-    for (const auto &col : colVals)
-        means.push_back(geoMean(col));
-    printTableRow(std::cout, "geomean", means, 3);
-
-    std::cout << "\nexpectation: the speedup is a non-decreasing "
-                 "function of the window size — a small window cannot "
-                 "out-run 32 rename registers, a large one starves the "
-                 "conventional scheme (paper, Conclusions).\n";
-    return 0;
+    return vpr::bench::figureMain("ablation_window", argc, argv);
 }

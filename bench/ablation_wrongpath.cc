@@ -1,75 +1,23 @@
 /**
  * @file
  * Ablation: misprediction modelling — fetch stall (the paper's
- * trace-driven methodology) versus synthetic wrong-path fetch.
+ * trace-driven methodology) versus synthetic wrong-path fetch, with and
+ * without wrong-path memory operations.
  *
  * Trace-driven simulators cannot follow the actual wrong path. The
  * paper's framework (like most of its era) stalls fetch at a detected
  * misprediction. Our fetch unit can instead synthesize wrong-path
  * instructions that occupy rename registers, queue slots and functional
- * units until the branch resolves — closer to real hardware for a
- * register-pressure study. This bench quantifies the difference.
+ * units until the branch resolves — and, with wrongPathMem, loads and
+ * stores that probe the cache and LSQ (speculative pollution) — closer
+ * to real hardware for a register-pressure study. This bench
+ * quantifies the differences. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
-
-namespace
-{
-
-void
-appendCells(std::vector<GridCell> &cells, const std::string &bench,
-            WrongPathMode mode)
-{
-    SimConfig config = experimentConfig();
-    config.core.fetch.wrongPath = mode;
-    config.setScheme(RenameScheme::Conventional);
-    cells.push_back({bench, config});
-    config.setScheme(RenameScheme::VPAllocAtWriteback);
-    cells.push_back({bench, config});
-}
-
-} // namespace
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    // Grid: (conv, vp) under each misprediction model per benchmark.
-    const auto &names = benchmarkNames();
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        appendCells(cells, name, WrongPathMode::Stall);
-        appendCells(cells, name, WrongPathMode::Synthesize);
-    }
-    std::vector<SimResults> results =
-        runGrid(cells, defaultJobs());
-
-    printTableHeader(std::cout,
-                     "Ablation: VP speedup under both misprediction "
-                     "models (64 regs, NRR=32)",
-                     {"stall", "wrong-path"});
-    std::vector<double> stallAll, wpAll;
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        double st = results[4 * bi + 1].ipc() / results[4 * bi].ipc();
-        double wp =
-            results[4 * bi + 3].ipc() / results[4 * bi + 2].ipc();
-        stallAll.push_back(st);
-        wpAll.push_back(wp);
-        printTableRow(std::cout, names[bi], {st, wp}, 3);
-    }
-    std::cout << std::string(36, '-') << "\n";
-    printTableRow(std::cout, "geomean",
-                  {geoMean(stallAll), geoMean(wpAll)}, 3);
-    std::cout << "\nexpectation: wrong-path fetch consumes decode-time "
-                 "rename registers in the conventional scheme only, so "
-                 "the VP advantage is equal or slightly larger on "
-                 "branchy codes; all paper benches use the stall model "
-                 "for methodological fidelity.\n";
-    return 0;
+    return vpr::bench::figureMain("ablation_wrongpath", argc, argv);
 }

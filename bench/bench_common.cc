@@ -9,26 +9,68 @@
 namespace vpr::bench
 {
 
+namespace
+{
+
+BenchOptions &
+mutableOptions()
+{
+    static BenchOptions options;
+    return options;
+}
+
+} // namespace
+
+const BenchOptions &
+benchOptions()
+{
+    return mutableOptions();
+}
+
 void
 parseArgs(int argc, char **argv)
 {
+    // Strict: an unrecognized argument aborts instead of silently
+    // running the full grid — a CI matrix with a mistyped --shard must
+    // fail at launch, not at merge time after the compute was spent.
+    BenchOptions &opt = mutableOptions();
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0) {
             setenv("VPR_INSTS_SCALE", argv[i] + 8, 1);
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             setenv("VPR_JOBS", argv[i] + 7, 1);
+        } else if (std::strncmp(argv[i], "--shard=", 8) == 0) {
+            opt.shard = parseShard(argv[i] + 8);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            opt.outPath = argv[i] + 6;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--scale=<factor>] [--jobs=<n>]\n"
-                        "  --scale scales the simulated instruction "
-                        "budget (default 1.0;\n"
-                        "  also settable via VPR_INSTS_SCALE)\n"
-                        "  --jobs runs grid cells on <n> worker threads "
-                        "(default 1; 0 = one\n"
-                        "  per hardware thread; also settable via "
-                        "VPR_JOBS). Output is\n"
-                        "  byte-identical for every value of --jobs.\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--scale=<factor>] [--jobs=<n>] "
+                "[--shard=i/N] [--out=<path>]\n"
+                "  --scale scales the simulated instruction budget "
+                "(default 1.0;\n"
+                "  also settable via VPR_INSTS_SCALE)\n"
+                "  --jobs runs grid cells on <n> worker threads "
+                "(default 1; 0 = one\n"
+                "  per hardware thread; also settable via VPR_JOBS). "
+                "Output is\n"
+                "  byte-identical for every value of --jobs.\n"
+                "  --shard runs only slice i of N (cells dealt "
+                "round-robin); merge the\n"
+                "  per-shard --out files with tools/merge_results to "
+                "recover the full\n"
+                "  table byte-for-byte.\n"
+                "  --out writes one record per executed grid cell "
+                "(CSV, or JSON when\n"
+                "  the path ends in .json).\n",
+                argv[0]);
             std::exit(0);
+        } else {
+            std::fprintf(stderr,
+                         "%s: unrecognized argument '%s' (see --help; "
+                         "flags take the --flag=value form)\n",
+                         argv[0], argv[i]);
+            std::exit(1);
         }
     }
 }
@@ -59,58 +101,6 @@ geoMean(const std::vector<double> &values)
     for (double v : values)
         s += std::log(v);
     return std::exp(s / static_cast<double>(values.size()));
-}
-
-std::vector<double>
-printSpeedupFigure(const std::string &title, RenameScheme scheme,
-                   const std::vector<unsigned> &nrrValues)
-{
-    SimConfig config = experimentConfig();
-    const auto &names = benchmarkNames();
-
-    // One grid for the whole figure: the conventional baselines first,
-    // then every (benchmark × NRR) cell. All of it runs on the engine
-    // at once; result order is fixed by cell order, so the printed
-    // table does not depend on --jobs.
-    std::vector<GridCell> cells;
-    config.setScheme(RenameScheme::Conventional);
-    for (const auto &name : names)
-        cells.push_back({name, config});
-    for (const auto &name : names) {
-        for (unsigned nrr : nrrValues) {
-            config.setScheme(scheme);
-            config.setNrr(static_cast<std::uint16_t>(nrr));
-            cells.push_back({name, config});
-        }
-    }
-    std::vector<SimResults> results = runGrid(cells, config.jobs);
-
-    std::vector<std::string> cols;
-    for (unsigned nrr : nrrValues)
-        cols.push_back("NRR=" + std::to_string(nrr));
-    printTableHeader(std::cout, title, cols);
-
-    std::vector<double> lastColumn;
-    std::vector<std::vector<double>> columns(nrrValues.size());
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        double base = results[bi].ipc();
-        std::vector<double> row;
-        for (std::size_t c = 0; c < nrrValues.size(); ++c) {
-            double ipc =
-                results[names.size() + bi * nrrValues.size() + c].ipc();
-            row.push_back(ipc / base);
-            columns[c].push_back(ipc / base);
-        }
-        lastColumn.push_back(row.back());
-        printTableRow(std::cout, names[bi], row, 3);
-    }
-
-    std::vector<double> means;
-    for (const auto &col : columns)
-        means.push_back(geoMean(col));
-    std::cout << std::string(12 + 12 * nrrValues.size(), '-') << "\n";
-    printTableRow(std::cout, "geomean", means, 3);
-    return lastColumn;
 }
 
 } // namespace vpr::bench

@@ -19,20 +19,28 @@
 namespace vpr::bench
 {
 
-/** Parse --scale=<f> into VPR_INSTS_SCALE and --jobs=<n> into VPR_JOBS
- *  before anything runs. */
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    /** --shard=i/N: run only the cells of slice i. */
+    ShardSpec shard;
+    /** --out=<path>: write one record per executed grid cell (CSV, or
+     *  JSON when the path ends in .json). Empty = no export. */
+    std::string outPath;
+};
+
+/** The options parseArgs() collected. */
+const BenchOptions &benchOptions();
+
+/** Parse --scale=<f> into VPR_INSTS_SCALE, --jobs=<n> into VPR_JOBS,
+ *  and --shard=i/N / --out=<path> into benchOptions(), before anything
+ *  runs. */
 void parseArgs(int argc, char **argv);
 
 /** The SimConfig all paper experiments start from: section 4.1 machine,
  *  trace-driven fetch stall on mispredictions, scaled-down budget,
  *  jobs from VPR_JOBS (see --jobs). */
 SimConfig experimentConfig();
-
-/** Run conv + one VP scheme for every benchmark and print speedups in
- *  the paper's figure style; returns the per-benchmark speedups. */
-std::vector<double> printSpeedupFigure(
-    const std::string &title, RenameScheme scheme,
-    const std::vector<unsigned> &nrrValues);
 
 /** Geometric-mean helper used when summarizing speedup figures. */
 double geoMean(const std::vector<double> &values);

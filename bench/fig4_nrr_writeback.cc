@@ -3,24 +3,16 @@
  * Figure 4 of the paper: speedup of the virtual-physical organization
  * (register allocation at write-back) over the conventional scheme for
  * NRR in {1, 4, 8, 16, 24, 32}, with 64 physical registers per file.
+ *
+ * The grid and table live in the figure registry (bench/figures/), so
+ * this binary, a --shard slice of it, and a merge_results re-render all
+ * produce the same bytes.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-    printSpeedupFigure(
-        "Figure 4: VP speedup over conventional, write-back allocation",
-        RenameScheme::VPAllocAtWriteback, {1, 4, 8, 16, 24, 32});
-    std::cout << "\npaper reference: NRR=32 best overall (FP average "
-                 "speedup 1.3); small NRR can fall below 1.0 for FP "
-                 "programs; swim speeds up (1.27-1.84) at every NRR.\n";
-    return 0;
+    return vpr::bench::figureMain("fig4_nrr_writeback", argc, argv);
 }

@@ -2,25 +2,13 @@
  * @file
  * Figure 5 of the paper: speedup of the virtual-physical organization
  * with register allocation at *issue* over the conventional scheme, for
- * NRR in {1, 4, 8, 16, 24, 32}.
+ * NRR in {1, 4, 8, 16, 24, 32}. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-    printSpeedupFigure(
-        "Figure 5: VP speedup over conventional, issue allocation",
-        RenameScheme::VPAllocAtIssue, {1, 4, 8, 16, 24, 32});
-    std::cout << "\npaper reference: optimal NRR is 32 (24 equal on "
-                 "average), giving ~4% over conventional — far less "
-                 "than write-back allocation.\n";
-    return 0;
+    return vpr::bench::figureMain("fig5_nrr_issue", argc, argv);
 }

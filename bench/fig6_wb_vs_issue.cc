@@ -2,58 +2,13 @@
  * @file
  * Figure 6 of the paper: write-back versus issue allocation, each at
  * its optimal NRR (32 for both), reported as speedup over the
- * conventional scheme per benchmark.
+ * conventional scheme per benchmark. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    SimConfig config = experimentConfig();
-    const auto &names = benchmarkNames();
-
-    // Grid: (conv, wb, issue) cell triple per benchmark.
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        config.setScheme(RenameScheme::Conventional);
-        cells.push_back({name, config});
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(32);
-        cells.push_back({name, config});
-        config.setScheme(RenameScheme::VPAllocAtIssue);
-        config.setNrr(32);
-        cells.push_back({name, config});
-    }
-    std::vector<SimResults> results = runGrid(cells, config.jobs);
-
-    printTableHeader(std::cout,
-                     "Figure 6: write-back vs issue allocation "
-                     "(speedup over conventional, NRR=32)",
-                     {"writeback", "issue"});
-
-    std::vector<double> wbAll, issAll;
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        double conv = results[3 * bi].ipc();
-        double wb = results[3 * bi + 1].ipc() / conv;
-        double iss = results[3 * bi + 2].ipc() / conv;
-
-        wbAll.push_back(wb);
-        issAll.push_back(iss);
-        printTableRow(std::cout, names[bi], {wb, iss}, 3);
-    }
-    std::cout << std::string(36, '-') << "\n";
-    printTableRow(std::cout, "geomean", {geoMean(wbAll), geoMean(issAll)},
-                  3);
-    std::cout << "\npaper reference: write-back allocation significantly "
-                 "outperforms issue allocation on every benchmark, in "
-                 "spite of the re-executions it causes.\n";
-    return 0;
+    return vpr::bench::figureMain("fig6_wb_vs_issue", argc, argv);
 }

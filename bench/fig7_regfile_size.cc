@@ -4,81 +4,13 @@
  * organizations (write-back allocation, NRR = NPR - 32) for register
  * files of 48, 64 and 96 physical registers, plus the paper's register
  * saving observation (VP at 48 regs ≈ conventional at 64).
+ * Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    SimConfig config = experimentConfig();
-    const std::vector<std::uint16_t> sizes = {48, 64, 96};
-
-    std::vector<std::string> cols;
-    for (auto s : sizes) {
-        cols.push_back("conv(" + std::to_string(s) + ")");
-        cols.push_back("virt(" + std::to_string(s) + ")");
-    }
-    printTableHeader(std::cout,
-                     "Figure 7: IPC for 48/64/96 physical registers "
-                     "(VP: write-back alloc, NRR = NPR-32)",
-                     cols);
-
-    // Grid: (conv, vp) per (benchmark × size), run on the engine.
-    const auto &names = benchmarkNames();
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            config.setPhysRegs(sizes[i]);  // NRR = max = NPR - 32
-            config.setScheme(RenameScheme::Conventional);
-            cells.push_back({name, config});
-            config.setScheme(RenameScheme::VPAllocAtWriteback);
-            cells.push_back({name, config});
-        }
-    }
-    std::vector<SimResults> results = runGrid(cells, config.jobs);
-
-    std::vector<std::vector<double>> convI(sizes.size()),
-        vpI(sizes.size());
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            double c = results[2 * (bi * sizes.size() + i)].ipc();
-            double v = results[2 * (bi * sizes.size() + i) + 1].ipc();
-            row.push_back(c);
-            row.push_back(v);
-            convI[i].push_back(c);
-            vpI[i].push_back(v);
-        }
-        printTableRow(std::cout, names[bi], row, 2);
-    }
-
-    std::cout << std::string(12 + 12 * cols.size(), '-') << "\n";
-    std::vector<double> hm;
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
-        hm.push_back(harmonicMean(convI[i]));
-        hm.push_back(harmonicMean(vpI[i]));
-    }
-    printTableRow(std::cout, "hmean", hm, 2);
-
-    std::cout << "\nimprovement by size:";
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
-        std::cout << "  " << sizes[i] << " regs: "
-                  << static_cast<int>(
-                         (hm[2 * i + 1] / hm[2 * i] - 1.0) * 100.0 + 0.5)
-                  << "%";
-    }
-    std::cout << "\nregister saving check: virt(48) hmean = "
-              << hm[1] << " vs conv(64) hmean = " << hm[2] << "\n";
-    std::cout << "\npaper reference: +31% / +19% / +8% for 48/64/96 "
-                 "registers; virt(48) IPC 1.17 ~ conv(64) IPC 1.23 — a "
-                 "25% register saving at equal performance.\n";
-    return 0;
+    return vpr::bench::figureMain("fig7_regfile_size", argc, argv);
 }

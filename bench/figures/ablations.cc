@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The four ablation studies as FigureDefs: early release vs VP,
+ * MSHR-count sweep, window-size sweep, and misprediction modelling
+ * (fetch stall vs synthetic wrong path vs wrong path with memory ops).
+ */
+
+#include "figures.hh"
+
+namespace vpr::bench
+{
+
+FigureDef
+ablationEarlyReleaseFigure()
+{
+    FigureDef def;
+    def.name = "ablation_early_release";
+    def.build = [] {
+        SimConfig config = experimentConfig();
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames()) {
+            config.setScheme(RenameScheme::Conventional);
+            cells.push_back({name, config});
+            config.setScheme(RenameScheme::ConventionalEarlyRelease);
+            cells.push_back({name, config});
+            config.setScheme(RenameScheme::VPAllocAtWriteback);
+            config.setNrr(32);
+            cells.push_back({name, config});
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        printTableHeader(os,
+                         "Ablation: early release vs virtual-physical "
+                         "(IPC, 64 regs)",
+                         {"conv", "early-rel", "vp-wb", "er-gain",
+                          "vp-gain"});
+
+        const auto &names = benchmarkNames();
+        std::vector<double> convAll, erAll, vpAll;
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            double conv = results[3 * bi].ipc();
+            double er = results[3 * bi + 1].ipc();
+            double vp = results[3 * bi + 2].ipc();
+
+            convAll.push_back(conv);
+            erAll.push_back(er);
+            vpAll.push_back(vp);
+            printTableRow(os, names[bi],
+                          {conv, er, vp, er / conv, vp / conv}, 3);
+        }
+        os << std::string(12 + 12 * 5, '-') << "\n";
+        printTableRow(os, "hmean",
+                      {harmonicMean(convAll), harmonicMean(erAll),
+                       harmonicMean(vpAll),
+                       harmonicMean(erAll) / harmonicMean(convAll),
+                       harmonicMean(vpAll) / harmonicMean(convAll)},
+                      3);
+
+        os << "\nexpectation: early release helps (it shortens the "
+              "tail of a value's lifetime) but recovers only part of "
+              "the virtual-physical gain — on miss-bound codes the "
+              "decode->write-back holding time dominates, which is "
+              "the paper's motivating argument.\n";
+    };
+    return def;
+}
+
+FigureDef
+ablationMshrFigure()
+{
+    static const std::vector<unsigned> mshrs = {2, 4, 8, 16, 32};
+    static const std::vector<std::string> names = {"swim", "mgrid",
+                                                   "apsi", "compress"};
+    FigureDef def;
+    def.name = "ablation_mshr";
+    def.build = [] {
+        std::vector<GridCell> cells;
+        for (const auto &name : names) {
+            for (unsigned m : mshrs) {
+                SimConfig config = experimentConfig();
+                config.core.cache.numMshrs = m;
+                config.setScheme(RenameScheme::Conventional);
+                cells.push_back({name, config});
+                config.setScheme(RenameScheme::VPAllocAtWriteback);
+                cells.push_back({name, config});
+            }
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        std::vector<std::string> cols;
+        for (auto m : mshrs)
+            cols.push_back("MSHR=" + std::to_string(m));
+        printTableHeader(os,
+                         "Ablation: VP speedup vs outstanding-miss "
+                         "limit (64 regs, write-back alloc)",
+                         cols);
+
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            std::vector<double> row;
+            for (std::size_t i = 0; i < mshrs.size(); ++i) {
+                double conv = results[2 * (bi * mshrs.size() + i)].ipc();
+                double vp =
+                    results[2 * (bi * mshrs.size() + i) + 1].ipc();
+                row.push_back(vp / conv);
+            }
+            printTableRow(os, names[bi], row, 3);
+        }
+
+        os << "\nexpectation: with very few MSHRs both schemes are "
+              "pinned to the same miss ceiling (speedup -> 1); the "
+              "speedup grows with MSHRs until the 128-entry window "
+              "becomes the limit.\n";
+    };
+    return def;
+}
+
+FigureDef
+ablationWindowFigure()
+{
+    static const std::vector<std::size_t> windows = {32, 64, 128, 256};
+    FigureDef def;
+    def.name = "ablation_window";
+    def.build = [] {
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames()) {
+            for (std::size_t w : windows) {
+                SimConfig config = experimentConfig();
+                config.core.robSize = w;
+                config.core.iqSize = w;
+                config.core.lsqSize = w;
+                config.setPhysRegs(64, 32);  // resizes the VP pool too
+
+                config.setScheme(RenameScheme::Conventional);
+                cells.push_back({name, config});
+                config.setScheme(RenameScheme::VPAllocAtWriteback);
+                cells.push_back({name, config});
+            }
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        std::vector<std::string> cols;
+        for (auto w : windows)
+            cols.push_back("ROB=" + std::to_string(w));
+        printTableHeader(os,
+                         "Ablation: VP speedup vs window size (64 regs, "
+                         "write-back alloc, NRR=32)",
+                         cols);
+
+        const auto &names = benchmarkNames();
+        std::vector<std::vector<double>> colVals(windows.size());
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            std::vector<double> row;
+            for (std::size_t i = 0; i < windows.size(); ++i) {
+                double conv =
+                    results[2 * (bi * windows.size() + i)].ipc();
+                double vp =
+                    results[2 * (bi * windows.size() + i) + 1].ipc();
+                row.push_back(vp / conv);
+                colVals[i].push_back(vp / conv);
+            }
+            printTableRow(os, names[bi], row, 3);
+        }
+        os << std::string(12 + 12 * windows.size(), '-') << "\n";
+        std::vector<double> means;
+        for (const auto &col : colVals)
+            means.push_back(geoMean(col));
+        printTableRow(os, "geomean", means, 3);
+
+        os << "\nexpectation: the speedup is a non-decreasing "
+              "function of the window size — a small window cannot "
+              "out-run 32 rename registers, a large one starves the "
+              "conventional scheme (paper, Conclusions).\n";
+    };
+    return def;
+}
+
+FigureDef
+ablationWrongPathFigure()
+{
+    FigureDef def;
+    def.name = "ablation_wrongpath";
+    def.build = [] {
+        // (conv, vp) per misprediction model per benchmark: fetch
+        // stall, synthetic ALU/FP wrong path, and wrong path with
+        // memory ops probing the cache (speculative pollution).
+        auto appendCells = [](std::vector<GridCell> &cells,
+                              const std::string &bench,
+                              WrongPathMode mode, bool mem) {
+            SimConfig config = experimentConfig();
+            config.core.fetch.wrongPath = mode;
+            config.core.fetch.wrongPathMem = mem;
+            config.setScheme(RenameScheme::Conventional);
+            cells.push_back({bench, config});
+            config.setScheme(RenameScheme::VPAllocAtWriteback);
+            cells.push_back({bench, config});
+        };
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames()) {
+            appendCells(cells, name, WrongPathMode::Stall, false);
+            appendCells(cells, name, WrongPathMode::Synthesize, false);
+            appendCells(cells, name, WrongPathMode::Synthesize, true);
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        printTableHeader(os,
+                         "Ablation: VP speedup under three misprediction "
+                         "models (64 regs, NRR=32)",
+                         {"stall", "wrong-path", "wp-mem"});
+        const auto &names = benchmarkNames();
+        std::vector<double> stallAll, wpAll, wpMemAll;
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            double st =
+                results[6 * bi + 1].ipc() / results[6 * bi].ipc();
+            double wp =
+                results[6 * bi + 3].ipc() / results[6 * bi + 2].ipc();
+            double wpMem =
+                results[6 * bi + 5].ipc() / results[6 * bi + 4].ipc();
+            stallAll.push_back(st);
+            wpAll.push_back(wp);
+            wpMemAll.push_back(wpMem);
+            printTableRow(os, names[bi], {st, wp, wpMem}, 3);
+        }
+        os << std::string(48, '-') << "\n";
+        printTableRow(os, "geomean",
+                      {geoMean(stallAll), geoMean(wpAll),
+                       geoMean(wpMemAll)},
+                      3);
+        os << "\nexpectation: wrong-path fetch consumes decode-time "
+              "rename registers in the conventional scheme only, so "
+              "the VP advantage is equal or slightly larger on branchy "
+              "codes; wrong-path memory ops additionally pollute the "
+              "cache and occupy MSHRs for both schemes. All paper "
+              "benches use the stall model for methodological "
+              "fidelity.\n";
+    };
+    return def;
+}
+
+} // namespace vpr::bench

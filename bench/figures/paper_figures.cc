@@ -1,0 +1,301 @@
+/**
+ * @file
+ * The paper's main results: Table 2 and Figures 4-7, as FigureDefs.
+ * Grid layouts and table formats are unchanged from the original bench
+ * binaries; only the plumbing moved behind build()/render().
+ */
+
+#include "figures.hh"
+
+namespace vpr::bench
+{
+
+namespace
+{
+
+/**
+ * Shared shape of Figures 4 and 5: conventional baselines first, then
+ * every (benchmark × NRR) cell of one VP scheme; rendered as speedup
+ * over the baseline with a geometric-mean row.
+ */
+FigureDef
+speedupFigure(std::string figName, std::string title, RenameScheme scheme,
+              std::vector<unsigned> nrrValues, std::string trailer)
+{
+    FigureDef def;
+    def.name = std::move(figName);
+    def.build = [scheme, nrrValues] {
+        SimConfig config = experimentConfig();
+        const auto &names = benchmarkNames();
+        std::vector<GridCell> cells;
+        config.setScheme(RenameScheme::Conventional);
+        for (const auto &name : names)
+            cells.push_back({name, config});
+        for (const auto &name : names) {
+            for (unsigned nrr : nrrValues) {
+                config.setScheme(scheme);
+                config.setNrr(static_cast<std::uint16_t>(nrr));
+                cells.push_back({name, config});
+            }
+        }
+        return cells;
+    };
+    def.render = [title = std::move(title), nrrValues,
+                  trailer = std::move(trailer)](
+                     const std::vector<GridCell> &,
+                     const std::vector<SimResults> &results,
+                     std::ostream &os) {
+        const auto &names = benchmarkNames();
+        std::vector<std::string> cols;
+        for (unsigned nrr : nrrValues)
+            cols.push_back("NRR=" + std::to_string(nrr));
+        printTableHeader(os, title, cols);
+
+        std::vector<std::vector<double>> columns(nrrValues.size());
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            double base = results[bi].ipc();
+            std::vector<double> row;
+            for (std::size_t c = 0; c < nrrValues.size(); ++c) {
+                double ipc =
+                    results[names.size() + bi * nrrValues.size() + c]
+                        .ipc();
+                row.push_back(ipc / base);
+                columns[c].push_back(ipc / base);
+            }
+            printTableRow(os, names[bi], row, 3);
+        }
+
+        std::vector<double> means;
+        for (const auto &col : columns)
+            means.push_back(geoMean(col));
+        os << std::string(12 + 12 * nrrValues.size(), '-') << "\n";
+        printTableRow(os, "geomean", means, 3);
+        os << trailer;
+    };
+    return def;
+}
+
+} // namespace
+
+FigureDef
+fig4Figure()
+{
+    return speedupFigure(
+        "fig4_nrr_writeback",
+        "Figure 4: VP speedup over conventional, write-back allocation",
+        RenameScheme::VPAllocAtWriteback, {1, 4, 8, 16, 24, 32},
+        "\npaper reference: NRR=32 best overall (FP average speedup "
+        "1.3); small NRR can fall below 1.0 for FP programs; swim "
+        "speeds up (1.27-1.84) at every NRR.\n");
+}
+
+FigureDef
+fig5Figure()
+{
+    return speedupFigure(
+        "fig5_nrr_issue",
+        "Figure 5: VP speedup over conventional, issue allocation",
+        RenameScheme::VPAllocAtIssue, {1, 4, 8, 16, 24, 32},
+        "\npaper reference: optimal NRR is 32 (24 equal on average), "
+        "giving ~4% over conventional — far less than write-back "
+        "allocation.\n");
+}
+
+FigureDef
+fig6Figure()
+{
+    FigureDef def;
+    def.name = "fig6_wb_vs_issue";
+    def.build = [] {
+        SimConfig config = experimentConfig();
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames()) {
+            config.setScheme(RenameScheme::Conventional);
+            cells.push_back({name, config});
+            config.setScheme(RenameScheme::VPAllocAtWriteback);
+            config.setNrr(32);
+            cells.push_back({name, config});
+            config.setScheme(RenameScheme::VPAllocAtIssue);
+            config.setNrr(32);
+            cells.push_back({name, config});
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        const auto &names = benchmarkNames();
+        printTableHeader(os,
+                         "Figure 6: write-back vs issue allocation "
+                         "(speedup over conventional, NRR=32)",
+                         {"writeback", "issue"});
+
+        std::vector<double> wbAll, issAll;
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            double conv = results[3 * bi].ipc();
+            double wb = results[3 * bi + 1].ipc() / conv;
+            double iss = results[3 * bi + 2].ipc() / conv;
+
+            wbAll.push_back(wb);
+            issAll.push_back(iss);
+            printTableRow(os, names[bi], {wb, iss}, 3);
+        }
+        os << std::string(36, '-') << "\n";
+        printTableRow(os, "geomean", {geoMean(wbAll), geoMean(issAll)},
+                      3);
+        os << "\npaper reference: write-back allocation significantly "
+              "outperforms issue allocation on every benchmark, in "
+              "spite of the re-executions it causes.\n";
+    };
+    return def;
+}
+
+FigureDef
+fig7Figure()
+{
+    static const std::vector<std::uint16_t> sizes = {48, 64, 96};
+    FigureDef def;
+    def.name = "fig7_regfile_size";
+    def.build = [] {
+        SimConfig config = experimentConfig();
+        std::vector<GridCell> cells;
+        for (const auto &name : benchmarkNames()) {
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                config.setPhysRegs(sizes[i]);  // NRR = max = NPR - 32
+                config.setScheme(RenameScheme::Conventional);
+                cells.push_back({name, config});
+                config.setScheme(RenameScheme::VPAllocAtWriteback);
+                cells.push_back({name, config});
+            }
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        std::vector<std::string> cols;
+        for (auto s : sizes) {
+            cols.push_back("conv(" + std::to_string(s) + ")");
+            cols.push_back("virt(" + std::to_string(s) + ")");
+        }
+        printTableHeader(os,
+                         "Figure 7: IPC for 48/64/96 physical registers "
+                         "(VP: write-back alloc, NRR = NPR-32)",
+                         cols);
+
+        const auto &names = benchmarkNames();
+        std::vector<std::vector<double>> convI(sizes.size()),
+            vpI(sizes.size());
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            std::vector<double> row;
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                double c = results[2 * (bi * sizes.size() + i)].ipc();
+                double v = results[2 * (bi * sizes.size() + i) + 1].ipc();
+                row.push_back(c);
+                row.push_back(v);
+                convI[i].push_back(c);
+                vpI[i].push_back(v);
+            }
+            printTableRow(os, names[bi], row, 2);
+        }
+
+        os << std::string(12 + 12 * cols.size(), '-') << "\n";
+        std::vector<double> hm;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            hm.push_back(harmonicMean(convI[i]));
+            hm.push_back(harmonicMean(vpI[i]));
+        }
+        printTableRow(os, "hmean", hm, 2);
+
+        os << "\nimprovement by size:";
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            os << "  " << sizes[i] << " regs: "
+               << static_cast<int>(
+                      (hm[2 * i + 1] / hm[2 * i] - 1.0) * 100.0 + 0.5)
+               << "%";
+        }
+        os << "\nregister saving check: virt(48) hmean = " << hm[1]
+           << " vs conv(64) hmean = " << hm[2] << "\n";
+        os << "\npaper reference: +31% / +19% / +8% for 48/64/96 "
+              "registers; virt(48) IPC 1.17 ~ conv(64) IPC 1.23 — a "
+              "25% register saving at equal performance.\n";
+    };
+    return def;
+}
+
+FigureDef
+table2Figure()
+{
+    // Two sub-grids: the main 50-cycle-miss table, then the paper's
+    // 20-cycle side note. Each is a (conv, vp) cell pair per benchmark.
+    static const std::vector<unsigned> penalties = {50, 20};
+    FigureDef def;
+    def.name = "table2_ipc";
+    def.build = [] {
+        std::vector<GridCell> cells;
+        for (unsigned missPenalty : penalties) {
+            SimConfig config = experimentConfig();
+            config.core.cache.missPenalty = missPenalty;
+            for (const auto &name : benchmarkNames()) {
+                config.setScheme(RenameScheme::Conventional);
+                cells.push_back({name, config});
+                config.setScheme(RenameScheme::VPAllocAtWriteback);
+                config.setNrr(32);
+                cells.push_back({name, config});
+            }
+        }
+        return cells;
+    };
+    def.render = [](const std::vector<GridCell> &,
+                    const std::vector<SimResults> &results,
+                    std::ostream &os) {
+        const auto &names = benchmarkNames();
+
+        auto renderTable = [&](std::size_t offset, unsigned missPenalty,
+                               bool verbose) {
+            std::vector<double> convIpcs, vpIpcs;
+            if (verbose)
+                printTableHeader(
+                    os,
+                    "Table 2: IPC, conventional vs virtual-physical "
+                    "(write-back alloc, NRR=32, 64 regs, miss=" +
+                        std::to_string(missPenalty) + ")",
+                    {"conv", "virt-phys", "imp(%)", "exec/ci"});
+            for (std::size_t bi = 0; bi < names.size(); ++bi) {
+                const SimResults &conv = results[offset + 2 * bi];
+                const SimResults &vp = results[offset + 2 * bi + 1];
+
+                convIpcs.push_back(conv.ipc());
+                vpIpcs.push_back(vp.ipc());
+                if (verbose) {
+                    printTableRow(os, names[bi],
+                                  {conv.ipc(), vp.ipc(),
+                                   (vp.ipc() / conv.ipc() - 1.0) * 100.0,
+                                   vp.executionsPerCommit()},
+                                  2);
+                }
+            }
+            double ch = harmonicMean(convIpcs);
+            double vh = harmonicMean(vpIpcs);
+            if (verbose)
+                os << std::string(60, '-') << "\n";
+            printTableRow(os,
+                          verbose ? "hmean"
+                                  : ("hmean(miss=" +
+                                     std::to_string(missPenalty) + ")"),
+                          {ch, vh, (vh / ch - 1.0) * 100.0}, 2);
+        };
+
+        renderTable(0, penalties[0], true);
+        os << "\npaper note: improvement at a 20-cycle miss penalty\n";
+        renderTable(2 * names.size(), penalties[1], false);
+
+        os << "\npaper reference: hmean IPC 1.23 (conv) vs 1.46 "
+              "(virt-phys), +19% at miss=50; +12% at miss=20;\n"
+              "FP improvements 4-84%, integer 4-9%; ~3.3 executions "
+              "per committed instruction.\n";
+    };
+    return def;
+}
+
+} // namespace vpr::bench

@@ -128,6 +128,27 @@ BM_IqWakeup(benchmark::State &state)
 }
 BENCHMARK(BM_IqWakeup);
 
+/** Issue-path IQ maintenance: remove a mid-queue entry by position and
+ *  re-insert it (seq-ordered). Guards the no-snapshot issue scan and the
+ *  binary-search remove. */
+void
+BM_IqRemoveReinsert(benchmark::State &state)
+{
+    InstQueue iq(128);
+    std::vector<DynInst> insts(128);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        insts[i] = makeAlu(i + 1);
+        iq.insert(&insts[i]);
+    }
+    for (auto _ : state) {
+        DynInst *inst = iq.at(37);
+        iq.removeAt(37);
+        benchmark::DoNotOptimize(iq.size());
+        iq.insert(inst);
+    }
+}
+BENCHMARK(BM_IqRemoveReinsert);
+
 /** Non-blocking cache: streaming accesses (25% miss). */
 void
 BM_CacheStream(benchmark::State &state)

@@ -18,79 +18,13 @@
  * magnitudes of the example. Latencies differ slightly (our machine
  * uses Table 1 latencies and a 50-cycle miss), so the absolute cycle
  * counts differ; the ranking and the large decode-allocation waste are
- * the point.
+ * the point. Grid/table: bench/figures/.
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "trace/builder.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
-
-namespace
-{
-
-/** The paper's four-instruction chain, repeated to reach steady state. */
-std::vector<TraceRecord>
-exampleTrace(unsigned repeats)
-{
-    TraceBuilder b;
-    for (unsigned i = 0; i < repeats; ++i) {
-        // A fresh line each time so every load misses, like the example.
-        Addr addr = 0x10000000 + static_cast<Addr>(i) * 64;
-        b.load(RegId::fpReg(2), RegId::intReg(6), addr);
-        b.fpDiv(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(10));
-        b.fpMul(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(12));
-        b.fpAdd(RegId::fpReg(2), RegId::fpReg(2), RegId::fpReg(1));
-    }
-    return b.records();
-}
-
-double
-measure(RenameScheme scheme, double *ipcOut)
-{
-    SimConfig config = experimentConfig();
-    config.setScheme(scheme);
-    config.skipInsts = 0;
-    config.measureInsts = 4000;
-
-    VectorTraceStream stream(exampleTrace(1200));
-    Simulator sim(stream, config);
-    SimResults r = sim.run();
-    if (ipcOut)
-        *ipcOut = r.ipc();
-    return r.meanHoldCyclesFp;
-}
-
-} // namespace
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    std::cout << "Section 3.1 motivating example: load->fdiv->fmul->fadd "
-                 "chain, all writing f2\n\n";
-
-    double ipcConv, ipcWb, ipcIss;
-    double conv = measure(RenameScheme::Conventional, &ipcConv);
-    double wb = measure(RenameScheme::VPAllocAtWriteback, &ipcWb);
-    double iss = measure(RenameScheme::VPAllocAtIssue, &ipcIss);
-
-    printTableHeader(std::cout,
-                     "FP register holding time per produced value",
-                     {"cycles", "vs conv", "IPC"});
-    printTableRow(std::cout, "decode", {conv, 1.0, ipcConv}, 2);
-    printTableRow(std::cout, "issue", {iss, iss / conv, ipcIss}, 2);
-    printTableRow(std::cout, "writeback", {wb, wb / conv, ipcWb}, 2);
-
-    std::cout << "\npaper reference (its latencies): decode allocation "
-                 "holds registers 151 cycles total per 3 values,\n"
-                 "write-back allocation 38 (-75%), issue allocation 88 "
-                 "(-42%). The ordering decode > issue > writeback\n"
-                 "and the magnitude of the decode-allocation waste are "
-                 "the reproduced claims.\n";
-    return 0;
+    return vpr::bench::figureMain("motivating_example", argc, argv);
 }

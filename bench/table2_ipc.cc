@@ -5,94 +5,13 @@
  * 64 physical registers per file, plus the paper's side notes — the
  * harmonic-mean improvement (19% at a 50-cycle miss penalty, 12% at
  * 20 cycles) and the ~3.3 executions per committed instruction.
+ * Grid/table: bench/figures/.
  */
 
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hh"
-
-using namespace vpr;
-using namespace vpr::bench;
-
-namespace
-{
-
-struct Row
-{
-    double conv;
-    double vp;
-    double execPerCommit;
-};
-
-void
-runTable(unsigned missPenalty, bool verbose)
-{
-    SimConfig config = experimentConfig();
-    config.core.cache.missPenalty = missPenalty;
-    const auto &names = benchmarkNames();
-
-    // Grid: (conv, vp) cell pair per benchmark, run on the engine.
-    std::vector<GridCell> cells;
-    for (const auto &name : names) {
-        config.setScheme(RenameScheme::Conventional);
-        cells.push_back({name, config});
-        config.setScheme(RenameScheme::VPAllocAtWriteback);
-        config.setNrr(32);
-        cells.push_back({name, config});
-    }
-    std::vector<SimResults> results = runGrid(cells, config.jobs);
-
-    std::vector<double> convIpcs, vpIpcs;
-    if (verbose)
-        printTableHeader(std::cout,
-                         "Table 2: IPC, conventional vs virtual-physical "
-                         "(write-back alloc, NRR=32, 64 regs, miss=" +
-                             std::to_string(missPenalty) + ")",
-                         {"conv", "virt-phys", "imp(%)", "exec/ci"});
-    for (std::size_t bi = 0; bi < names.size(); ++bi) {
-        const std::string &name = names[bi];
-        const SimResults &conv = results[2 * bi];
-        const SimResults &vp = results[2 * bi + 1];
-
-        convIpcs.push_back(conv.ipc());
-        vpIpcs.push_back(vp.ipc());
-        if (verbose) {
-            printTableRow(std::cout, name,
-                          {conv.ipc(), vp.ipc(),
-                           (vp.ipc() / conv.ipc() - 1.0) * 100.0,
-                           vp.stats.executionsPerCommit()},
-                          2);
-        }
-    }
-    double ch = harmonicMean(convIpcs);
-    double vh = harmonicMean(vpIpcs);
-    if (verbose)
-        std::cout << std::string(60, '-') << "\n";
-    printTableRow(std::cout,
-                  verbose ? "hmean" : ("hmean(miss=" +
-                                       std::to_string(missPenalty) + ")"),
-                  {ch, vh, (vh / ch - 1.0) * 100.0}, 2);
-}
-
-} // namespace
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
-
-    // Main experiment: 50-cycle miss penalty (the paper's Table 2).
-    runTable(50, true);
-
-    // The paper's side note: with a 20-cycle penalty the improvement
-    // drops (19% -> 12%) because register lifetimes shrink.
-    std::cout << "\npaper note: improvement at a 20-cycle miss penalty\n";
-    runTable(20, false);
-
-    std::cout << "\npaper reference: hmean IPC 1.23 (conv) vs 1.46 "
-                 "(virt-phys), +19% at miss=50; +12% at miss=20;\n"
-                 "FP improvements 4-84%, integer 4-9%; ~3.3 executions "
-                 "per committed instruction.\n";
-    return 0;
+    return vpr::bench::figureMain("table2_ipc", argc, argv);
 }

@@ -89,9 +89,9 @@ main()
         Simulator sim(stream, config);
         SimResults r = sim.run();
         std::cout << renameSchemeName(s) << ": IPC = " << r.ipc()
-                  << "  (miss rate " << r.cacheMissRate
+                  << "  (miss rate " << r.cacheMissRate()
                   << ", exec/commit "
-                  << r.stats.executionsPerCommit() << ")\n";
+                  << r.executionsPerCommit() << ")\n";
     }
     return 0;
 }

@@ -9,8 +9,9 @@
  * The whole sweep is submitted to the ParallelExperimentEngine as one
  * grid; the printed table is byte-identical for every --jobs value.
  *
- * Usage: nrr_explorer [--jobs N] [benchmark] [physRegs]
- *        (defaults: hydro2d 64, jobs 1; jobs 0 = one per hw thread)
+ * Usage: nrr_explorer [--jobs N] [--out F] [benchmark] [physRegs]
+ *        (defaults: hydro2d 64, jobs 1; jobs 0 = one per hw thread;
+ *        --out writes one record per grid cell, CSV or .json)
  */
 
 #include <cstdlib>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/results_io.hh"
 #include "trace/kernels/kernels.hh"
 
 using namespace vpr;
@@ -31,6 +33,7 @@ main(int argc, char **argv)
     std::string bench = "hydro2d";
     std::uint16_t physRegs = 64;
     unsigned jobs = 1;
+    std::string outPath;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -38,6 +41,10 @@ main(int argc, char **argv)
             jobs = parseJobs(argv[++i]);
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             jobs = parseJobs(argv[i] + 7);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            outPath = argv[i] + 6;
         } else {
             positional.push_back(argv[i]);
         }
@@ -80,6 +87,9 @@ main(int argc, char **argv)
         cells.push_back({bench, config});
     }
     std::vector<SimResults> results = runGrid(cells, jobs);
+
+    if (!outPath.empty())
+        exportAllCells(outPath, "nrr_explorer", cells, results);
 
     double conv = results[0].ipc();
     std::cout << "benchmark " << bench << ", " << physRegs

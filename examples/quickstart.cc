@@ -41,11 +41,11 @@ main(int argc, char **argv)
     std::cout << "speedup: " << vp.ipc() / conv.ipc() << "x\n\n";
 
     std::cout << "register holding time per value (cycles):\n";
-    std::cout << "  conventional: int=" << conv.meanHoldCyclesInt
-              << " fp=" << conv.meanHoldCyclesFp << "\n";
-    std::cout << "  virt-phys:    int=" << vp.meanHoldCyclesInt
-              << " fp=" << vp.meanHoldCyclesFp << "\n";
+    std::cout << "  conventional: int=" << conv.meanHoldCyclesInt()
+              << " fp=" << conv.meanHoldCyclesFp() << "\n";
+    std::cout << "  virt-phys:    int=" << vp.meanHoldCyclesInt()
+              << " fp=" << vp.meanHoldCyclesFp() << "\n";
     std::cout << "\nre-executions per committed instruction (vp): "
-              << vp.stats.executionsPerCommit() << "\n";
+              << vp.executionsPerCommit() << "\n";
     return 0;
 }

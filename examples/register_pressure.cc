@@ -55,9 +55,9 @@ runScheme(RenameScheme scheme)
     std::cout << std::left << std::setw(14)
               << renameSchemeName(scheme) << std::fixed
               << std::setprecision(2) << "  hold/value(fp)="
-              << std::setw(8) << r.meanHoldCyclesFp
+              << std::setw(8) << r.meanHoldCyclesFp()
               << "  avg busy fp regs=" << std::setw(7)
-              << r.stats.avgBusyFpRegs << "  IPC=" << r.ipc() << "\n";
+              << r.avgBusyFpRegs() << "  IPC=" << r.ipc() << "\n";
 }
 
 } // namespace

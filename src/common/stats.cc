@@ -15,6 +15,14 @@ Scalar::print(std::ostream &os) const
 }
 
 void
+Real::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " " << std::right
+       << std::setw(14) << std::fixed << std::setprecision(4) << value()
+       << "  # " << desc() << "\n";
+}
+
+void
 Average::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " " << std::right
@@ -77,6 +85,57 @@ Distribution::print(std::ostream &os) const
         os << "  underflows " << under << "\n";
     if (over)
         os << "  overflows " << over << "\n";
+}
+
+void
+Distribution::visit(StatVisitor &v) const
+{
+    v.visitReal(name() + ".mean", desc(), mean());
+    v.visitUInt(name() + ".samples", desc(), n);
+    v.visitUInt(name() + ".min", desc(), minSeen);
+    v.visitUInt(name() + ".max", desc(), maxSeen);
+    v.visitUInt(name() + ".underflows", desc(), under);
+    v.visitUInt(name() + ".overflows", desc(), over);
+}
+
+namespace
+{
+
+/** Forwards to an inner visitor with "<prefix>." prepended to names. */
+class PrefixVisitor : public StatVisitor
+{
+  public:
+    PrefixVisitor(const std::string &prefix, StatVisitor &inner)
+        : pfx(prefix + "."), v(inner)
+    {}
+
+    void
+    visitUInt(const std::string &name, const std::string &desc,
+              std::uint64_t val) override
+    {
+        v.visitUInt(pfx + name, desc, val);
+    }
+
+    void
+    visitReal(const std::string &name, const std::string &desc,
+              double val) override
+    {
+        v.visitReal(pfx + name, desc, val);
+    }
+
+  private:
+    std::string pfx;
+    StatVisitor &v;
+};
+
+} // namespace
+
+void
+StatGroup::visit(StatVisitor &v) const
+{
+    PrefixVisitor prefixed(groupName, v);
+    for (const auto *s : statList)
+        s->visit(prefixed);
 }
 
 void

@@ -18,6 +18,26 @@
 namespace vpr::stats
 {
 
+/**
+ * Visitor over the (name, desc, typed value) triples a statistic
+ * exposes. This is the machine-readable face of the package: anything
+ * that can pretty-print can also be enumerated into an export record.
+ * A multi-valued stat (e.g. Distribution) visits one triple per
+ * sub-value, suffixing its name.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    /** An integral counter/gauge value. */
+    virtual void visitUInt(const std::string &name,
+                           const std::string &desc, std::uint64_t v) = 0;
+    /** A real-valued mean/rate/ratio. */
+    virtual void visitReal(const std::string &name,
+                           const std::string &desc, double v) = 0;
+};
+
 /** Base class for every statistic. */
 class StatBase
 {
@@ -34,6 +54,8 @@ class StatBase
     virtual void reset() = 0;
     /** Print "name value # desc" style line(s). */
     virtual void print(std::ostream &os) const = 0;
+    /** Enumerate the stat's values into @p v. */
+    virtual void visit(StatVisitor &v) const = 0;
 
   private:
     std::string statName;
@@ -54,8 +76,36 @@ class Scalar : public StatBase
     void reset() override { val = 0; }
     void print(std::ostream &os) const override;
 
+    void
+    visit(StatVisitor &v) const override
+    {
+        v.visitUInt(name(), desc(), val);
+    }
+
   private:
     std::uint64_t val = 0;
+};
+
+/** A real-valued gauge for derived rates and ratios (IPC, miss rate). */
+class Real : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void set(double v) { val = v; }
+    double value() const { return val; }
+
+    void reset() override { val = 0.0; }
+    void print(std::ostream &os) const override;
+
+    void
+    visit(StatVisitor &v) const override
+    {
+        v.visitReal(name(), desc(), val);
+    }
+
+  private:
+    double val = 0.0;
 };
 
 /** Mean of a stream of samples. */
@@ -77,6 +127,13 @@ class Average : public StatBase
 
     void reset() override { sum = 0.0; n = 0; }
     void print(std::ostream &os) const override;
+
+    void
+    visit(StatVisitor &v) const override
+    {
+        v.visitReal(name(), desc(), mean());
+        v.visitUInt(name() + ".samples", desc(), n);
+    }
 
   private:
     double sum = 0.0;
@@ -103,6 +160,7 @@ class Distribution : public StatBase
 
     void reset() override;
     void print(std::ostream &os) const override;
+    void visit(StatVisitor &v) const override;
 
   private:
     std::uint64_t lo;
@@ -133,6 +191,11 @@ class StatGroup
 
     void resetAll();
     void print(std::ostream &os) const;
+
+    /** Enumerate every stat in registration order, with each name
+     *  prefixed "<group>." so records from different groups can share a
+     *  flat namespace. */
+    void visit(StatVisitor &v) const;
 
   private:
     std::string groupName;

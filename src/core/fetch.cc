@@ -5,6 +5,12 @@
 namespace vpr
 {
 
+const char *
+wrongPathModeName(WrongPathMode mode)
+{
+    return mode == WrongPathMode::Stall ? "stall" : "synthesize";
+}
+
 FetchUnit::FetchUnit(TraceStream &stream, const FetchConfig &config)
     : trace(stream), cfg(config), bht(config.bhtEntries),
       wpRng(config.wrongPathSeed)
@@ -18,8 +24,8 @@ StaticInst
 FetchUnit::synthesizeWrongPath()
 {
     // Wrong-path mixes are dominated by short integer ops; memory
-    // operations are deliberately excluded so speculative pollution of
-    // the data cache stays out of scope (see DESIGN.md).
+    // operations stay out unless wrongPathMem is set, so speculative
+    // pollution of the data cache is opt-in (see DESIGN.md).
     StaticInst si;
     std::uint64_t pick = wpRng.below(100);
     auto randInt = [this] {
@@ -30,7 +36,27 @@ FetchUnit::synthesizeWrongPath()
         return RegId::fpReg(static_cast<std::uint16_t>(
             wpRng.below(kNumLogicalRegs)));
     };
-    if (pick < 60) {
+    if (cfg.wrongPathMem) {
+        // Wrong-path addresses come from stale or garbage registers:
+        // model them as random lines in a dedicated region. Pollution
+        // works through cache-index conflicts, so the base is
+        // irrelevant; only the line spread matters.
+        auto randAddr = [this] {
+            return static_cast<Addr>(0x30000000ull +
+                                     wpRng.below(1ull << 16) * 64);
+        };
+        if (pick < 18) {
+            si = StaticInst::load(randInt(), randInt(), randAddr());
+        } else if (pick < 26) {
+            si = StaticInst::store(randInt(), randInt(), randAddr());
+        } else if (pick < 66) {
+            si = StaticInst::alu(randInt(), randInt(), randInt());
+        } else if (pick < 90) {
+            si = StaticInst::fpAdd(randFp(), randFp(), randFp());
+        } else {
+            si = StaticInst::nop();
+        }
+    } else if (pick < 60) {
         si = StaticInst::alu(randInt(), randInt(), randInt());
     } else if (pick < 85) {
         si = StaticInst::fpAdd(randFp(), randFp(), randFp());

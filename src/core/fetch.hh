@@ -56,7 +56,18 @@ struct FetchConfig
     unsigned redirectDelay = 1;  ///< cycles from resolve to next fetch
     WrongPathMode wrongPath = WrongPathMode::Synthesize;
     std::uint64_t wrongPathSeed = 0x77f00dull;
+
+    /**
+     * Let synthesized wrong-path instructions include loads and stores
+     * that really probe the cache and LSQ (speculative pollution).
+     * Off by default: the paper's methodology keeps wrong-path memory
+     * accesses out of scope, and the reproduction numbers match it.
+     */
+    bool wrongPathMem = false;
 };
+
+/** Short stable name for a WrongPathMode ("stall"/"synthesize"). */
+const char *wrongPathModeName(WrongPathMode mode);
 
 /** The fetch unit. */
 class FetchUnit

@@ -27,9 +27,19 @@ InstQueue::insert(DynInst *inst)
 void
 InstQueue::remove(DynInst *inst)
 {
-    auto it = std::find(list.begin(), list.end(), inst);
-    VPR_ASSERT(it != list.end(), "IQ remove: entry not present");
+    auto it = std::lower_bound(
+        list.begin(), list.end(), inst,
+        [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
+    VPR_ASSERT(it != list.end() && *it == inst,
+               "IQ remove: entry not present");
     list.erase(it);
+}
+
+void
+InstQueue::removeAt(std::size_t i)
+{
+    VPR_ASSERT(i < list.size(), "IQ removeAt: index out of range");
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void

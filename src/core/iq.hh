@@ -40,8 +40,23 @@ class InstQueue
      */
     void insert(DynInst *inst);
 
-    /** Remove a specific entry (after issue). */
+    /**
+     * Remove a specific entry. The list is seq-ordered, so the entry is
+     * located by binary search — O(log n) compare plus the erase shift,
+     * not a linear scan.
+     */
     void remove(DynInst *inst);
+
+    /** Entry at age-order position @p i (0 = oldest). */
+    DynInst *
+    at(std::size_t i) const
+    {
+        return list[i];
+    }
+
+    /** Remove the entry at age-order position @p i — the issue path,
+     *  where the caller already knows the position. */
+    void removeAt(std::size_t i);
 
     /** Remove every entry younger than @p seq (branch recovery). */
     void squashYoungerThan(InstSeqNum seq);

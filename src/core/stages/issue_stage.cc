@@ -132,23 +132,28 @@ IssueStage::tryIssueOne(DynInst *inst)
 void
 IssueStage::tick()
 {
-    // Oldest-first selection over a snapshot (issue mutates the queue).
-    // Two passes: first executions have priority; re-executions fill the
-    // remaining slots ("resources that otherwise would be unused",
-    // paper §4.2.1).
-    std::vector<DynInst *> candidates(s.iq.entries());
+    // Oldest-first selection directly over the age-ordered list — no
+    // per-cycle snapshot copy. Issue is the only mutation during the
+    // scan (nothing is inserted or squashed from inside tryIssueOne),
+    // so removing the issued entry and keeping the index in place walks
+    // every remaining entry exactly once. Two passes: first executions
+    // have priority; re-executions fill the remaining slots ("resources
+    // that otherwise would be unused", paper §4.2.1).
     unsigned issued = 0;
     for (int pass = 0; pass < 2 && issued < s.cfg.issueWidth; ++pass) {
-        for (DynInst *inst : candidates) {
-            if (issued >= s.cfg.issueWidth)
-                break;
-            if ((inst->executions > 0) != (pass == 1))
+        std::size_t i = 0;
+        while (i < s.iq.size() && issued < s.cfg.issueWidth) {
+            DynInst *inst = s.iq.at(i);
+            if ((inst->executions > 0) != (pass == 1) ||
+                inst->phase != InstPhase::Renamed) {
+                ++i;
                 continue;
-            if (inst->phase != InstPhase::Renamed)
-                continue;  // issued in the first pass
+            }
             if (tryIssueOne(inst)) {
-                s.iq.remove(inst);
+                s.iq.removeAt(i);
                 ++issued;
+            } else {
+                ++i;
             }
         }
     }

@@ -37,6 +37,44 @@ runGrid(const std::vector<GridCell> &cells, unsigned jobs)
     return engine.run(cells);
 }
 
+ShardSpec
+parseShard(const char *text)
+{
+    char *end = nullptr;
+    unsigned long i = std::strtoul(text, &end, 10);
+    if (end == text || *end != '/')
+        VPR_FATAL("bad shard '", text, "' (want i/N, e.g. 0/4)");
+    const char *countText = end + 1;
+    unsigned long n = std::strtoul(countText, &end, 10);
+    if (end == countText || *end != '\0' || n == 0 || n > 4096 || i >= n)
+        VPR_FATAL("bad shard '", text, "' (want i/N with 0 <= i < N)");
+    return ShardSpec{static_cast<unsigned>(i), static_cast<unsigned>(n)};
+}
+
+std::vector<std::size_t>
+shardCellIndices(std::size_t totalCells, const ShardSpec &shard)
+{
+    VPR_ASSERT(shard.count > 0 && shard.index < shard.count,
+               "invalid shard ", shard.index, "/", shard.count);
+    std::vector<std::size_t> indices;
+    for (std::size_t i = shard.index; i < totalCells; i += shard.count)
+        indices.push_back(i);
+    return indices;
+}
+
+std::vector<GridCell>
+selectCells(const std::vector<GridCell> &cells,
+            const std::vector<std::size_t> &indices)
+{
+    std::vector<GridCell> out;
+    out.reserve(indices.size());
+    for (std::size_t i : indices) {
+        VPR_ASSERT(i < cells.size(), "cell index ", i, " out of range");
+        out.push_back(cells[i]);
+    }
+    return out;
+}
+
 std::map<std::string, SimResults>
 runAll(const SimConfig &config)
 {

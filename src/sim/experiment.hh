@@ -38,6 +38,31 @@ std::vector<SimResults> runGrid(const std::vector<GridCell> &cells,
                                 unsigned jobs);
 
 /**
+ * A deterministic slice of a grid: shard @p index of @p count. Cells
+ * are dealt round-robin (cell i belongs to shard i % count) so unequal
+ * cell runtimes balance across hosts. count == 1 is the whole grid.
+ */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 1;
+
+    bool active() const { return count > 1; }
+};
+
+/** Strictly parse an "i/N" shard spec (0 <= i < N); fatal()s on user
+ *  error so a CI matrix cannot silently run the wrong slice. */
+ShardSpec parseShard(const char *text);
+
+/** The global cell indices belonging to @p shard, ascending. */
+std::vector<std::size_t> shardCellIndices(std::size_t totalCells,
+                                          const ShardSpec &shard);
+
+/** The subset of @p cells selected by @p indices, in index order. */
+std::vector<GridCell> selectCells(const std::vector<GridCell> &cells,
+                                  const std::vector<std::size_t> &indices);
+
+/**
  * Run every benchmark of the paper under @p config, using config.jobs
  * worker threads.
  * @return results keyed by benchmark name (paper order preserved via

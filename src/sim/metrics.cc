@@ -1,0 +1,84 @@
+#include "sim/metrics.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace vpr
+{
+
+std::string
+Metric::text() const
+{
+    if (kind == Kind::UInt)
+        return std::to_string(uval);
+    std::ostringstream os;
+    os << std::setprecision(17) << rval;
+    return os.str();
+}
+
+Metric &
+MetricsRecord::slot(const std::string &name, const std::string &desc)
+{
+    auto it = index.find(name);
+    if (it != index.end())
+        return metrics[it->second];
+    index.emplace(name, metrics.size());
+    metrics.push_back(Metric{name, desc, Metric::Kind::UInt, 0, 0.0});
+    return metrics.back();
+}
+
+void
+MetricsRecord::visitUInt(const std::string &name, const std::string &desc,
+                         std::uint64_t v)
+{
+    Metric &m = slot(name, desc);
+    m.kind = Metric::Kind::UInt;
+    m.uval = v;
+}
+
+void
+MetricsRecord::visitReal(const std::string &name, const std::string &desc,
+                         double v)
+{
+    Metric &m = slot(name, desc);
+    m.kind = Metric::Kind::Real;
+    m.rval = v;
+}
+
+bool
+MetricsRecord::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+std::uint64_t
+MetricsRecord::counter(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        return 0;
+    const Metric &m = metrics[it->second];
+    return m.kind == Metric::Kind::UInt
+               ? m.uval
+               : static_cast<std::uint64_t>(m.rval);
+}
+
+double
+MetricsRecord::real(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0.0 : metrics[it->second].asReal();
+}
+
+bool
+MetricsRecord::sameSchema(const MetricsRecord &other) const
+{
+    if (metrics.size() != other.metrics.size())
+        return false;
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        if (metrics[i].name != other.metrics[i].name)
+            return false;
+    return true;
+}
+
+} // namespace vpr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * MetricsRecord: the self-describing result record of one simulation.
+ *
+ * A record is an ordered list of (name, desc, typed value) metrics,
+ * keyed by stable dotted names ("core.ipc", "memory.cache_miss_rate").
+ * It is populated by visiting stats::StatGroups — MetricsRecord *is* a
+ * StatVisitor — so any subsystem that registers stats is exported
+ * without bespoke glue. Insertion order is the export schema order:
+ * two records built from the same groups have identical schemas, which
+ * is what lets shard files from different hosts be merged column-safe.
+ */
+
+#ifndef VPR_SIM_METRICS_HH
+#define VPR_SIM_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace vpr
+{
+
+/** One named value of a MetricsRecord. */
+struct Metric
+{
+    enum class Kind : std::uint8_t { UInt, Real };
+
+    std::string name;
+    std::string desc;
+    Kind kind = Kind::UInt;
+    std::uint64_t uval = 0;
+    double rval = 0.0;
+
+    /** The value as a double regardless of kind. */
+    double
+    asReal() const
+    {
+        return kind == Kind::UInt ? static_cast<double>(uval) : rval;
+    }
+
+    /** Exact text form: integers in full, reals with round-trip
+     *  precision (17 significant digits). */
+    std::string text() const;
+};
+
+/** An ordered, name-indexed collection of metrics. */
+class MetricsRecord : public stats::StatVisitor
+{
+  public:
+    /** StatVisitor: append (or overwrite) a metric. @{ */
+    void visitUInt(const std::string &name, const std::string &desc,
+                   std::uint64_t v) override;
+    void visitReal(const std::string &name, const std::string &desc,
+                   double v) override;
+    /** @} */
+
+    /** Direct setters for derived metrics. @{ */
+    void
+    setUInt(const std::string &name, const std::string &desc,
+            std::uint64_t v)
+    {
+        visitUInt(name, desc, v);
+    }
+
+    void
+    setReal(const std::string &name, const std::string &desc, double v)
+    {
+        visitReal(name, desc, v);
+    }
+    /** @} */
+
+    bool has(const std::string &name) const;
+
+    /** Value lookups; a missing name returns 0 (empty record). @{ */
+    std::uint64_t counter(const std::string &name) const;
+    double real(const std::string &name) const;
+    /** @} */
+
+    /** Metrics in schema (insertion) order. */
+    const std::vector<Metric> &all() const { return metrics; }
+
+    std::size_t size() const { return metrics.size(); }
+    bool empty() const { return metrics.empty(); }
+
+    /** True if @p other has the same metric names in the same order. */
+    bool sameSchema(const MetricsRecord &other) const;
+
+  private:
+    Metric &slot(const std::string &name, const std::string &desc);
+
+    std::vector<Metric> metrics;
+    std::unordered_map<std::string, std::size_t> index;
+};
+
+} // namespace vpr
+
+#endif // VPR_SIM_METRICS_HH

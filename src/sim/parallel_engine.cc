@@ -18,6 +18,11 @@ runCell(const GridCell &cell)
 {
     SimConfig config = cell.config;
     applyInstructionScale(config);
+    if (cell.makeStream) {
+        std::unique_ptr<TraceStream> stream = cell.makeStream();
+        Simulator sim(*stream, config);
+        return sim.run();
+    }
     Simulator sim(cell.benchmark, config);
     return sim.run();
 }

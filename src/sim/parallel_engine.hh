@@ -14,6 +14,8 @@
 #ifndef VPR_SIM_PARALLEL_ENGINE_HH
 #define VPR_SIM_PARALLEL_ENGINE_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,11 +24,25 @@
 namespace vpr
 {
 
-/** One cell of an experiment grid: a benchmark under a configuration. */
+/**
+ * One cell of an experiment grid: a benchmark under a configuration.
+ * By default the benchmark name resolves through makeBenchmarkStream;
+ * a cell may instead carry its own stream factory (custom traces), which
+ * must be a pure function so re-running the cell is deterministic.
+ */
 struct GridCell
 {
+    GridCell() = default;
+
+    GridCell(std::string bench, SimConfig cfg,
+             std::function<std::unique_ptr<TraceStream>()> stream = {})
+        : benchmark(std::move(bench)), config(std::move(cfg)),
+          makeStream(std::move(stream))
+    {}
+
     std::string benchmark;
     SimConfig config;
+    std::function<std::unique_ptr<TraceStream>()> makeStream;
 };
 
 /** The work-queue + thread-pool experiment runner. */

@@ -1,0 +1,415 @@
+#include "sim/results_io.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+namespace
+{
+
+/** Columns before the metrics begin. */
+constexpr std::size_t kFixedColumns = 17;
+
+/** A value placed in a CSV cell must not break the row structure. */
+void
+checkCsvSafe(const std::string &v)
+{
+    VPR_ASSERT(v.find(',') == std::string::npos &&
+                   v.find('\n') == std::string::npos,
+               "CSV-unsafe value '", v, "'");
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+/** Minimal JSON string escaping (our names never need more). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+shardText(const ShardSpec &shard)
+{
+    return std::to_string(shard.index) + "/" + std::to_string(shard.count);
+}
+
+/** The effective instruction scale as round-trip-exact text. Recorded
+ *  in the file metadata so shards run with different --scale values
+ *  can never be merged into one (meaningless) result set. */
+std::string
+scaleText()
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << instructionScale();
+    return os.str();
+}
+
+/** Metric names (= metric column order) of the first exported result;
+ *  asserts every other result shares the schema. */
+std::vector<std::string>
+metricSchema(const std::vector<SimResults> &results)
+{
+    std::vector<std::string> names;
+    if (results.empty())
+        return names;
+    for (const Metric &m : results.front().metrics.all())
+        names.push_back(m.name);
+    for (const SimResults &r : results)
+        VPR_ASSERT(r.metrics.sameSchema(results.front().metrics),
+                   "grid cells disagree on the metric schema");
+    return names;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+resultFixedColumns()
+{
+    static const std::vector<std::string> columns = {
+        "cell",         "benchmark", "scheme",        "phys_regs",
+        "vp_regs",      "nrr_int",   "nrr_fp",        "rob",
+        "iq",           "lsq",       "miss_penalty",  "mshrs",
+        "wrong_path",   "wrong_path_mem", "skip_insts",
+        "measure_insts", "seed"};
+    VPR_ASSERT(columns.size() == kFixedColumns, "fixed column mismatch");
+    return columns;
+}
+
+std::vector<std::string>
+cellConfigValues(const GridCell &cell)
+{
+    const SimConfig &c = cell.config;
+    const RenameConfig &r = c.core.rename;
+    return {
+        cell.benchmark,
+        renameSchemeName(c.core.scheme),
+        std::to_string(r.numPhysRegs),
+        std::to_string(r.numVPRegs),
+        std::to_string(r.nrrInt),
+        std::to_string(r.nrrFp),
+        std::to_string(c.core.robSize),
+        std::to_string(c.core.iqSize),
+        std::to_string(c.core.lsqSize),
+        std::to_string(c.core.cache.missPenalty),
+        std::to_string(c.core.cache.numMshrs),
+        wrongPathModeName(c.core.fetch.wrongPath),
+        std::to_string(c.core.fetch.wrongPathMem ? 1 : 0),
+        std::to_string(c.skipInsts),
+        std::to_string(c.measureInsts),
+        std::to_string(c.seed),
+    };
+}
+
+void
+writeResultsCsv(std::ostream &os, const std::string &figure,
+                std::size_t totalCells, const ShardSpec &shard,
+                const std::vector<std::size_t> &indices,
+                const std::vector<GridCell> &cells,
+                const std::vector<SimResults> &results)
+{
+    VPR_ASSERT(indices.size() == cells.size() &&
+                   indices.size() == results.size(),
+               "indices/cells/results size mismatch");
+
+    os << "# vpr-results v1 figure=" << figure << " cells=" << totalCells
+       << " shard=" << shardText(shard) << " scale=" << scaleText()
+       << "\n";
+
+    const std::vector<std::string> metricNames = metricSchema(results);
+    const std::vector<std::string> &fixed = resultFixedColumns();
+    for (std::size_t i = 0; i < fixed.size(); ++i)
+        os << (i ? "," : "") << fixed[i];
+    for (const std::string &name : metricNames)
+        os << "," << name;
+    os << "\n";
+
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        os << indices[k];
+        for (const std::string &v : cellConfigValues(cells[k])) {
+            checkCsvSafe(v);
+            os << "," << v;
+        }
+        for (const Metric &m : results[k].metrics.all())
+            os << "," << m.text();
+        os << "\n";
+    }
+}
+
+void
+writeResultsJson(std::ostream &os, const std::string &figure,
+                 std::size_t totalCells, const ShardSpec &shard,
+                 const std::vector<std::size_t> &indices,
+                 const std::vector<GridCell> &cells,
+                 const std::vector<SimResults> &results)
+{
+    VPR_ASSERT(indices.size() == cells.size() &&
+                   indices.size() == results.size(),
+               "indices/cells/results size mismatch");
+
+    const std::vector<std::string> &fixed = resultFixedColumns();
+    os << "{\n";
+    os << "  \"format\": \"vpr-results\",\n";
+    os << "  \"version\": 1,\n";
+    os << "  \"figure\": \"" << jsonEscape(figure) << "\",\n";
+    os << "  \"cells\": " << totalCells << ",\n";
+    os << "  \"shard\": \"" << shardText(shard) << "\",\n";
+    os << "  \"scale\": " << scaleText() << ",\n";
+    os << "  \"records\": [";
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        os << (k ? ",\n" : "\n");
+        os << "    {\"cell\": " << indices[k] << ", \"config\": {";
+        const std::vector<std::string> config =
+            cellConfigValues(cells[k]);
+        for (std::size_t c = 0; c < config.size(); ++c) {
+            os << (c ? ", " : "") << "\"" << jsonEscape(fixed[c + 1])
+               << "\": \"" << jsonEscape(config[c]) << "\"";
+        }
+        os << "}, \"metrics\": {";
+        const auto &metrics = results[k].metrics.all();
+        for (std::size_t m = 0; m < metrics.size(); ++m) {
+            os << (m ? ", " : "") << "\"" << jsonEscape(metrics[m].name)
+               << "\": " << metrics[m].text();
+        }
+        os << "}}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+writeResultsFile(const std::string &path, const std::string &figure,
+                 std::size_t totalCells, const ShardSpec &shard,
+                 const std::vector<std::size_t> &indices,
+                 const std::vector<GridCell> &cells,
+                 const std::vector<SimResults> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        VPR_FATAL("cannot open '", path, "' for writing");
+    const bool json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        writeResultsJson(os, figure, totalCells, shard, indices, cells,
+                         results);
+    else
+        writeResultsCsv(os, figure, totalCells, shard, indices, cells,
+                        results);
+    if (!os)
+        VPR_FATAL("error writing '", path, "'");
+}
+
+void
+exportAllCells(const std::string &path, const std::string &figure,
+               const std::vector<GridCell> &cells,
+               const std::vector<SimResults> &results)
+{
+    std::vector<std::size_t> indices(cells.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    writeResultsFile(path, figure, cells.size(), ShardSpec{}, indices,
+                     cells, results);
+}
+
+ResultsFile
+readResultsCsv(std::istream &is, const std::string &name)
+{
+    ResultsFile file;
+
+    std::string meta;
+    if (!std::getline(is, meta))
+        VPR_FATAL(name, ": empty result file");
+    std::istringstream metaStream(meta);
+    std::string tok;
+    metaStream >> tok;
+    if (tok != "#")
+        VPR_FATAL(name, ": missing '# vpr-results' metadata line");
+    metaStream >> tok;
+    if (tok != "vpr-results")
+        VPR_FATAL(name, ": not a vpr-results file");
+    metaStream >> tok;
+    if (tok != "v1")
+        VPR_FATAL(name, ": unsupported version '", tok, "'");
+    while (metaStream >> tok) {
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string key = tok.substr(0, eq);
+        std::string value = tok.substr(eq + 1);
+        if (key == "figure")
+            file.figure = value;
+        else if (key == "cells")
+            file.totalCells = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "scale")
+            file.scale = value;
+    }
+
+    std::string headerLine;
+    if (!std::getline(is, headerLine))
+        VPR_FATAL(name, ": missing header row");
+    file.header = splitCsvLine(headerLine);
+    const std::vector<std::string> &fixed = resultFixedColumns();
+    if (file.header.size() < fixed.size() ||
+        !std::equal(fixed.begin(), fixed.end(), file.header.begin()))
+        VPR_FATAL(name, ": unexpected header row");
+
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        ResultsFile::Row row;
+        row.values = splitCsvLine(line);
+        if (row.values.size() != file.header.size())
+            VPR_FATAL(name, ": row has ", row.values.size(),
+                      " columns, header has ", file.header.size());
+        row.cell = std::strtoull(row.values[0].c_str(), nullptr, 10);
+        if (row.cell >= file.totalCells)
+            VPR_FATAL(name, ": cell index ", row.cell,
+                      " out of range (grid has ", file.totalCells,
+                      " cells)");
+        file.rows.push_back(std::move(row));
+    }
+    return file;
+}
+
+ResultsFile
+readResultsCsvFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        VPR_FATAL("cannot open '", path, "'");
+    return readResultsCsv(is, path);
+}
+
+ResultsFile
+mergeResults(const std::vector<ResultsFile> &shards)
+{
+    if (shards.empty())
+        VPR_FATAL("nothing to merge");
+
+    ResultsFile merged;
+    merged.figure = shards.front().figure;
+    merged.totalCells = shards.front().totalCells;
+    merged.scale = shards.front().scale;
+    // The header (and with it the metric schema) comes from the first
+    // shard that actually ran cells: a shard dealt an empty slice
+    // (count > grid size) writes only the fixed columns and must not
+    // veto the merge.
+    for (const ResultsFile &shard : shards)
+        if (!shard.rows.empty()) {
+            merged.header = shard.header;
+            break;
+        }
+    if (merged.header.empty())
+        merged.header = shards.front().header;
+
+    for (const ResultsFile &shard : shards) {
+        if (shard.figure != merged.figure)
+            VPR_FATAL("shard figure mismatch: '", shard.figure,
+                      "' vs '", merged.figure, "'");
+        if (shard.totalCells != merged.totalCells)
+            VPR_FATAL("shard grid-size mismatch: ", shard.totalCells,
+                      " vs ", merged.totalCells);
+        if (shard.scale != merged.scale)
+            VPR_FATAL("shard instruction-scale mismatch: '", shard.scale,
+                      "' vs '", merged.scale,
+                      "' — rerun every shard with the same --scale");
+        if (!shard.rows.empty() && shard.header != merged.header)
+            VPR_FATAL("shard header mismatch (different metric schema?)");
+        for (const ResultsFile::Row &row : shard.rows)
+            merged.rows.push_back(row);
+    }
+
+    std::sort(merged.rows.begin(), merged.rows.end(),
+              [](const ResultsFile::Row &a, const ResultsFile::Row &b) {
+                  return a.cell < b.cell;
+              });
+    for (std::size_t i = 0; i + 1 < merged.rows.size(); ++i)
+        if (merged.rows[i].cell == merged.rows[i + 1].cell)
+            VPR_FATAL("cell ", merged.rows[i].cell,
+                      " appears in more than one shard");
+    if (merged.rows.size() != merged.totalCells) {
+        std::size_t expect = 0;
+        for (const ResultsFile::Row &row : merged.rows) {
+            if (row.cell != expect)
+                break;
+            ++expect;
+        }
+        VPR_FATAL("incomplete merge: have ", merged.rows.size(), " of ",
+                  merged.totalCells, " cells (first missing cell ",
+                  expect, ")");
+    }
+    return merged;
+}
+
+void
+writeMergedCsv(std::ostream &os, const ResultsFile &merged)
+{
+    os << "# vpr-results v1 figure=" << merged.figure
+       << " cells=" << merged.totalCells << " shard=0/1 scale="
+       << merged.scale << "\n";
+    for (std::size_t i = 0; i < merged.header.size(); ++i)
+        os << (i ? "," : "") << merged.header[i];
+    os << "\n";
+    for (const ResultsFile::Row &row : merged.rows) {
+        for (std::size_t i = 0; i < row.values.size(); ++i)
+            os << (i ? "," : "") << row.values[i];
+        os << "\n";
+    }
+}
+
+std::vector<SimResults>
+resultsFromFile(const ResultsFile &file)
+{
+    VPR_ASSERT(file.rows.size() == file.totalCells,
+               "result file is incomplete; merge the shards first");
+    std::vector<SimResults> results(file.rows.size());
+    for (std::size_t i = 0; i < file.rows.size(); ++i) {
+        const ResultsFile::Row &row = file.rows[i];
+        VPR_ASSERT(row.cell == i, "rows not in cell order");
+        for (std::size_t c = kFixedColumns; c < row.values.size(); ++c) {
+            const std::string &text = row.values[c];
+            const bool integral =
+                !text.empty() &&
+                text.find_first_not_of("0123456789") == std::string::npos;
+            if (integral)
+                results[i].metrics.setUInt(
+                    file.header[c], "",
+                    std::strtoull(text.c_str(), nullptr, 10));
+            else
+                results[i].metrics.setReal(
+                    file.header[c], "",
+                    std::strtod(text.c_str(), nullptr));
+        }
+    }
+    return results;
+}
+
+} // namespace vpr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine-readable result files for grid sweeps.
+ *
+ * One record per grid cell: the cell's global index, benchmark, the
+ * configuration parameters that define the cell, and every metric of
+ * its MetricsRecord, in schema order. Two formats:
+ *
+ *  - CSV: one header row, one line per cell, preceded by a single
+ *    "# vpr-results v1 figure=<name> cells=<N> shard=<i>/<n>" metadata
+ *    comment. This is the shard/merge interchange format: integers are
+ *    written exactly and reals with 17 significant digits, so a merged
+ *    file reproduces the unsharded run bit for bit.
+ *  - JSON: the same records as one self-describing document (for
+ *    plotting pipelines that prefer structure over columns).
+ *
+ * readResultsCsv/mergeResults/resultsFromFile invert the CSV writer so
+ * tools/merge_results can stitch shard files back into the full
+ * cell-ordered result set and re-render the paper tables.
+ */
+
+#ifndef VPR_SIM_RESULTS_IO_HH
+#define VPR_SIM_RESULTS_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/parallel_engine.hh"
+
+namespace vpr
+{
+
+/** Fixed (non-metric) column names, starting with "cell". */
+const std::vector<std::string> &resultFixedColumns();
+
+/** The fixed-column values for one cell (everything but "cell"). */
+std::vector<std::string> cellConfigValues(const GridCell &cell);
+
+/**
+ * Write the records for @p indices (global cell indices, parallel to
+ * @p cells / @p results) of a @p totalCells grid. @{
+ */
+void writeResultsCsv(std::ostream &os, const std::string &figure,
+                     std::size_t totalCells, const ShardSpec &shard,
+                     const std::vector<std::size_t> &indices,
+                     const std::vector<GridCell> &cells,
+                     const std::vector<SimResults> &results);
+void writeResultsJson(std::ostream &os, const std::string &figure,
+                      std::size_t totalCells, const ShardSpec &shard,
+                      const std::vector<std::size_t> &indices,
+                      const std::vector<GridCell> &cells,
+                      const std::vector<SimResults> &results);
+/** @} */
+
+/** Write to @p path, picking the format from the extension
+ *  (".json" = JSON, anything else = CSV). fatal()s if unwritable. */
+void writeResultsFile(const std::string &path, const std::string &figure,
+                      std::size_t totalCells, const ShardSpec &shard,
+                      const std::vector<std::size_t> &indices,
+                      const std::vector<GridCell> &cells,
+                      const std::vector<SimResults> &results);
+
+/** Convenience for unsharded exporters (vpr_sim, examples): write every
+ *  cell of @p cells/@p results to @p path as one complete grid. */
+void exportAllCells(const std::string &path, const std::string &figure,
+                    const std::vector<GridCell> &cells,
+                    const std::vector<SimResults> &results);
+
+/** A parsed result file (one shard or a whole grid). Row values are
+ *  kept as raw text so re-emitting them is byte-exact. */
+struct ResultsFile
+{
+    std::string figure;
+    std::size_t totalCells = 0;
+    /** Instruction scale the records were produced under (raw metadata
+     *  text; shards must agree exactly to merge). */
+    std::string scale;
+    std::vector<std::string> header;
+
+    struct Row
+    {
+        std::size_t cell = 0;
+        std::vector<std::string> values;  ///< header order, incl. cell
+    };
+    std::vector<Row> rows;
+};
+
+/** Parse a CSV result stream; @p name is used in error messages. */
+ResultsFile readResultsCsv(std::istream &is, const std::string &name);
+
+/** Parse a CSV result file; fatal()s if unreadable or malformed. */
+ResultsFile readResultsCsvFile(const std::string &path);
+
+/**
+ * Merge shard files into the full cell-ordered result set. All inputs
+ * must agree on figure, grid size and header; every cell must appear
+ * exactly once across the inputs. fatal()s otherwise.
+ */
+ResultsFile mergeResults(const std::vector<ResultsFile> &shards);
+
+/** Write a merged (complete) file back out as CSV, byte-identical to
+ *  what an unsharded --out export would have produced. */
+void writeMergedCsv(std::ostream &os, const ResultsFile &merged);
+
+/** Reconstruct cell-ordered SimResults from a complete result file so
+ *  figure tables can be re-rendered from merged records. */
+std::vector<SimResults> resultsFromFile(const ResultsFile &file);
+
+} // namespace vpr
+
+#endif // VPR_SIM_RESULTS_IO_HH

@@ -55,43 +55,124 @@ Simulator::run()
     c.runUntilCommitted(target);
 
     SimResults r;
-    r.stats = c.snapshot();
-    r.bhtAccuracy = c.fetchUnit().predictor().accuracy();
-    r.cacheMissRate = c.cache().missRate();
-    r.meanHoldCyclesInt =
-        c.renamer().pressure(RegClass::Int).meanHoldCycles();
-    r.meanHoldCyclesFp =
-        c.renamer().pressure(RegClass::Float).meanHoldCycles();
-    r.lsqForwards = c.lsq().forwards();
+    collectMetrics(r.metrics);
     return r;
+}
+
+void
+Simulator::collectMetrics(MetricsRecord &m) const
+{
+    const Core &c = *theCore;
+    const CoreStatsSnapshot s = c.snapshot();
+
+    // Stat groups are built on the fly from the interval snapshot and
+    // visited into the record, so the export schema is exactly what the
+    // groups register — adding a stat here adds a column everywhere.
+    stats::StatGroup core("core");
+    stats::Scalar cycles("cycles", "simulated cycles in the interval");
+    cycles.set(s.cycles);
+    stats::Scalar committed("committed", "committed instructions");
+    committed.set(s.committed);
+    stats::Scalar committedExec("committed_executions",
+                                "issues of committed instructions");
+    committedExec.set(s.committedExecutions);
+    stats::Scalar issued("issued", "instructions issued");
+    issued.set(s.issued);
+    stats::Scalar squashed("squashed", "instructions squashed");
+    squashed.set(s.squashed);
+    stats::Scalar wbRej("wb_rejections",
+                        "write-back allocation denials (VP)");
+    wbRej.set(s.wbRejections);
+    stats::Scalar branches("branches", "branches fetched");
+    branches.set(s.branches);
+    stats::Scalar mispred("mispredicts", "mispredicted branches");
+    mispred.set(s.mispredicts);
+    stats::Scalar stallReg("rename_stall_reg",
+                           "rename stalls: no free register");
+    stallReg.set(s.renameStallReg);
+    stats::Scalar stallRob("rename_stall_rob", "rename stalls: ROB full");
+    stallRob.set(s.renameStallRob);
+    stats::Scalar stallIq("rename_stall_iq", "rename stalls: IQ full");
+    stallIq.set(s.renameStallIq);
+    stats::Scalar stallLsq("rename_stall_lsq", "rename stalls: LSQ full");
+    stallLsq.set(s.renameStallLsq);
+    stats::Scalar storeStalls("store_commit_stalls",
+                              "commit stalls on store write");
+    storeStalls.set(s.storeCommitStalls);
+    stats::Real ipc("ipc", "committed instructions per cycle");
+    ipc.set(s.ipc());
+    stats::Real execPerCommit("exec_per_commit",
+                              "executions per committed instruction");
+    execPerCommit.set(s.executionsPerCommit());
+    stats::Real busyInt("avg_busy_int_regs",
+                        "mean busy integer physical registers");
+    busyInt.set(s.avgBusyIntRegs);
+    stats::Real busyFp("avg_busy_fp_regs",
+                       "mean busy FP physical registers");
+    busyFp.set(s.avgBusyFpRegs);
+    for (stats::Scalar *st :
+         {&cycles, &committed, &committedExec, &issued, &squashed, &wbRej,
+          &branches, &mispred, &stallReg, &stallRob, &stallIq, &stallLsq,
+          &storeStalls})
+        core.add(st);
+    core.add(&ipc);
+    core.add(&execPerCommit);
+    core.add(&busyInt);
+    core.add(&busyFp);
+
+    stats::StatGroup memory("memory");
+    stats::Scalar accesses("cache_accesses", "L1 data cache accesses");
+    accesses.set(s.cacheAccesses);
+    stats::Scalar misses("cache_misses",
+                         "L1 data cache misses (incl. merged)");
+    misses.set(s.cacheMisses);
+    stats::Real missRate("cache_miss_rate", "L1 data cache miss rate");
+    missRate.set(c.cache().missRate());
+    stats::Scalar forwards("lsq_forwards", "store-to-load forwards");
+    forwards.set(c.lsq().forwards());
+    memory.add(&accesses);
+    memory.add(&misses);
+    memory.add(&missRate);
+    memory.add(&forwards);
+
+    stats::StatGroup branch("branch");
+    stats::Real bhtAcc("bht_accuracy", "branch predictor accuracy");
+    bhtAcc.set(c.fetchUnit().predictor().accuracy());
+    branch.add(&bhtAcc);
+
+    stats::StatGroup rename("rename");
+    stats::Real holdInt("mean_hold_cycles_int",
+                        "mean register-holding cycles per int value");
+    holdInt.set(c.renamer().pressure(RegClass::Int).meanHoldCycles());
+    stats::Real holdFp("mean_hold_cycles_fp",
+                       "mean register-holding cycles per FP value");
+    holdFp.set(c.renamer().pressure(RegClass::Float).meanHoldCycles());
+    rename.add(&holdInt);
+    rename.add(&holdFp);
+
+    for (const stats::StatGroup *g : {&core, &memory, &branch, &rename})
+        g->visit(m);
 }
 
 void
 Simulator::printReport(std::ostream &os, const SimResults &r) const
 {
-    const auto &s = r.stats;
-    os << std::fixed << std::setprecision(3);
     os << "scheme            " << renameSchemeName(cfg.core.scheme)
        << "\n";
     os << "physRegs/file     " << cfg.core.rename.numPhysRegs << "\n";
     os << "NRR (int/fp)      " << cfg.core.rename.nrrInt << "/"
        << cfg.core.rename.nrrFp << "\n";
-    os << "cycles            " << s.cycles << "\n";
-    os << "committed         " << s.committed << "\n";
-    os << "IPC               " << s.ipc() << "\n";
-    os << "exec/commit       " << s.executionsPerCommit() << "\n";
-    os << "wb rejections     " << s.wbRejections << "\n";
-    os << "branches          " << s.branches << " (mispred "
-       << s.mispredicts << ")\n";
-    os << "bht accuracy      " << r.bhtAccuracy << "\n";
-    os << "cache miss rate   " << r.cacheMissRate << "\n";
-    os << "rename stalls     reg=" << s.renameStallReg
-       << " rob=" << s.renameStallRob << " iq=" << s.renameStallIq
-       << " lsq=" << s.renameStallLsq << "\n";
-    os << "avg busy regs     int=" << s.avgBusyIntRegs
-       << " fp=" << s.avgBusyFpRegs << "\n";
-    os << "mean hold cycles  int=" << r.meanHoldCyclesInt
-       << " fp=" << r.meanHoldCyclesFp << "\n";
+    // The record is self-describing: one line per metric.
+    for (const Metric &m : r.metrics.all()) {
+        os << std::left << std::setw(32) << m.name << " " << std::right
+           << std::setw(14);
+        if (m.kind == Metric::Kind::UInt)
+            os << m.uval;
+        else
+            os << std::fixed << std::setprecision(4) << m.rval
+               << std::defaultfloat;
+        os << "  # " << m.desc << "\n";
+    }
 }
 
 } // namespace vpr

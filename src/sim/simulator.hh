@@ -12,22 +12,97 @@
 #include <string>
 
 #include "sim/config.hh"
+#include "sim/metrics.hh"
 #include "trace/stream.hh"
 
 namespace vpr
 {
 
-/** Results of one measured simulation interval. */
+/**
+ * Results of one measured simulation interval: a self-describing
+ * MetricsRecord keyed by stable metric names, produced by visiting the
+ * core's stat groups. The named accessors below are conveniences over
+ * the record; exporters iterate metrics.all() and need no per-field
+ * knowledge.
+ */
 struct SimResults
 {
-    CoreStatsSnapshot stats;
-    double bhtAccuracy = 0.0;
-    double cacheMissRate = 0.0;
-    double meanHoldCyclesInt = 0.0;  ///< register pressure per value
-    double meanHoldCyclesFp = 0.0;
-    std::uint64_t lsqForwards = 0;
+    MetricsRecord metrics;
 
-    double ipc() const { return stats.ipc(); }
+    /** Convenience lookups over the record. @{ */
+    double ipc() const { return metrics.real("core.ipc"); }
+    std::uint64_t cycles() const { return metrics.counter("core.cycles"); }
+
+    std::uint64_t
+    committed() const
+    {
+        return metrics.counter("core.committed");
+    }
+
+    std::uint64_t issued() const { return metrics.counter("core.issued"); }
+
+    std::uint64_t
+    squashed() const
+    {
+        return metrics.counter("core.squashed");
+    }
+
+    std::uint64_t
+    mispredicts() const
+    {
+        return metrics.counter("core.mispredicts");
+    }
+
+    std::uint64_t
+    wbRejections() const
+    {
+        return metrics.counter("core.wb_rejections");
+    }
+
+    std::uint64_t
+    renameStallReg() const
+    {
+        return metrics.counter("core.rename_stall_reg");
+    }
+
+    double
+    executionsPerCommit() const
+    {
+        return metrics.real("core.exec_per_commit");
+    }
+
+    double
+    cacheMissRate() const
+    {
+        return metrics.real("memory.cache_miss_rate");
+    }
+
+    double bhtAccuracy() const { return metrics.real("branch.bht_accuracy"); }
+
+    double
+    meanHoldCyclesInt() const
+    {
+        return metrics.real("rename.mean_hold_cycles_int");
+    }
+
+    double
+    meanHoldCyclesFp() const
+    {
+        return metrics.real("rename.mean_hold_cycles_fp");
+    }
+
+    double
+    avgBusyIntRegs() const
+    {
+        return metrics.real("core.avg_busy_int_regs");
+    }
+
+    double
+    avgBusyFpRegs() const
+    {
+        return metrics.real("core.avg_busy_fp_regs");
+    }
+    /** @} */
 };
 
 /** One simulation run: stream + core + measurement protocol. */
@@ -50,6 +125,9 @@ class Simulator
     const Core &core() const { return *theCore; }
 
   private:
+    /** Build the result record by visiting the core's stat groups. */
+    void collectMetrics(MetricsRecord &m) const;
+
     SimConfig cfg;
     std::unique_ptr<TraceStream> ownedStream;
     std::unique_ptr<Core> theCore;

@@ -112,5 +112,101 @@ TEST(DistributionDeath, BadRangePanics)
     EXPECT_DEATH(Distribution("d", "x", 0, 5, 0), "bucket size");
 }
 
+/** Collects visited triples as "name=value" strings, in order. */
+class RecordingVisitor : public StatVisitor
+{
+  public:
+    void
+    visitUInt(const std::string &name, const std::string &desc,
+              std::uint64_t v) override
+    {
+        entries.push_back(name + "=" + std::to_string(v));
+        descs.push_back(desc);
+    }
+
+    void
+    visitReal(const std::string &name, const std::string &desc,
+              double v) override
+    {
+        std::ostringstream os;
+        os << name << "=" << v;
+        entries.push_back(os.str());
+        descs.push_back(desc);
+    }
+
+    std::vector<std::string> entries;
+    std::vector<std::string> descs;
+};
+
+TEST(Visitation, ScalarVisitsItsValue)
+{
+    Scalar s("count", "how many");
+    s += 7;
+    RecordingVisitor v;
+    s.visit(v);
+    ASSERT_EQ(v.entries.size(), 1u);
+    EXPECT_EQ(v.entries[0], "count=7");
+    EXPECT_EQ(v.descs[0], "how many");
+}
+
+TEST(Visitation, RealVisitsItsValue)
+{
+    Real r("rate", "a ratio");
+    r.set(0.5);
+    RecordingVisitor v;
+    r.visit(v);
+    ASSERT_EQ(v.entries.size(), 1u);
+    EXPECT_EQ(v.entries[0], "rate=0.5");
+}
+
+TEST(Visitation, AverageVisitsMeanAndSamples)
+{
+    Average a("lat", "latency");
+    a.sample(2.0);
+    a.sample(4.0);
+    RecordingVisitor v;
+    a.visit(v);
+    ASSERT_EQ(v.entries.size(), 2u);
+    EXPECT_EQ(v.entries[0], "lat=3");
+    EXPECT_EQ(v.entries[1], "lat.samples=2");
+}
+
+TEST(Visitation, DistributionVisitsSubValues)
+{
+    Distribution d("occ", "occupancy", 0, 9, 1);
+    d.sample(2);
+    d.sample(4);
+    RecordingVisitor v;
+    d.visit(v);
+    ASSERT_EQ(v.entries.size(), 6u);
+    EXPECT_EQ(v.entries[0], "occ.mean=3");
+    EXPECT_EQ(v.entries[1], "occ.samples=2");
+    EXPECT_EQ(v.entries[2], "occ.min=2");
+    EXPECT_EQ(v.entries[3], "occ.max=4");
+    EXPECT_EQ(v.entries[4], "occ.underflows=0");
+    EXPECT_EQ(v.entries[5], "occ.overflows=0");
+}
+
+TEST(Visitation, GroupPrefixesAndPreservesOrder)
+{
+    StatGroup g("core");
+    Scalar s1("cycles", "c");
+    Scalar s2("committed", "i");
+    Real r("ipc", "rate");
+    g.add(&s1);
+    g.add(&s2);
+    g.add(&r);
+    s1.set(10);
+    s2.set(20);
+    r.set(2.0);
+
+    RecordingVisitor v;
+    g.visit(v);
+    ASSERT_EQ(v.entries.size(), 3u);
+    EXPECT_EQ(v.entries[0], "core.cycles=10");
+    EXPECT_EQ(v.entries[1], "core.committed=20");
+    EXPECT_EQ(v.entries[2], "core.ipc=2");
+}
+
 } // namespace
 } // namespace vpr::stats

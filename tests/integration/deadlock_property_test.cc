@@ -43,7 +43,7 @@ TEST_P(DeadlockFreedom, MakesForwardProgress)
 
     auto r = runOne(bench, c);
     EXPECT_GT(r.ipc(), 0.0);
-    EXPECT_GE(r.stats.committed, 15000u);
+    EXPECT_GE(r.committed(), 15000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -90,7 +90,7 @@ TEST(DeadlockEdge, MinimumMachineOneSpareRegister)
     c.measureInsts = 1500;
     c.core.deadlockThreshold = 200000;
     auto r = runOne("compress", c);
-    EXPECT_GE(r.stats.committed, 1500u);
+    EXPECT_GE(r.committed(), 1500u);
 }
 
 TEST(DeadlockEdge, MixedClassesDoNotInterlock)
@@ -104,7 +104,7 @@ TEST(DeadlockEdge, MixedClassesDoNotInterlock)
     c.skipInsts = 0;
     c.measureInsts = 8000;
     auto r = runOne("apsi", c);  // mixes FP and integer work
-    EXPECT_GE(r.stats.committed, 8000u);
+    EXPECT_GE(r.committed(), 8000u);
 }
 
 } // namespace

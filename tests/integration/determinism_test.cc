@@ -36,11 +36,11 @@ TEST_P(DeterminismPerScheme, IdenticalRunsIdenticalResults)
     c.setScheme(GetParam());
     auto a = runOne("vortex", c);
     auto b = runOne("vortex", c);
-    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
-    EXPECT_EQ(a.stats.committed, b.stats.committed);
-    EXPECT_EQ(a.stats.issued, b.stats.issued);
-    EXPECT_EQ(a.stats.squashed, b.stats.squashed);
-    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.committed(), b.committed());
+    EXPECT_EQ(a.issued(), b.issued());
+    EXPECT_EQ(a.squashed(), b.squashed());
+    EXPECT_EQ(a.mispredicts(), b.mispredicts());
     EXPECT_DOUBLE_EQ(a.ipc(), b.ipc());
 }
 
@@ -66,7 +66,7 @@ TEST(Determinism, WorkloadSeedChangesRandomBenchmarks)
     auto b = runOne("go", c);
     // go is driven by Bernoulli branches: a different seed must change
     // the cycle count.
-    EXPECT_NE(a.stats.cycles, b.stats.cycles);
+    EXPECT_NE(a.cycles(), b.cycles());
 }
 
 TEST(Determinism, SimulatorOwnsIndependentStreams)
@@ -76,7 +76,7 @@ TEST(Determinism, SimulatorOwnsIndependentStreams)
     Simulator s1("li", c), s2("li", c);
     auto r1 = s1.run();
     auto r2 = s2.run();
-    EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
+    EXPECT_EQ(r1.cycles(), r2.cycles());
 }
 
 TEST(Determinism, StreamResetRestartsExactly)
@@ -108,12 +108,12 @@ TEST(Determinism, ParallelGridCellsReproduceSerialRuns)
     auto parallel = runGrid(cells, 4);
     ASSERT_EQ(serial.size(), cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles);
-        EXPECT_EQ(serial[i].stats.committed,
-                  parallel[i].stats.committed);
-        EXPECT_EQ(serial[i].stats.squashed, parallel[i].stats.squashed);
+        EXPECT_EQ(serial[i].cycles(), parallel[i].cycles());
+        EXPECT_EQ(serial[i].committed(),
+                  parallel[i].committed());
+        EXPECT_EQ(serial[i].squashed(), parallel[i].squashed());
         auto one = runOne(cells[i].benchmark, cells[i].config);
-        EXPECT_EQ(one.stats.cycles, parallel[i].stats.cycles);
+        EXPECT_EQ(one.cycles(), parallel[i].cycles());
     }
 }
 
@@ -127,11 +127,11 @@ TEST(Determinism, MasterSeedDrivesWrongPathSynthesis)
     c.seed = 11;
     auto a = runOne("go", c);
     auto a2 = runOne("go", c);
-    EXPECT_EQ(a.stats.cycles, a2.stats.cycles);
-    EXPECT_EQ(a.stats.issued, a2.stats.issued);
+    EXPECT_EQ(a.cycles(), a2.cycles());
+    EXPECT_EQ(a.issued(), a2.issued());
     c.seed = 12;
     auto b = runOne("go", c);
-    EXPECT_NE(a.stats.cycles, b.stats.cycles);
+    EXPECT_NE(a.cycles(), b.cycles());
 }
 
 TEST(Determinism, ScaleEnvDoesNotChangePerInstructionBehaviour)

@@ -58,9 +58,9 @@ TEST_P(PerBenchmark, VpReducesRegisterHoldingTime)
 
     const auto &info = benchmarkInfo(GetParam());
     double convHold =
-        info.isFp ? conv.meanHoldCyclesFp : conv.meanHoldCyclesInt;
+        info.isFp ? conv.meanHoldCyclesFp() : conv.meanHoldCyclesInt();
     double vpHold =
-        info.isFp ? vp.meanHoldCyclesFp : vp.meanHoldCyclesInt;
+        info.isFp ? vp.meanHoldCyclesFp() : vp.meanHoldCyclesInt();
     EXPECT_LT(vpHold, convHold) << GetParam();
 }
 
@@ -86,7 +86,7 @@ TEST_P(PerBenchmark, NoRenameRegisterStallsUnderVp)
     auto r = runOne(GetParam(), c);
     // Decode can only stall for VP tags, which are sized to the window:
     // physical-register decode stalls must be zero.
-    EXPECT_EQ(r.stats.renameStallReg, 0u) << GetParam();
+    EXPECT_EQ(r.renameStallReg(), 0u) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PerBenchmark,
@@ -130,12 +130,12 @@ TEST(SchemeComparison, ReExecutionsOnlyUnderWritebackAllocation)
     SimConfig c = quickConfig();
     c.setScheme(RenameScheme::VPAllocAtIssue);
     auto iss = runOne("swim", c);
-    EXPECT_DOUBLE_EQ(iss.stats.executionsPerCommit(), 1.0);
-    EXPECT_EQ(iss.stats.wbRejections, 0u);
+    EXPECT_DOUBLE_EQ(iss.executionsPerCommit(), 1.0);
+    EXPECT_EQ(iss.wbRejections(), 0u);
 
     c.setScheme(RenameScheme::Conventional);
     auto conv = runOne("swim", c);
-    EXPECT_DOUBLE_EQ(conv.stats.executionsPerCommit(), 1.0);
+    EXPECT_DOUBLE_EQ(conv.executionsPerCommit(), 1.0);
 }
 
 TEST(SchemeComparison, SmallerVpFileMatchesBiggerConventional)

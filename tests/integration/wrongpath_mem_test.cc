@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wrong-path memory operations (speculative cache pollution): the
+ * SimConfig flag is off by default (tier-1 numbers unchanged), and when
+ * enabled the synthesized wrong path really probes the cache, runs to
+ * completion, and stays deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace vpr
+{
+namespace
+{
+
+SimConfig
+wrongPathConfig()
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 1000;
+    c.measureInsts = 15000;
+    c.core.fetch.wrongPath = WrongPathMode::Synthesize;
+    return c;
+}
+
+TEST(WrongPathMem, DefaultOffMatchesBaseline)
+{
+    SimConfig c = wrongPathConfig();
+    EXPECT_FALSE(c.core.fetch.wrongPathMem);
+    SimResults a = runOne("compress", c);
+    c.core.fetch.wrongPathMem = false;  // explicit off == default
+    SimResults b = runOne("compress", c);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.metrics.counter("memory.cache_accesses"),
+              b.metrics.counter("memory.cache_accesses"));
+}
+
+TEST(WrongPathMem, ProbesTheCacheAndCompletes)
+{
+    SimConfig c = wrongPathConfig();
+    SimResults base = runOne("compress", c);
+    c.core.fetch.wrongPathMem = true;
+    SimResults mem = runOne("compress", c);
+
+    // The run completes its budget and the wrong path reached the cache.
+    EXPECT_GE(mem.committed(), 15000u);
+    EXPECT_GT(mem.mispredicts(), 0u);
+    EXPECT_GT(mem.metrics.counter("memory.cache_accesses"),
+              base.metrics.counter("memory.cache_accesses"));
+}
+
+TEST(WrongPathMem, IsDeterministic)
+{
+    SimConfig c = wrongPathConfig();
+    c.core.fetch.wrongPathMem = true;
+    c.seed = 123;
+    SimResults a = runOne("compress", c);
+    SimResults b = runOne("compress", c);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.issued(), b.issued());
+    EXPECT_EQ(a.squashed(), b.squashed());
+    EXPECT_EQ(a.metrics.counter("memory.cache_misses"),
+              b.metrics.counter("memory.cache_misses"));
+}
+
+TEST(WrongPathMem, WorksUnderEveryScheme)
+{
+    SimConfig c = wrongPathConfig();
+    c.measureInsts = 6000;
+    c.core.fetch.wrongPathMem = true;
+    // No ConventionalEarlyRelease: early release is documented as
+    // incompatible with any wrong-path synthesis (early_release.hh).
+    for (RenameScheme s :
+         {RenameScheme::Conventional, RenameScheme::VPAllocAtWriteback,
+          RenameScheme::VPAllocAtIssue}) {
+        c.setScheme(s);
+        if (isVirtualPhysical(s))
+            c.setNrr(32);
+        SimResults r = runOne("go", c);
+        EXPECT_GE(r.committed(), 6000u) << renameSchemeName(s);
+        EXPECT_GT(r.ipc(), 0.0) << renameSchemeName(s);
+    }
+}
+
+} // namespace
+} // namespace vpr

@@ -31,8 +31,8 @@ TEST(Experiment, RunOneProducesPlausibleResults)
     auto r = runOne("compress", c);
     EXPECT_GT(r.ipc(), 0.1);
     EXPECT_LT(r.ipc(), 8.0);
-    EXPECT_GE(r.stats.committed, 10000u);
-    EXPECT_GT(r.bhtAccuracy, 0.5);
+    EXPECT_GE(r.committed(), 10000u);
+    EXPECT_GT(r.bhtAccuracy(), 0.5);
 }
 
 TEST(Experiment, RunAllCoversEveryBenchmark)

@@ -1,0 +1,99 @@
+/** @file Unit tests for MetricsRecord and its StatGroup plumbing. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "sim/metrics.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(MetricsRecord, KeepsInsertionOrder)
+{
+    MetricsRecord m;
+    m.setUInt("b.two", "", 2);
+    m.setReal("a.one", "", 1.0);
+    m.setUInt("c.three", "", 3);
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.all()[0].name, "b.two");
+    EXPECT_EQ(m.all()[1].name, "a.one");
+    EXPECT_EQ(m.all()[2].name, "c.three");
+}
+
+TEST(MetricsRecord, LookupByName)
+{
+    MetricsRecord m;
+    m.setUInt("core.cycles", "cycles", 100);
+    m.setReal("core.ipc", "ipc", 1.5);
+    EXPECT_TRUE(m.has("core.cycles"));
+    EXPECT_FALSE(m.has("core.nope"));
+    EXPECT_EQ(m.counter("core.cycles"), 100u);
+    EXPECT_DOUBLE_EQ(m.real("core.ipc"), 1.5);
+    // real() works on UInt metrics too; counter() truncates reals.
+    EXPECT_DOUBLE_EQ(m.real("core.cycles"), 100.0);
+    EXPECT_EQ(m.counter("core.ipc"), 1u);
+    // Missing names read as zero.
+    EXPECT_EQ(m.counter("core.nope"), 0u);
+    EXPECT_DOUBLE_EQ(m.real("core.nope"), 0.0);
+}
+
+TEST(MetricsRecord, OverwriteKeepsPosition)
+{
+    MetricsRecord m;
+    m.setUInt("x", "", 1);
+    m.setUInt("y", "", 2);
+    m.setReal("x", "", 9.5);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.all()[0].name, "x");
+    EXPECT_DOUBLE_EQ(m.real("x"), 9.5);
+}
+
+TEST(MetricsRecord, SameSchemaComparesNamesAndOrder)
+{
+    MetricsRecord a, b, c;
+    a.setUInt("one", "", 1);
+    a.setUInt("two", "", 2);
+    b.setUInt("one", "", 7);
+    b.setUInt("two", "", 8);
+    c.setUInt("two", "", 2);
+    c.setUInt("one", "", 1);
+    EXPECT_TRUE(a.sameSchema(b));
+    EXPECT_FALSE(a.sameSchema(c));  // same names, different order
+}
+
+TEST(MetricsRecord, PopulatedByVisitingStatGroups)
+{
+    stats::StatGroup g("core");
+    stats::Scalar cycles("cycles", "elapsed");
+    cycles.set(42);
+    stats::Real ipc("ipc", "rate");
+    ipc.set(1.25);
+    g.add(&cycles);
+    g.add(&ipc);
+
+    MetricsRecord m;
+    g.visit(m);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.counter("core.cycles"), 42u);
+    EXPECT_DOUBLE_EQ(m.real("core.ipc"), 1.25);
+    EXPECT_EQ(m.all()[0].desc, "elapsed");
+}
+
+TEST(Metric, TextRoundTripsExactly)
+{
+    Metric u{"n", "", Metric::Kind::UInt, 1234567890123456789ull, 0.0};
+    EXPECT_EQ(u.text(), "1234567890123456789");
+
+    Metric r{"r", "", Metric::Kind::Real, 0, 0.0};
+    r.rval = 1.0 / 3.0;
+    double back = std::strtod(r.text().c_str(), nullptr);
+    EXPECT_EQ(back, r.rval);  // bit-exact, not just close
+
+    r.rval = 3.0;  // integral-valued real prints without a decimal point
+    EXPECT_EQ(r.text(), "3");
+}
+
+} // namespace
+} // namespace vpr

@@ -59,11 +59,11 @@ TEST(ParallelEngine, ResultsKeepCellOrderAcrossJobCounts)
     ASSERT_EQ(serial.size(), cells.size());
     ASSERT_EQ(parallel.size(), cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles)
+        EXPECT_EQ(serial[i].cycles(), parallel[i].cycles())
             << cells[i].benchmark << " cell " << i;
-        EXPECT_EQ(serial[i].stats.committed,
-                  parallel[i].stats.committed);
-        EXPECT_EQ(serial[i].stats.issued, parallel[i].stats.issued);
+        EXPECT_EQ(serial[i].committed(),
+                  parallel[i].committed());
+        EXPECT_EQ(serial[i].issued(), parallel[i].issued());
         EXPECT_DOUBLE_EQ(serial[i].ipc(), parallel[i].ipc());
     }
 }

@@ -1,0 +1,247 @@
+/** @file Golden-file and round-trip tests for the result exporters. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/results_io.hh"
+
+namespace vpr
+{
+namespace
+{
+
+/** A fully pinned-down cell so the golden strings cannot drift with
+ *  default-config changes. */
+GridCell
+goldenCell()
+{
+    SimConfig config;
+    config.setScheme(RenameScheme::VPAllocAtWriteback);
+    config.core.rename.numPhysRegs = 64;
+    config.core.rename.numVPRegs = 160;
+    config.core.rename.nrrInt = 32;
+    config.core.rename.nrrFp = 32;
+    config.core.robSize = 128;
+    config.core.iqSize = 128;
+    config.core.lsqSize = 128;
+    config.core.cache.missPenalty = 50;
+    config.core.cache.numMshrs = 8;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    config.core.fetch.wrongPathMem = false;
+    config.skipInsts = 1000;
+    config.measureInsts = 2000;
+    config.seed = 7;
+    return GridCell("swim", config);
+}
+
+SimResults
+goldenResult()
+{
+    SimResults r;
+    r.metrics.setUInt("core.cycles", "cycles", 1600);
+    r.metrics.setUInt("core.committed", "committed", 2000);
+    r.metrics.setReal("core.ipc", "ipc", 1.25);
+    return r;
+}
+
+constexpr const char *kGoldenCsv =
+    "# vpr-results v1 figure=golden cells=2 shard=0/1 scale=1\n"
+    "cell,benchmark,scheme,phys_regs,vp_regs,nrr_int,nrr_fp,rob,iq,lsq,"
+    "miss_penalty,mshrs,wrong_path,wrong_path_mem,skip_insts,"
+    "measure_insts,seed,core.cycles,core.committed,core.ipc\n"
+    "0,swim,vp-writeback,64,160,32,32,128,128,128,50,8,stall,0,1000,"
+    "2000,7,1600,2000,1.25\n"
+    "1,swim,vp-writeback,64,160,32,32,128,128,128,50,8,stall,0,1000,"
+    "2000,7,1600,2000,1.25\n";
+
+TEST(ResultsCsv, GoldenHeaderAndRowOrderAreStable)
+{
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {goldenResult(), goldenResult()};
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
+    EXPECT_EQ(os.str(), kGoldenCsv);
+}
+
+TEST(ResultsJson, GoldenKeyOrderIsStable)
+{
+    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<SimResults> results = {goldenResult()};
+    std::ostringstream os;
+    writeResultsJson(os, "golden", 1, ShardSpec{}, {0}, cells, results);
+    EXPECT_EQ(
+        os.str(),
+        "{\n"
+        "  \"format\": \"vpr-results\",\n"
+        "  \"version\": 1,\n"
+        "  \"figure\": \"golden\",\n"
+        "  \"cells\": 1,\n"
+        "  \"shard\": \"0/1\",\n"
+        "  \"scale\": 1,\n"
+        "  \"records\": [\n"
+        "    {\"cell\": 0, \"config\": {\"benchmark\": \"swim\", "
+        "\"scheme\": \"vp-writeback\", \"phys_regs\": \"64\", "
+        "\"vp_regs\": \"160\", \"nrr_int\": \"32\", \"nrr_fp\": \"32\", "
+        "\"rob\": \"128\", \"iq\": \"128\", \"lsq\": \"128\", "
+        "\"miss_penalty\": \"50\", \"mshrs\": \"8\", "
+        "\"wrong_path\": \"stall\", \"wrong_path_mem\": \"0\", "
+        "\"skip_insts\": \"1000\", \"measure_insts\": \"2000\", "
+        "\"seed\": \"7\"}, \"metrics\": {\"core.cycles\": 1600, "
+        "\"core.committed\": 2000, \"core.ipc\": 1.25}}\n"
+        "  ]\n"
+        "}\n");
+}
+
+TEST(ResultsCsv, ReadInvertsWrite)
+{
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {goldenResult(), goldenResult()};
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
+
+    std::istringstream is(os.str());
+    ResultsFile file = readResultsCsv(is, "test");
+    EXPECT_EQ(file.figure, "golden");
+    EXPECT_EQ(file.totalCells, 2u);
+    ASSERT_EQ(file.rows.size(), 2u);
+    EXPECT_EQ(file.rows[1].cell, 1u);
+
+    std::vector<SimResults> back = resultsFromFile(file);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].metrics.counter("core.cycles"), 1600u);
+    EXPECT_DOUBLE_EQ(back[0].ipc(), 1.25);
+    EXPECT_TRUE(back[0].metrics.sameSchema(results[0].metrics));
+}
+
+TEST(ResultsCsv, MergeOfSingleCompleteFileIsIdentity)
+{
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {goldenResult(), goldenResult()};
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
+
+    std::istringstream is(os.str());
+    ResultsFile merged = mergeResults({readResultsCsv(is, "test")});
+    std::ostringstream out;
+    writeMergedCsv(out, merged);
+    EXPECT_EQ(out.str(), os.str());
+}
+
+TEST(ResultsCsv, MergeReordersShardsByCell)
+{
+    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<SimResults> results = {goldenResult()};
+
+    // Shard 1/2 holds cell 1, shard 0/2 holds cell 0; merge in reverse.
+    std::ostringstream s1, s0;
+    writeResultsCsv(s1, "golden", 2, ShardSpec{1, 2}, {1}, cells, results);
+    writeResultsCsv(s0, "golden", 2, ShardSpec{0, 2}, {0}, cells, results);
+    std::istringstream i1(s1.str()), i0(s0.str());
+    ResultsFile merged = mergeResults(
+        {readResultsCsv(i1, "s1"), readResultsCsv(i0, "s0")});
+    ASSERT_EQ(merged.rows.size(), 2u);
+    EXPECT_EQ(merged.rows[0].cell, 0u);
+    EXPECT_EQ(merged.rows[1].cell, 1u);
+}
+
+/** One half-grid shard as CSV text (cell 0 of 2). */
+std::string
+halfShardCsv()
+{
+    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<SimResults> results = {goldenResult()};
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", 2, ShardSpec{0, 2}, {0}, cells,
+                    results);
+    return os.str();
+}
+
+void
+mergeSameShardTwice(const std::string &csv)
+{
+    std::istringstream a(csv), b(csv);
+    std::vector<ResultsFile> files;
+    files.push_back(readResultsCsv(a, "a"));
+    files.push_back(readResultsCsv(b, "b"));
+    mergeResults(files);
+}
+
+void
+mergeSingleShard(const std::string &csv)
+{
+    std::istringstream a(csv);
+    mergeResults({readResultsCsv(a, "a")});
+}
+
+void
+readMalformed()
+{
+    std::istringstream is("not,a,results,file\n");
+    readResultsCsv(is, "bad");
+}
+
+TEST(ResultsCsv, EmptyShardDoesNotVetoTheMerge)
+{
+    // A shard dealt no cells (shard count > grid size) exports only the
+    // fixed header; merging it with the shards that did run must work.
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {goldenResult(), goldenResult()};
+    std::ostringstream full, empty;
+    writeResultsCsv(full, "golden", 2, ShardSpec{0, 3}, {0, 1}, cells,
+                    results);
+    writeResultsCsv(empty, "golden", 2, ShardSpec{2, 3}, {}, {}, {});
+
+    std::istringstream e(empty.str()), f(full.str());
+    std::vector<ResultsFile> files;
+    files.push_back(readResultsCsv(e, "empty"));  // empty shard first
+    files.push_back(readResultsCsv(f, "full"));
+    ResultsFile merged = mergeResults(files);
+    ASSERT_EQ(merged.rows.size(), 2u);
+    EXPECT_EQ(merged.header.size(),
+              resultFixedColumns().size() + 3);  // metric columns kept
+}
+
+TEST(ResultsCsvDeath, ScaleMismatchIsFatal)
+{
+    std::string a = halfShardCsv();
+    // Forge the sibling shard with a different recorded scale.
+    std::string b = halfShardCsv();
+    std::size_t pos = b.find("scale=");
+    ASSERT_NE(pos, std::string::npos);
+    b.replace(pos, std::string("scale=1").size(), "scale=2");
+    std::size_t cellCol = b.rfind("\n0,");
+    ASSERT_NE(cellCol, std::string::npos);
+    b.replace(cellCol, 3, "\n1,");  // cover cell 1 so only scale differs
+    auto mergeMismatched = [&a, &b] {
+        std::istringstream ia(a);
+        std::istringstream ib(b);
+        std::vector<ResultsFile> files;
+        files.push_back(readResultsCsv(ia, "a"));
+        files.push_back(readResultsCsv(ib, "b"));
+        mergeResults(files);
+    };
+    EXPECT_EXIT(mergeMismatched(), ::testing::ExitedWithCode(1),
+                "instruction-scale mismatch");
+}
+
+TEST(ResultsCsvDeath, DuplicateCellIsFatal)
+{
+    EXPECT_EXIT(mergeSameShardTwice(halfShardCsv()),
+                ::testing::ExitedWithCode(1), "more than one shard");
+}
+
+TEST(ResultsCsvDeath, IncompleteMergeIsFatal)
+{
+    EXPECT_EXIT(mergeSingleShard(halfShardCsv()),
+                ::testing::ExitedWithCode(1), "incomplete merge");
+}
+
+TEST(ResultsCsvDeath, MalformedFileIsFatal)
+{
+    EXPECT_EXIT(readMalformed(), ::testing::ExitedWithCode(1),
+                "vpr-results");
+}
+
+} // namespace
+} // namespace vpr

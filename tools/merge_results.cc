@@ -1,0 +1,98 @@
+/**
+ * @file
+ * merge_results — stitch sharded sweep records back together.
+ *
+ * Usage:
+ *   merge_results [-o merged.csv] [--render] shard0.csv shard1.csv ...
+ *
+ * Reads the CSV record files written by the bench binaries' --out flag
+ * (one record per grid cell, any subset per file), verifies that
+ * together they cover the whole grid exactly once, and writes the full
+ * cell-ordered result set — byte-identical to what a single unsharded
+ * --out run would have produced.
+ *
+ * With --render, the paper-style table is re-rendered from the merged
+ * records to stdout. The figure named in the file metadata is looked up
+ * in the bench figure registry and its renderer — the same code the
+ * bench binary runs — is fed the reconstructed results, so the table is
+ * byte-identical to the unsharded run's.
+ *
+ * Options:
+ *   -o <path>    write the merged CSV (default: stdout unless --render)
+ *   --render     re-render the figure's table from the merged records
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "figures.hh"
+#include "sim/results_io.hh"
+
+using namespace vpr;
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    bool render = false;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--render") == 0) {
+            render = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "usage: " << argv[0]
+                      << " [-o merged.csv] [--render] shard.csv...\n"
+                         "see the file header for details\n";
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::cerr << "unknown option '" << argv[i] << "'\n";
+            return 1;
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::cerr << "usage: " << argv[0]
+                  << " [-o merged.csv] [--render] shard.csv...\n";
+        return 1;
+    }
+
+    std::vector<ResultsFile> shards;
+    for (const std::string &path : inputs)
+        shards.push_back(readResultsCsvFile(path));
+    ResultsFile merged = mergeResults(shards);
+
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        if (!os)
+            VPR_FATAL("cannot open '", outPath, "' for writing");
+        writeMergedCsv(os, merged);
+        if (!os)
+            VPR_FATAL("error writing '", outPath, "'");
+    } else if (!render) {
+        writeMergedCsv(std::cout, merged);
+    }
+
+    if (render) {
+        const bench::FigureDef *def = bench::findFigure(merged.figure);
+        if (!def)
+            VPR_FATAL("figure '", merged.figure,
+                      "' is not in the bench registry; cannot render "
+                      "(merge with -o still works)");
+        const std::vector<GridCell> cells = def->build();
+        if (cells.size() != merged.totalCells)
+            VPR_FATAL("figure '", merged.figure, "' now has ",
+                      cells.size(), " cells but the records carry ",
+                      merged.totalCells,
+                      " — re-run the sweep with this binary");
+        def->render(cells, resultsFromFile(merged), std::cout);
+    }
+    return 0;
+}

@@ -20,6 +20,10 @@
  *   --seed=N          workload seed (0 = kernel default)
  *   --jobs=N          worker threads for "all" (0 = hw threads)
  *   --wrongpath       synthesize wrong-path fetch (default: stall)
+ *   --wrongpath-mem   wrong-path synthesis includes loads/stores that
+ *                     probe the cache (implies --wrongpath)
+ *   --out=F           write one machine-readable record per run to F
+ *                     (CSV, or JSON when F ends in .json)
  *   --dump-trace=F,N  write the first N workload records to file F
  *   --list            list built-in benchmarks and exit
  */
@@ -30,6 +34,7 @@
 #include <string>
 
 #include "sim/experiment.hh"
+#include "sim/results_io.hh"
 #include "trace/kernels/kernels.hh"
 #include "trace/trace_file.hh"
 
@@ -96,6 +101,7 @@ main(int argc, char **argv)
     std::string target;
     int nrr = -1;
     std::string dumpSpec;
+    std::string outPath;
 
     for (int i = 1; i < argc; ++i) {
         const char *v = nullptr;
@@ -106,6 +112,11 @@ main(int argc, char **argv)
             return 0;
         } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
             config.core.fetch.wrongPath = WrongPathMode::Synthesize;
+        } else if (std::strcmp(argv[i], "--wrongpath-mem") == 0) {
+            config.core.fetch.wrongPath = WrongPathMode::Synthesize;
+            config.core.fetch.wrongPathMem = true;
+        } else if (matchArg(argv[i], "--out", &v)) {
+            outPath = v;
         } else if (matchArg(argv[i], "--scheme", &v)) {
             config.setScheme(parseScheme(v));
         } else if (matchArg(argv[i], "--regs", &v)) {
@@ -158,12 +169,22 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // --out: one record per run. Every index of the run's grid is
+    // exported (vpr_sim never shards; the bench binaries do).
+    auto exportRecords = [&outPath](const std::string &figure,
+                                    const std::vector<GridCell> &cells,
+                                    const std::vector<SimResults> &results) {
+        if (!outPath.empty())
+            exportAllCells(outPath, figure, cells, results);
+    };
+
     if (target == "all") {
         // Sweep every benchmark on the parallel engine and summarize.
         std::vector<GridCell> cells;
         for (const auto &name : benchmarkNames())
             cells.push_back({name, config});
         std::vector<SimResults> results = runGrid(cells, config.jobs);
+        exportRecords("vpr_sim-all", cells, results);
 
         printTableHeader(std::cout,
                          std::string("IPC, scheme=") +
@@ -174,8 +195,8 @@ main(int argc, char **argv)
             const SimResults &r = results[i];
             ipcs.push_back(r.ipc());
             printTableRow(std::cout, cells[i].benchmark,
-                          {r.ipc(), r.stats.executionsPerCommit(),
-                           r.cacheMissRate},
+                          {r.ipc(), r.executionsPerCommit(),
+                           r.cacheMissRate()},
                           3);
         }
         std::cout << std::string(48, '-') << "\n";
@@ -191,10 +212,12 @@ main(int argc, char **argv)
         Simulator sim(stream, config);
         SimResults r = sim.run();
         sim.printReport(std::cout, r);
+        exportRecords("vpr_sim", {{target, config}}, {r});
     } else {
         Simulator sim(target, config);
         SimResults r = sim.run();
         sim.printReport(std::cout, r);
+        exportRecords("vpr_sim", {{target, config}}, {r});
     }
     return 0;
 }
