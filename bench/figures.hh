@@ -62,6 +62,7 @@ FigureDef ablationMshrFigure();
 FigureDef ablationWindowFigure();
 FigureDef ablationWrongPathFigure();
 FigureDef motivatingExampleFigure();
+FigureDef regPressureFigure();
 /** @} */
 
 } // namespace vpr::bench

@@ -29,6 +29,7 @@ allFigures()
         ablationWindowFigure(),
         ablationWrongPathFigure(),
         motivatingExampleFigure(),
+        regPressureFigure(),
     };
     return figures;
 }

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Register-pressure figure: occupancy and lifetime distributions per
+ * rename scheme across a register-file size sweep — the data behind the
+ * paper's wasted-register motivation. Grid/table: bench/figures/.
+ */
+
+#include "figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vpr::bench::figureMain("regpressure", argc, argv);
+}

@@ -13,8 +13,11 @@
  * All four instructions rename f2. Under decode-time (conventional)
  * allocation, four physical registers are held from decode; under
  * virtual-physical renaming each instruction holds only a VP *tag*
- * until it issues or completes. This example runs the chain and prints
- * per-scheme pipeline timelines plus the register-pressure integral.
+ * until it issues or completes. The numbers printed here come straight
+ * from the stats tree the regfile exports for every run — the
+ * regfile.occupancy.* distribution (busy registers, sampled per cycle)
+ * and the rename.vp.lifetime.* distribution (cycles each register
+ * stays allocated) — the same metrics every CSV/JSON record carries.
  */
 
 #include <iomanip>
@@ -55,9 +58,12 @@ runScheme(RenameScheme scheme)
     std::cout << std::left << std::setw(14)
               << renameSchemeName(scheme) << std::fixed
               << std::setprecision(2) << "  hold/value(fp)="
-              << std::setw(8) << r.meanHoldCyclesFp()
+              << std::setw(8) << r.regLifetimeMean(RegClass::Float)
               << "  avg busy fp regs=" << std::setw(7)
               << r.avgBusyFpRegs() << "  IPC=" << r.ipc() << "\n";
+    std::cout << "  fp regfile occupancy distribution (busy regs per "
+                 "cycle):\n";
+    printMetricHistogram(std::cout, r.metrics, "regfile.occupancy.fp");
 }
 
 } // namespace

@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <iomanip>
+#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -41,6 +43,34 @@ Distribution::Distribution(std::string name, std::string desc,
     buckets.assign((max - min) / bucketSize + 1, 0);
 }
 
+Distribution
+Distribution::evenBuckets(std::string name, std::string desc,
+                          std::uint64_t min, std::uint64_t max,
+                          std::size_t numBuckets)
+{
+    VPR_ASSERT(max >= min, "distribution range inverted");
+    VPR_ASSERT(numBuckets > 0, "bucket count must be positive");
+    const std::uint64_t range = max - min + 1;
+    const std::uint64_t width = (range + numBuckets - 1) / numBuckets;
+    Distribution d(std::move(name), std::move(desc), min, max, width);
+    // The ceil-divided width can make the natural bucket count smaller
+    // than requested; pad so the count is exactly numBuckets for any
+    // range — that fixed count is what keeps export schemas identical
+    // across grid cells with different structure sizes.
+    d.buckets.assign(numBuckets, 0);
+    return d;
+}
+
+double
+Distribution::stddev() const
+{
+    if (n == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
 void
 Distribution::sample(std::uint64_t v)
 {
@@ -49,7 +79,9 @@ Distribution::sample(std::uint64_t v)
     if (n == 0 || v > maxSeen)
         maxSeen = v;
     ++n;
-    sum += static_cast<double>(v);
+    const double dv = static_cast<double>(v);
+    sum += dv;
+    sumSq += dv * dv;
     if (v < lo) {
         ++under;
     } else if (v > hi) {
@@ -64,6 +96,7 @@ Distribution::reset()
 {
     under = over = n = 0;
     sum = 0.0;
+    sumSq = 0.0;
     minSeen = maxSeen = 0;
     buckets.assign(buckets.size(), 0);
 }
@@ -72,9 +105,9 @@ void
 Distribution::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " mean="
-       << std::fixed << std::setprecision(3) << mean() << " n=" << n
-       << " min=" << minSeen << " max=" << maxSeen << "  # " << desc()
-       << "\n";
+       << std::fixed << std::setprecision(3) << mean() << " sd="
+       << stddev() << " n=" << n << " min=" << minSeen << " max="
+       << maxSeen << "  # " << desc() << "\n";
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         if (buckets[i] == 0)
             continue;
@@ -91,11 +124,87 @@ void
 Distribution::visit(StatVisitor &v) const
 {
     v.visitReal(name() + ".mean", desc(), mean());
+    v.visitReal(name() + ".stddev", desc(), stddev());
     v.visitUInt(name() + ".samples", desc(), n);
     v.visitUInt(name() + ".min", desc(), minSeen);
     v.visitUInt(name() + ".max", desc(), maxSeen);
     v.visitUInt(name() + ".underflows", desc(), under);
     v.visitUInt(name() + ".overflows", desc(), over);
+    // The bucket geometry travels with the data so consumers (figure
+    // renderers, plotters) never re-derive the origin or width by hand.
+    v.visitUInt(name() + ".range_min", desc(), lo);
+    v.visitUInt(name() + ".bucket_size", desc(), bsize);
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        v.visitUInt(name() + ".hist[" + std::to_string(i) + "]", desc(),
+                    buckets[i]);
+}
+
+Counter2D::Counter2D(std::string name, std::string desc,
+                     std::vector<std::string> rowNames,
+                     std::vector<std::string> colNames)
+    : StatBase(std::move(name), std::move(desc)),
+      rows(std::move(rowNames)), cols(std::move(colNames)),
+      counts(rows.size() * cols.size(), 0)
+{
+    VPR_ASSERT(!rows.empty() && !cols.empty(),
+               "Counter2D needs at least one row and one column");
+}
+
+std::uint64_t
+Counter2D::rowTotal(std::size_t row) const
+{
+    std::uint64_t t = 0;
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        t += count(row, c);
+    return t;
+}
+
+std::uint64_t
+Counter2D::colTotal(std::size_t col) const
+{
+    std::uint64_t t = 0;
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        t += count(r, col);
+    return t;
+}
+
+std::uint64_t
+Counter2D::total() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts)
+        t += c;
+    return t;
+}
+
+void
+Counter2D::reset()
+{
+    counts.assign(counts.size(), 0);
+}
+
+void
+Counter2D::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " total="
+       << total() << "  # " << desc() << "\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rowTotal(r) == 0)
+            continue;
+        os << "  " << std::left << std::setw(12) << rows[r];
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            os << " " << cols[c] << "=" << count(r, c);
+        os << "\n";
+    }
+}
+
+void
+Counter2D::visit(StatVisitor &v) const
+{
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            v.visitUInt(name() + "." + rows[r] + "." + cols[c], desc(),
+                        count(r, c));
 }
 
 namespace
@@ -151,6 +260,82 @@ StatGroup::print(std::ostream &os) const
     os << "---------- " << groupName << " ----------\n";
     for (const auto *s : statList)
         s->print(os);
+}
+
+namespace
+{
+
+/**
+ * Forwarding visitor that panics on a repeated full name. Groups may
+ * share a prefix (two components both exporting under "core."), so a
+ * leaf-name collision would otherwise be silently collapsed by
+ * consumers like MetricsRecord — better to fail loudly at the source.
+ */
+class UniqueNameVisitor : public StatVisitor
+{
+  public:
+    explicit UniqueNameVisitor(StatVisitor &inner) : v(inner) {}
+
+    void
+    visitUInt(const std::string &name, const std::string &desc,
+              std::uint64_t val) override
+    {
+        check(name);
+        v.visitUInt(name, desc, val);
+    }
+
+    void
+    visitReal(const std::string &name, const std::string &desc,
+              double val) override
+    {
+        check(name);
+        v.visitReal(name, desc, val);
+    }
+
+  private:
+    void
+    check(const std::string &name)
+    {
+        VPR_ASSERT(seen.insert(name).second,
+                   "duplicate stat name in tree walk: ", name);
+    }
+
+    StatVisitor &v;
+    std::unordered_set<std::string> seen;
+};
+
+} // namespace
+
+void
+StatRegistry::visit(StatVisitor &v)
+{
+    UniqueNameVisitor unique(v);
+    for (Entry &e : entryList) {
+        if (e.update)
+            e.update();
+        e.group->visit(unique);
+    }
+}
+
+void
+StatRegistry::reset()
+{
+    for (Entry &e : entryList) {
+        if (e.reset)
+            e.reset();
+        else
+            e.group->resetAll();
+    }
+}
+
+void
+StatRegistry::print(std::ostream &os)
+{
+    for (Entry &e : entryList) {
+        if (e.update)
+            e.update();
+        e.group->print(os);
+    }
 }
 
 } // namespace vpr::stats

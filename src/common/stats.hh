@@ -4,13 +4,17 @@
  *
  * Stats are plain accumulators registered with a StatGroup so that whole
  * subsystems can be dumped or reset uniformly. No global registry: each
- * simulator instance owns its groups, keeping runs independent.
+ * simulator instance owns its groups, keeping runs independent. A
+ * StatRegistry ties the groups of one core into a single stats tree:
+ * components register their group (plus optional update/reset hooks)
+ * and every exporter reaches them through one walk.
  */
 
 #ifndef VPR_COMMON_STATS_HH
 #define VPR_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -140,12 +144,29 @@ class Average : public StatBase
     std::uint64_t n = 0;
 };
 
-/** Bucketed distribution over [min, max] with uniform buckets. */
+/**
+ * Bucketed distribution over [min, max] with uniform buckets, tracking
+ * mean, population standard deviation, and the observed min/max. The
+ * usual producer samples once per cycle (occupancies) or once per event
+ * (lifetimes). Visitation exports the moments and then one "hist[i]"
+ * triple per bucket, so records carry the full shape.
+ *
+ * For metrics exported across a parameter sweep use evenBuckets(): the
+ * bucket *count* is fixed regardless of the range, which keeps the
+ * export schema identical across grid cells that differ in structure
+ * sizes (a requirement for sharded CSV merging).
+ */
 class Distribution : public StatBase
 {
   public:
     Distribution(std::string name, std::string desc, std::uint64_t min,
                  std::uint64_t max, std::uint64_t bucketSize);
+
+    /** A distribution over [min, max] with exactly @p numBuckets
+     *  equal-width buckets (the last may reach past max). */
+    static Distribution evenBuckets(std::string name, std::string desc,
+                                    std::uint64_t min, std::uint64_t max,
+                                    std::size_t numBuckets);
 
     void sample(std::uint64_t v);
 
@@ -155,6 +176,7 @@ class Distribution : public StatBase
     std::uint64_t overflows() const { return over; }
     std::uint64_t samples() const { return n; }
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double stddev() const;
     std::uint64_t minSample() const { return minSeen; }
     std::uint64_t maxSample() const { return maxSeen; }
 
@@ -171,8 +193,51 @@ class Distribution : public StatBase
     std::uint64_t over = 0;
     std::uint64_t n = 0;
     double sum = 0.0;
+    double sumSq = 0.0;
     std::uint64_t minSeen = 0;
     std::uint64_t maxSeen = 0;
+};
+
+/**
+ * A labelled 2-D counter matrix (e.g. issues per op class split by
+ * first execution vs re-execution). Rows and columns are fixed at
+ * construction, so the visitation schema never depends on the data.
+ * Each cell visits as "name.<row>.<col>".
+ */
+class Counter2D : public StatBase
+{
+  public:
+    Counter2D(std::string name, std::string desc,
+              std::vector<std::string> rowNames,
+              std::vector<std::string> colNames);
+
+    void
+    inc(std::size_t row, std::size_t col, std::uint64_t d = 1)
+    {
+        counts.at(row * cols.size() + col) += d;
+    }
+
+    std::uint64_t
+    count(std::size_t row, std::size_t col) const
+    {
+        return counts.at(row * cols.size() + col);
+    }
+
+    std::uint64_t rowTotal(std::size_t row) const;
+    std::uint64_t colTotal(std::size_t col) const;
+    std::uint64_t total() const;
+
+    std::size_t numRows() const { return rows.size(); }
+    std::size_t numCols() const { return cols.size(); }
+
+    void reset() override;
+    void print(std::ostream &os) const override;
+    void visit(StatVisitor &v) const override;
+
+  private:
+    std::vector<std::string> rows;
+    std::vector<std::string> cols;
+    std::vector<std::uint64_t> counts;  ///< row-major
 };
 
 /**
@@ -200,6 +265,47 @@ class StatGroup
   private:
     std::string groupName;
     std::vector<StatBase *> statList;
+};
+
+/**
+ * The stats tree of one simulated core: every component registers its
+ * StatGroup(s) here, optionally with an update hook (bring derived
+ * values — rates, interval deltas — up to date before a visit) and a
+ * reset hook (begin a measurement interval; defaults to resetAll on the
+ * group). Registration order is visitation order, which makes the
+ * export schema a deterministic function of construction order alone.
+ */
+class StatRegistry
+{
+  public:
+    /** One registered group with its hooks. */
+    struct Entry
+    {
+        StatGroup *group;
+        std::function<void()> update;  ///< may be empty
+        std::function<void()> reset;   ///< empty = group->resetAll()
+    };
+
+    void
+    add(StatGroup *group, std::function<void()> update = {},
+        std::function<void()> reset = {})
+    {
+        entryList.push_back({group, std::move(update), std::move(reset)});
+    }
+
+    /** Run every update hook, then visit every group in order. */
+    void visit(StatVisitor &v);
+
+    /** Begin a measurement interval across the whole tree. */
+    void reset();
+
+    /** Human-readable dump of the whole tree (updates first). */
+    void print(std::ostream &os);
+
+    const std::vector<Entry> &entries() const { return entryList; }
+
+  private:
+    std::vector<Entry> entryList;
 };
 
 } // namespace vpr::stats

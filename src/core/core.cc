@@ -16,6 +16,22 @@ Core::Core(TraceStream &stream, const CoreConfig &config)
       fetchStage(state),
       stageGraph{&commit, &complete, &issue, &rename, &fetchStage}
 {
+    // Registered last so its update hook runs after the groups it
+    // derives from ("core" cycles, "commit" counters) are up to date.
+    derivedGroup.add(&ipcStat);
+    derivedGroup.add(&execPerCommitStat);
+    state.statsTree.add(&derivedGroup, [this] {
+        const std::uint64_t c = state.intervalCycles();
+        const std::uint64_t committed = commit.committedInterval();
+        ipcStat.set(c ? static_cast<double>(committed) /
+                            static_cast<double>(c)
+                      : 0.0);
+        execPerCommitStat.set(
+            committed ? static_cast<double>(
+                            commit.committedExecutionsInterval()) /
+                            static_cast<double>(committed)
+                      : 0.0);
+    });
 }
 
 bool
@@ -34,11 +50,7 @@ Core::tick()
     for (Stage *stage : stageGraph)
         stage->tick();
 
-    state.rob.sampleOccupancy();
-    busyIntRegsSum +=
-        static_cast<double>(state.renameMgr->busyPhysRegs(RegClass::Int));
-    busyFpRegsSum += static_cast<double>(
-        state.renameMgr->busyPhysRegs(RegClass::Float));
+    state.sampleStats();
 
     if (state.cfg.invariantChecks && (state.curCycle & 0x3f) == 0)
         state.renameMgr->checkInvariants();
@@ -78,48 +90,13 @@ Core::squashYoungerThan(InstSeqNum youngestKept)
 void
 Core::resetStats()
 {
-    baseCycles = state.curCycle;
-    baseSquashed = state.nSquashed;
-    baseCacheMisses = state.cache.misses() + state.cache.mergedMisses();
-    baseCacheAccesses = state.cache.accesses();
-    baseBusyIntRegsSum = busyIntRegsSum;
-    baseBusyFpRegsSum = busyFpRegsSum;
-
-    for (Stage *stage : stageGraph)
-        stage->resetStats();
-
-    state.renameMgr->pressure(RegClass::Int).reset(state.curCycle);
-    state.renameMgr->pressure(RegClass::Float).reset(state.curCycle);
-    state.rob.occupancyStat().reset();
+    state.resetStats();
 }
 
-CoreStatsSnapshot
-Core::snapshot() const
+void
+Core::visitStats(stats::StatVisitor &v)
 {
-    CoreStatsSnapshot s;
-    s.cycles = state.curCycle - baseCycles;
-    s.committed = commit.committedDelta();
-    s.committedExecutions = commit.committedExecutionsDelta();
-    s.issued = issue.issuedDelta();
-    s.squashed = state.nSquashed - baseSquashed;
-    s.wbRejections = complete.wbRejectionsDelta();
-    s.branches = fetchStage.branchesDelta();
-    s.mispredicts = fetchStage.mispredictsDelta();
-    s.renameStallReg = rename.stallRegDelta();
-    s.renameStallRob = rename.stallRobDelta();
-    s.renameStallIq = rename.stallIqDelta();
-    s.renameStallLsq = rename.stallLsqDelta();
-    s.storeCommitStalls = commit.storeCommitStallsDelta();
-    s.cacheMisses = state.cache.misses() + state.cache.mergedMisses() -
-                    baseCacheMisses;
-    s.cacheAccesses = state.cache.accesses() - baseCacheAccesses;
-    if (s.cycles > 0) {
-        s.avgBusyIntRegs = (busyIntRegsSum - baseBusyIntRegsSum) /
-                           static_cast<double>(s.cycles);
-        s.avgBusyFpRegs = (busyFpRegsSum - baseBusyFpRegsSum) /
-                          static_cast<double>(s.cycles);
-    }
-    return s;
+    state.statsTree.visit(v);
 }
 
 } // namespace vpr

@@ -44,46 +44,6 @@
 namespace vpr
 {
 
-/** Counters reported after a run (deltas since the last resetStats). */
-struct CoreStatsSnapshot
-{
-    Cycle cycles = 0;
-    std::uint64_t committed = 0;
-    std::uint64_t committedExecutions = 0; ///< issues of committed insts
-    std::uint64_t issued = 0;
-    std::uint64_t squashed = 0;
-    std::uint64_t wbRejections = 0;  ///< VP write-back denials
-    std::uint64_t branches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t renameStallReg = 0;
-    std::uint64_t renameStallRob = 0;
-    std::uint64_t renameStallIq = 0;
-    std::uint64_t renameStallLsq = 0;
-    std::uint64_t storeCommitStalls = 0;
-    std::uint64_t cacheMisses = 0;
-    std::uint64_t cacheAccesses = 0;
-    double avgBusyIntRegs = 0.0;
-    double avgBusyFpRegs = 0.0;
-
-    double
-    ipc() const
-    {
-        return cycles ? static_cast<double>(committed) /
-                            static_cast<double>(cycles)
-                      : 0.0;
-    }
-
-    /** Mean executions per committed instruction (re-execution factor,
-     *  ~1.0 for schemes without write-back squashes). */
-    double
-    executionsPerCommit() const
-    {
-        return committed ? static_cast<double>(committedExecutions) /
-                               static_cast<double>(committed)
-                         : 0.0;
-    }
-};
-
 /** One simulated out-of-order core: state + latches + stage graph. */
 class Core : public SquashCoordinator
 {
@@ -100,11 +60,16 @@ class Core : public SquashCoordinator
     std::uint64_t committedInsts() const { return commit.committedTotal(); }
     bool done() const;
 
-    /** Start a measurement interval: zero all delta counters. */
+    /** Start a measurement interval across the whole stats tree. */
     void resetStats();
 
-    /** Counters accumulated since the last resetStats(). */
-    CoreStatsSnapshot snapshot() const;
+    /**
+     * Walk the core's stats tree into @p v: every component's and
+     * stage's StatGroup, in registration order, derived values brought
+     * up to date first. This is the single export path — a stat added
+     * to any component appears in every consumer with no glue.
+     */
+    void visitStats(stats::StatVisitor &v);
 
     /** True if a completion event for @p seq is pending (tests/debug). */
     bool
@@ -148,18 +113,12 @@ class Core : public SquashCoordinator
     FetchStage fetchStage;
     std::array<Stage *, 5> stageGraph;
 
-    // Interval baselines for state-level counters (stage counters are
-    // baselined inside the stages themselves).
-    Cycle baseCycles = 0;
-    std::uint64_t baseSquashed = 0;
-    std::uint64_t baseCacheMisses = 0;
-    std::uint64_t baseCacheAccesses = 0;
-    double baseBusyIntRegsSum = 0.0;
-    double baseBusyFpRegsSum = 0.0;
-
-    // Busy-register integrals, sampled once per cycle.
-    double busyIntRegsSum = 0.0;
-    double busyFpRegsSum = 0.0;
+    // Cross-stage derived metrics (IPC needs commit + the clock); the
+    // composition root is the one place that sees both.
+    stats::StatGroup derivedGroup{"core"};
+    stats::Real ipcStat{"ipc", "committed instructions per cycle"};
+    stats::Real execPerCommitStat{
+        "exec_per_commit", "executions per committed instruction"};
 };
 
 } // namespace vpr

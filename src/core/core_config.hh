@@ -35,6 +35,9 @@ struct CoreConfig
     FuPoolConfig fu;
     CacheConfig cache;
 
+    /** Use the legacy full-queue IQ wakeup scan instead of per-tag wait
+     *  lists (reference path; schedules are byte-identical). */
+    bool iqScanWakeup = false;
     /** Run the renamer's invariant self-check every 64 cycles. */
     bool invariantChecks = false;
     /** Panic if no instruction commits for this many cycles. */

@@ -65,6 +65,9 @@ struct DynInst
 
     // --- pipeline state -----------------------------------------------
     InstPhase phase = InstPhase::Renamed;
+    /** Maintained by InstQueue: true while this instruction is resident
+     *  in the IQ (validates per-tag wakeup wait-list entries). */
+    bool inIq = false;
     bool mispredictedBranch = false;
     unsigned executions = 0;    ///< times issued (re-execution counter)
 

@@ -18,6 +18,7 @@ FetchUnit::FetchUnit(TraceStream &stream, const FetchConfig &config)
     VPR_ASSERT(cfg.fetchWidth >= 1, "fetch width must be >= 1");
     VPR_ASSERT(cfg.bufferCapacity >= cfg.fetchWidth,
                "fetch buffer smaller than fetch width");
+    branchGroup.add(&bhtAccuracy);
 }
 
 StaticInst

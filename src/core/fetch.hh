@@ -26,6 +26,7 @@
 
 #include "branch/bht.hh"
 #include "common/random.hh"
+#include "common/stats.hh"
 #include "trace/stream.hh"
 
 namespace vpr
@@ -101,6 +102,15 @@ class FetchUnit
     std::uint64_t mispredicts() const { return nMispredicts; }
     /** @} */
 
+    /** Register the "branch" stat group (predictor accuracy, whole-run)
+     *  into the core's stats tree. */
+    void
+    regStats(stats::StatRegistry &r)
+    {
+        r.add(&branchGroup,
+              [this] { bhtAccuracy.set(bht.accuracy()); });
+    }
+
   private:
     /** Generate one synthetic wrong-path instruction. */
     StaticInst synthesizeWrongPath();
@@ -120,6 +130,9 @@ class FetchUnit
     std::uint64_t nWrongPath = 0;
     std::uint64_t nBranches = 0;
     std::uint64_t nMispredicts = 0;
+
+    stats::StatGroup branchGroup{"branch"};
+    stats::Real bhtAccuracy{"bht_accuracy", "branch predictor accuracy"};
 };
 
 } // namespace vpr

@@ -8,9 +8,28 @@ namespace vpr
 {
 
 void
+InstQueue::addWaiters(DynInst *inst)
+{
+    if (scanWakeup)
+        return;
+    for (std::size_t i = 0; i < kMaxSrcRegs; ++i) {
+        const SrcOperand &s = inst->src[i];
+        if (!s.valid || s.ready)
+            continue;
+        auto &lists = waitLists[classIdx(s.cls)];
+        if (s.tag >= lists.size())
+            lists.resize(s.tag + 1);
+        lists[s.tag].push_back(
+            {inst, inst->seq, static_cast<std::uint8_t>(i)});
+    }
+}
+
+void
 InstQueue::insert(DynInst *inst)
 {
     VPR_ASSERT(!full(), "insert into full IQ");
+    inst->inIq = true;
+    addWaiters(inst);
     if (list.empty() || list.back()->seq < inst->seq) {
         list.push_back(inst);
         return;
@@ -32,6 +51,7 @@ InstQueue::remove(DynInst *inst)
         [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
     VPR_ASSERT(it != list.end() && *it == inst,
                "IQ remove: entry not present");
+    inst->inIq = false;
     list.erase(it);
 }
 
@@ -39,30 +59,73 @@ void
 InstQueue::removeAt(std::size_t i)
 {
     VPR_ASSERT(i < list.size(), "IQ removeAt: index out of range");
+    list[i]->inIq = false;
     list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void
 InstQueue::squashYoungerThan(InstSeqNum seq)
 {
-    while (!list.empty() && list.back()->seq > seq)
+    while (!list.empty() && list.back()->seq > seq) {
+        list.back()->inIq = false;
         list.pop_back();
+    }
+}
+
+void
+InstQueue::clear()
+{
+    for (DynInst *inst : list)
+        inst->inIq = false;
+    list.clear();
+    for (auto &lists : waitLists)
+        lists.clear();
 }
 
 unsigned
 InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
 {
-    unsigned woken = 0;
-    for (DynInst *inst : list) {
-        for (auto &s : inst->src) {
-            if (s.valid && !s.ready && s.cls == cls && s.tag == tag) {
-                s.tag = physReg;
-                s.ready = true;
-                ++woken;
+    ++broadcasts;
+    unsigned nWoken = 0;
+
+    if (scanWakeup) {
+        // Reference path: scan every queue entry for matching sources.
+        for (DynInst *inst : list) {
+            for (auto &s : inst->src) {
+                if (s.valid && !s.ready && s.cls == cls && s.tag == tag) {
+                    s.tag = physReg;
+                    s.ready = true;
+                    ++nWoken;
+                }
             }
         }
+        woken += nWoken;
+        return nWoken;
     }
-    return woken;
+
+    auto &lists = waitLists[classIdx(cls)];
+    if (tag >= lists.size()) {
+        return 0;
+    }
+    // Consume the tag's wait list: every valid waiter wakes; stale
+    // entries (instruction issued, squashed, or its slot reused — the
+    // seq/residency check catches all three) are simply dropped. A tag
+    // is broadcast at most once per allocation, so the list drains
+    // exactly when the old scan would have found its waiters.
+    std::vector<Waiter> waiters = std::move(lists[tag]);
+    lists[tag].clear();
+    for (const Waiter &w : waiters) {
+        if (!w.inst->inIq || w.inst->seq != w.seq)
+            continue;
+        SrcOperand &s = w.inst->src[w.srcIdx];
+        if (!s.valid || s.ready || s.cls != cls || s.tag != tag)
+            continue;
+        s.tag = physReg;
+        s.ready = true;
+        ++nWoken;
+    }
+    woken += nWoken;
+    return nWoken;
 }
 
 } // namespace vpr

@@ -8,6 +8,16 @@
  * exactly the paper's mechanism where a virtual-physical tag is replaced
  * by the allocated physical register. The conventional scheme broadcasts
  * physical tags and the capture is the identity.
+ *
+ * Wakeup is implemented with per-(class, tag) wait lists: a source that
+ * enters the queue unready is recorded under its tag, and a broadcast
+ * touches exactly the recorded waiters instead of scanning the whole
+ * queue. Waiters that left the queue in the meantime (issue, squash)
+ * are detected lazily via their sequence number and residency flag —
+ * the same stale-entry idiom the CompletionQueue uses. The original
+ * full-queue scan is kept behind setScanWakeup() as a reference
+ * implementation; a determinism test asserts both paths produce
+ * byte-identical results.
  */
 
 #ifndef VPR_CORE_IQ_HH
@@ -16,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/dyn_inst.hh"
 #include "isa/reg.hh"
 
@@ -26,7 +37,15 @@ namespace vpr
 class InstQueue
 {
   public:
-    explicit InstQueue(std::size_t capacity) : cap(capacity) {}
+    explicit InstQueue(std::size_t capacity)
+        : cap(capacity),
+          occupancy(stats::Distribution::evenBuckets(
+              "occupancy", "entries occupied per cycle", 0, capacity, 16))
+    {
+        group.add(&occupancy);
+        group.add(&broadcasts);
+        group.add(&woken);
+    }
 
     bool full() const { return list.size() >= cap; }
     bool empty() const { return list.empty(); }
@@ -36,7 +55,8 @@ class InstQueue
     /**
      * Insert @p inst keeping age order. Newly renamed instructions go to
      * the back; re-inserted (squashed-at-writeback) instructions find
-     * their place by sequence number.
+     * their place by sequence number. Unready sources are recorded in
+     * the wakeup wait lists.
      */
     void insert(DynInst *inst);
 
@@ -71,11 +91,44 @@ class InstQueue
     /** Age-ordered entries, oldest first (selection scans this). */
     const std::vector<DynInst *> &entries() const { return list; }
 
-    void clear() { list.clear(); }
+    void clear();
+
+    /** Use the legacy full-queue wakeup scan instead of the wait lists
+     *  (reference path for the determinism test). Must be selected
+     *  before the first insert. */
+    void setScanWakeup(bool scan) { scanWakeup = scan; }
+
+    /** Record this cycle's occupancy (called once per cycle). */
+    void sampleOccupancy() { occupancy.sample(list.size()); }
+
+    /** Register the "iq" stat group into the core's stats tree. */
+    void regStats(stats::StatRegistry &r) { r.add(&group); }
 
   private:
+    /** One recorded waiter: source @p srcIdx of @p inst, valid while
+     *  the instruction (identified by seq) is still queue-resident. */
+    struct Waiter
+    {
+        DynInst *inst;
+        InstSeqNum seq;
+        std::uint8_t srcIdx;
+    };
+
+    /** Record every unready source of @p inst in the wait lists. */
+    void addWaiters(DynInst *inst);
+
     std::size_t cap;
     std::vector<DynInst *> list;  ///< sorted by seq, oldest first
+    /** Wait lists per register class, indexed by tag (grown on use). */
+    std::vector<std::vector<Waiter>> waitLists[kNumRegClasses];
+    bool scanWakeup = false;
+
+    stats::StatGroup group{"iq"};
+    stats::Distribution occupancy;
+    stats::Scalar broadcasts{"wakeup_broadcasts",
+                             "completion wakeup broadcasts"};
+    stats::Scalar woken{"operands_woken",
+                        "source operands woken by broadcasts"};
 };
 
 } // namespace vpr

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/stats.hh"
 #include "core/dyn_inst.hh"
 
 namespace vpr
@@ -33,7 +34,16 @@ enum class LoadHold : std::uint8_t
 class Lsq
 {
   public:
-    explicit Lsq(std::size_t capacity) : cap(capacity) {}
+    explicit Lsq(std::size_t capacity)
+        : cap(capacity),
+          occupancy(stats::Distribution::evenBuckets(
+              "occupancy", "entries occupied per cycle", 0, capacity, 16))
+    {
+        group.add(&occupancy);
+        group.add(&nForwards);
+        group.add(&nUnknownHolds);
+        group.add(&nPartialHolds);
+    }
 
     bool full() const { return list.size() >= cap; }
     bool empty() const { return list.empty(); }
@@ -56,13 +66,22 @@ class Lsq
     LoadHold checkLoad(const DynInst *load, Cycle now) const;
 
     /** Statistics. @{ */
-    std::uint64_t forwards() const { return nForwards; }
-    std::uint64_t unknownAddrHolds() const { return nUnknownHolds; }
-    std::uint64_t partialOverlapHolds() const { return nPartialHolds; }
+    std::uint64_t forwards() const { return nForwards.value(); }
+    std::uint64_t unknownAddrHolds() const { return nUnknownHolds.value(); }
+    std::uint64_t partialOverlapHolds() const
+    {
+        return nPartialHolds.value();
+    }
     /** @} */
 
     /** Account a hold decision (called by the core at issue time). */
     void recordHold(LoadHold h);
+
+    /** Record this cycle's occupancy (called once per cycle). */
+    void sampleOccupancy() { occupancy.sample(list.size()); }
+
+    /** Register the "lsq" stat group into the core's stats tree. */
+    void regStats(stats::StatRegistry &r) { r.add(&group); }
 
     const std::deque<DynInst *> &entries() const { return list; }
 
@@ -78,9 +97,14 @@ class Lsq
     std::size_t cap;
     std::deque<DynInst *> list;  ///< program order, front = oldest
 
-    std::uint64_t nForwards = 0;
-    std::uint64_t nUnknownHolds = 0;
-    std::uint64_t nPartialHolds = 0;
+    stats::StatGroup group{"lsq"};
+    stats::Distribution occupancy;
+    stats::Scalar nForwards{"forwards", "store-to-load forwards"};
+    stats::Scalar nUnknownHolds{"unknown_addr_holds",
+                                "loads held on an unknown store address"};
+    stats::Scalar nPartialHolds{
+        "partial_overlap_holds",
+        "loads held on a partial store overlap"};
 };
 
 } // namespace vpr

@@ -26,9 +26,14 @@ class Rob
   public:
     explicit Rob(std::size_t entries)
         : buf(entries),
-          occupancy("rob.occupancy", "entries occupied per cycle", 0,
-                    entries, entries >= 16 ? entries / 16 : 1)
-    {}
+          occupancy(stats::Distribution::evenBuckets(
+              "occupancy", "entries occupied per cycle", 0, entries, 16))
+    {
+        group.add(&occupancy);
+    }
+
+    /** Register the "rob" stat group into the core's stats tree. */
+    void regStats(stats::StatRegistry &r) { r.add(&group); }
 
     bool full() const { return buf.full(); }
     bool empty() const { return buf.empty(); }
@@ -71,6 +76,7 @@ class Rob
 
   private:
     CircularBuffer<DynInst> buf;
+    stats::StatGroup group{"rob"};
     stats::Distribution occupancy;
 };
 

@@ -20,12 +20,12 @@ CommitStage::tick()
             // Stores update the data cache at commit. They need a cache
             // port and a non-blocked cache; otherwise commit retries.
             if (!s.cachePortSched.tryClaim(now)) {
-                ++nStoreCommitStalls;
+                ++storeStalls;
                 break;
             }
             auto res = s.cache.access(head.si.effAddr, true, now);
             if (res.outcome == CacheOutcome::Blocked) {
-                ++nStoreCommitStalls;
+                ++storeStalls;
                 break;
             }
             s.lsq.remove(&head);
@@ -36,8 +36,9 @@ CommitStage::tick()
         s.renameMgr->commitInst(head, now);
         head.phase = InstPhase::Committed;
         head.commitCycle = now;
-        ++nCommitted;
-        nCommittedExecutions += head.executions;
+        ++committed;
+        ++nCommittedTotal;
+        committedExecutions += head.executions;
         s.lastCommitCycle = now;
         s.rob.commitHead();
     }

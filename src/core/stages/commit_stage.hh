@@ -8,6 +8,7 @@
 #ifndef VPR_CORE_STAGES_COMMIT_STAGE_HH
 #define VPR_CORE_STAGES_COMMIT_STAGE_HH
 
+#include "common/stats.hh"
 #include "core/stages/pipeline_state.hh"
 #include "core/stages/stage.hh"
 
@@ -18,7 +19,13 @@ namespace vpr
 class CommitStage : public Stage
 {
   public:
-    explicit CommitStage(PipelineState &state) : s(state) {}
+    explicit CommitStage(PipelineState &state) : s(state)
+    {
+        group.add(&committed);
+        group.add(&committedExecutions);
+        group.add(&storeStalls);
+        s.statsTree.add(&group);
+    }
 
     const char *name() const override { return "commit"; }
 
@@ -31,43 +38,29 @@ class CommitStage : public Stage
         // than a resolving branch; nothing to recover.
     }
 
-    void
-    resetStats() override
-    {
-        baseCommitted = nCommitted;
-        baseCommittedExecutions = nCommittedExecutions;
-        baseStoreCommitStalls = nStoreCommitStalls;
-    }
+    /** Committed instructions since construction (monotonic; drives the
+     *  run-until protocol across stat resets). */
+    std::uint64_t committedTotal() const { return nCommittedTotal; }
 
-    /** Committed instructions since construction (monotonic). */
-    std::uint64_t committedTotal() const { return nCommitted; }
-
-    /** Interval counters since the last resetStats. @{ */
+    /** Interval counters (reset through the stats tree). @{ */
+    std::uint64_t committedInterval() const { return committed.value(); }
     std::uint64_t
-    committedDelta() const
+    committedExecutionsInterval() const
     {
-        return nCommitted - baseCommitted;
-    }
-    std::uint64_t
-    committedExecutionsDelta() const
-    {
-        return nCommittedExecutions - baseCommittedExecutions;
-    }
-    std::uint64_t
-    storeCommitStallsDelta() const
-    {
-        return nStoreCommitStalls - baseStoreCommitStalls;
+        return committedExecutions.value();
     }
     /** @} */
 
   private:
     PipelineState &s;
-    std::uint64_t nCommitted = 0;
-    std::uint64_t nCommittedExecutions = 0;
-    std::uint64_t nStoreCommitStalls = 0;
-    std::uint64_t baseCommitted = 0;
-    std::uint64_t baseCommittedExecutions = 0;
-    std::uint64_t baseStoreCommitStalls = 0;
+    std::uint64_t nCommittedTotal = 0;
+
+    stats::StatGroup group{"commit"};
+    stats::Scalar committed{"committed", "committed instructions"};
+    stats::Scalar committedExecutions{
+        "committed_executions", "issues of committed instructions"};
+    stats::Scalar storeStalls{"store_stalls",
+                              "commit stalls on store write"};
 };
 
 } // namespace vpr

@@ -25,7 +25,7 @@ CompleteStage::tick()
         if (!res.ok) {
             // VP write-back allocation denied a register: squash back
             // to the instruction queue and re-execute (paper §3.3).
-            ++nWbRejections;
+            ++wbRejections;
             inst->phase = InstPhase::Renamed;
             s.iq.insert(inst);
             continue;

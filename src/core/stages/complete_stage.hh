@@ -11,6 +11,7 @@
 #ifndef VPR_CORE_STAGES_COMPLETE_STAGE_HH
 #define VPR_CORE_STAGES_COMPLETE_STAGE_HH
 
+#include "common/stats.hh"
 #include "core/stages/latches.hh"
 #include "core/stages/pipeline_state.hh"
 #include "core/stages/stage.hh"
@@ -27,7 +28,10 @@ class CompleteStage : public Stage
                   SquashCoordinator &squashCoordinator)
         : s(state), completions(completionQueue), redirect(redirectPort),
           squasher(squashCoordinator)
-    {}
+    {
+        group.add(&wbRejections);
+        s.statsTree.add(&group);
+    }
 
     const char *name() const override { return "complete"; }
 
@@ -39,26 +43,15 @@ class CompleteStage : public Stage
         completions.squashYoungerThan(youngestKept);
     }
 
-    void
-    resetStats() override
-    {
-        baseWbRejections = nWbRejections;
-    }
-
-    /** VP write-back allocation denials since the last resetStats. */
-    std::uint64_t
-    wbRejectionsDelta() const
-    {
-        return nWbRejections - baseWbRejections;
-    }
-
   private:
     PipelineState &s;
     CompletionQueue &completions;
     FetchRedirectPort &redirect;
     SquashCoordinator &squasher;
-    std::uint64_t nWbRejections = 0;
-    std::uint64_t baseWbRejections = 0;
+
+    stats::StatGroup group{"complete"};
+    stats::Scalar wbRejections{"wb_rejections",
+                               "write-back allocation denials (VP)"};
 };
 
 } // namespace vpr

@@ -3,6 +3,23 @@
 namespace vpr
 {
 
+FetchStage::FetchStage(PipelineState &state) : s(state)
+{
+    group.add(&branches);
+    group.add(&mispredicts);
+    s.statsTree.add(
+        &group,
+        [this] {
+            branches.set(s.fetch.branches() - baseBranches);
+            mispredicts.set(s.fetch.mispredicts() - baseMispredicts);
+        },
+        [this] {
+            group.resetAll();
+            baseBranches = s.fetch.branches();
+            baseMispredicts = s.fetch.mispredicts();
+        });
+}
+
 void
 FetchStage::tick()
 {
@@ -14,25 +31,6 @@ FetchStage::squash(InstSeqNum)
 {
     // The wrong-path flush happens synchronously through the
     // FetchRedirectPort when the branch resolves; nothing else to do.
-}
-
-void
-FetchStage::resetStats()
-{
-    baseBranches = s.fetch.branches();
-    baseMispredicts = s.fetch.mispredicts();
-}
-
-std::uint64_t
-FetchStage::branchesDelta() const
-{
-    return s.fetch.branches() - baseBranches;
-}
-
-std::uint64_t
-FetchStage::mispredictsDelta() const
-{
-    return s.fetch.mispredicts() - baseMispredicts;
 }
 
 } // namespace vpr

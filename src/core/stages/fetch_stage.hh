@@ -10,6 +10,7 @@
 #ifndef VPR_CORE_STAGES_FETCH_STAGE_HH
 #define VPR_CORE_STAGES_FETCH_STAGE_HH
 
+#include "common/stats.hh"
 #include "core/stages/pipeline_state.hh"
 #include "core/stages/stage.hh"
 
@@ -20,21 +21,21 @@ namespace vpr
 class FetchStage : public Stage
 {
   public:
-    explicit FetchStage(PipelineState &state) : s(state) {}
+    explicit FetchStage(PipelineState &state);
 
     const char *name() const override { return "fetch"; }
 
     void tick() override;
     void squash(InstSeqNum youngestKept) override;
-    void resetStats() override;
-
-    /** Interval counters since the last resetStats. @{ */
-    std::uint64_t branchesDelta() const;
-    std::uint64_t mispredictsDelta() const;
-    /** @} */
 
   private:
     PipelineState &s;
+
+    // The FetchUnit's counters are monotonic; the exported stats are
+    // interval deltas against bases captured at each stats-tree reset.
+    stats::StatGroup group{"fetch"};
+    stats::Scalar branches{"branches", "branches fetched"};
+    stats::Scalar mispredicts{"mispredicts", "mispredicted branches"};
     std::uint64_t baseBranches = 0;
     std::uint64_t baseMispredicts = 0;
 };

@@ -1,9 +1,37 @@
 #include "core/stages/issue_stage.hh"
 
 #include "common/logging.hh"
+#include "isa/op_class.hh"
 
 namespace vpr
 {
+
+namespace
+{
+
+/** Row labels of the issued_by_class matrix: every op class. */
+std::vector<std::string>
+opClassRows()
+{
+    std::vector<std::string> rows;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        rows.push_back(opClassName(static_cast<OpClass>(i)));
+    return rows;
+}
+
+} // namespace
+
+IssueStage::IssueStage(PipelineState &state,
+                       CompletionQueue &completionQueue)
+    : s(state), completions(completionQueue),
+      byClass("issued_by_class",
+              "issues per op class, split first execution vs re-execution",
+              opClassRows(), {"first", "reexec"})
+{
+    group.add(&issued);
+    group.add(&byClass);
+    s.statsTree.add(&group);
+}
 
 bool
 IssueStage::tryIssueOne(DynInst *inst)
@@ -99,7 +127,8 @@ IssueStage::tryIssueOne(DynInst *inst)
             inst->phase = InstPhase::Issued;
             inst->issueCycle = now;
             ++inst->executions;
-            ++nIssued;
+            ++issued;
+            byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
             completions.parkStore(inst, inst->seq);
             bool fuOkStore = s.fus.tryIssue(op, now, raw);
             VPR_ASSERT(fuOkStore, "FU vanished after availability check");
@@ -124,7 +153,8 @@ IssueStage::tryIssueOne(DynInst *inst)
     inst->phase = InstPhase::Issued;
     inst->issueCycle = now;
     ++inst->executions;
-    ++nIssued;
+    ++issued;
+    byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
     completions.schedule(completion, inst->seq, inst);
     return true;
 }

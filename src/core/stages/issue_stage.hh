@@ -10,6 +10,7 @@
 #ifndef VPR_CORE_STAGES_ISSUE_STAGE_HH
 #define VPR_CORE_STAGES_ISSUE_STAGE_HH
 
+#include "common/stats.hh"
 #include "core/stages/latches.hh"
 #include "core/stages/pipeline_state.hh"
 #include "core/stages/stage.hh"
@@ -21,9 +22,7 @@ namespace vpr
 class IssueStage : public Stage
 {
   public:
-    IssueStage(PipelineState &state, CompletionQueue &completionQueue)
-        : s(state), completions(completionQueue)
-    {}
+    IssueStage(PipelineState &state, CompletionQueue &completionQueue);
 
     const char *name() const override { return "issue"; }
 
@@ -35,25 +34,16 @@ class IssueStage : public Stage
         // Selection re-reads the IQ each cycle; nothing buffered here.
     }
 
-    void
-    resetStats() override
-    {
-        baseIssued = nIssued;
-    }
-
-    /** Instructions issued since construction (monotonic). */
-    std::uint64_t issuedTotal() const { return nIssued; }
-    /** Instructions issued since the last resetStats. */
-    std::uint64_t issuedDelta() const { return nIssued - baseIssued; }
-
   private:
     /** Try to issue one instruction; true on success. */
     bool tryIssueOne(DynInst *inst);
 
     PipelineState &s;
     CompletionQueue &completions;
-    std::uint64_t nIssued = 0;
-    std::uint64_t baseIssued = 0;
+
+    stats::StatGroup group{"issue"};
+    stats::Scalar issued{"issued", "instructions issued"};
+    stats::Counter2D byClass;
 };
 
 } // namespace vpr

@@ -21,6 +21,26 @@ PipelineState::PipelineState(TraceStream &stream, const CoreConfig &config)
     VPR_ASSERT(cfg.iqSize >= cfg.robSize,
                "unified IQ must hold every in-flight instruction "
                "(write-back squashes re-insert issued instructions)");
+    iq.setScanWakeup(cfg.iqScanWakeup);
+
+    // Root of the stats tree: the shared structures register here, in a
+    // fixed order; the stages append their groups when the composition
+    // root constructs them. Registration order is export-schema order.
+    coreGroup.add(&cyclesStat);
+    coreGroup.add(&squashedStat);
+    statsTree.add(
+        &coreGroup,
+        [this] { cyclesStat.set(curCycle - statBaseCycle); },
+        [this] {
+            coreGroup.resetAll();
+            statBaseCycle = curCycle;
+        });
+    rob.regStats(statsTree);
+    iq.regStats(statsTree);
+    lsq.regStats(statsTree);
+    cache.regStats(statsTree);
+    fetch.regStats(statsTree);
+    renameMgr->regStats(statsTree);
 }
 
 void
@@ -34,6 +54,26 @@ PipelineState::beginCycle()
 }
 
 void
+PipelineState::sampleStats()
+{
+    rob.sampleOccupancy();
+    iq.sampleOccupancy();
+    lsq.sampleOccupancy();
+    renameMgr->sampleOccupancy();
+}
+
+void
+PipelineState::resetStats()
+{
+    statsTree.reset();
+    // The pressure trackers integrate over time, so their interval
+    // reset needs the current cycle (in-flight allocations restart
+    // from the interval boundary).
+    renameMgr->pressure(RegClass::Int).reset(curCycle);
+    renameMgr->pressure(RegClass::Float).reset(curCycle);
+}
+
+void
 PipelineState::squashYoungerThan(InstSeqNum youngestKept)
 {
     iq.squashYoungerThan(youngestKept);
@@ -42,7 +82,7 @@ PipelineState::squashYoungerThan(InstSeqNum youngestKept)
         DynInst &tail = rob.tail();
         renameMgr->squashInst(tail, curCycle);
         tail.phase = InstPhase::Squashed;
-        ++nSquashed;
+        ++squashedStat;
         rob.squashTail();
     }
 }

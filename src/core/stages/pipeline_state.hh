@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "common/stats.hh"
 #include "core/core_config.hh"
 #include "core/iq.hh"
 #include "core/lsq.hh"
@@ -31,6 +32,12 @@ struct PipelineState
 
     /** Per-cycle bookkeeping common to every stage; advances the clock. */
     void beginCycle();
+
+    /** End-of-cycle occupancy sampling across the shared structures. */
+    void sampleStats();
+
+    /** Begin a measurement interval across the whole stats tree. */
+    void resetStats();
 
     /**
      * Branch recovery over the shared structures: drop IQ/LSQ entries
@@ -50,10 +57,26 @@ struct PipelineState
     RegFilePorts regPorts;
     PortSchedule cachePortSched;
 
+    /**
+     * The core's stats tree. Every component and stage registers its
+     * StatGroup(s) here (structures in this constructor, stages in
+     * theirs); exporters reach everything through one
+     * statsTree.visit() walk.
+     */
+    stats::StatRegistry statsTree;
+
     Cycle curCycle = 0;
     InstSeqNum nextSeq = 0;
     Cycle lastCommitCycle = 0;
-    std::uint64_t nSquashed = 0;
+
+    /** Cycles elapsed in the current measurement interval. */
+    Cycle intervalCycles() const { return curCycle - statBaseCycle; }
+
+  private:
+    stats::StatGroup coreGroup{"core"};
+    stats::Scalar cyclesStat{"cycles", "simulated cycles in the interval"};
+    stats::Scalar squashedStat{"squashed", "instructions squashed"};
+    Cycle statBaseCycle = 0;
 };
 
 } // namespace vpr

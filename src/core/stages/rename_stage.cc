@@ -10,15 +10,15 @@ RenameStage::tick()
         const FetchedInst &fi = fetched.peek();
 
         if (s.rob.full()) {
-            ++n.stallRob;
+            ++stallRob;
             break;
         }
         if (s.iq.full()) {
-            ++n.stallIq;
+            ++stallIq;
             break;
         }
         if (fi.si.isMem() && s.lsq.full()) {
-            ++n.stallLsq;
+            ++stallLsq;
             break;
         }
 
@@ -30,7 +30,7 @@ RenameStage::tick()
                 nFp = 1;
         }
         if (!s.renameMgr->canRename(nInt, nFp)) {
-            ++n.stallReg;
+            ++stallReg;
             break;
         }
 

@@ -7,6 +7,7 @@
 #ifndef VPR_CORE_STAGES_RENAME_STAGE_HH
 #define VPR_CORE_STAGES_RENAME_STAGE_HH
 
+#include "common/stats.hh"
 #include "core/stages/latches.hh"
 #include "core/stages/pipeline_state.hh"
 #include "core/stages/stage.hh"
@@ -20,7 +21,13 @@ class RenameStage : public Stage
   public:
     RenameStage(PipelineState &state, FetchBufferPort &fetchBuffer)
         : s(state), fetched(fetchBuffer)
-    {}
+    {
+        group.add(&stallReg);
+        group.add(&stallRob);
+        group.add(&stallIq);
+        group.add(&stallLsq);
+        s.statsTree.add(&group);
+    }
 
     const char *name() const override { return "rename"; }
 
@@ -33,36 +40,15 @@ class RenameStage : public Stage
         // buffer (its input latch) is flushed by the redirect port.
     }
 
-    void
-    resetStats() override
-    {
-        base = Counters{};
-        base.stallReg = n.stallReg;
-        base.stallRob = n.stallRob;
-        base.stallIq = n.stallIq;
-        base.stallLsq = n.stallLsq;
-    }
-
-    /** Interval counters since the last resetStats. @{ */
-    std::uint64_t stallRegDelta() const { return n.stallReg - base.stallReg; }
-    std::uint64_t stallRobDelta() const { return n.stallRob - base.stallRob; }
-    std::uint64_t stallIqDelta() const { return n.stallIq - base.stallIq; }
-    std::uint64_t stallLsqDelta() const { return n.stallLsq - base.stallLsq; }
-    /** @} */
-
   private:
-    struct Counters
-    {
-        std::uint64_t stallReg = 0;
-        std::uint64_t stallRob = 0;
-        std::uint64_t stallIq = 0;
-        std::uint64_t stallLsq = 0;
-    };
-
     PipelineState &s;
     FetchBufferPort &fetched;
-    Counters n;
-    Counters base;
+
+    stats::StatGroup group{"rename"};
+    stats::Scalar stallReg{"stall_reg", "rename stalls: no free register"};
+    stats::Scalar stallRob{"stall_rob", "rename stalls: ROB full"};
+    stats::Scalar stallIq{"stall_iq", "rename stalls: IQ full"};
+    stats::Scalar stallLsq{"stall_lsq", "rename stalls: LSQ full"};
 };
 
 } // namespace vpr

@@ -6,7 +6,9 @@
  * rename, fetch) ticked back to front once per cycle, so a value
  * produced this cycle is visible to the consumer stages that run later
  * in the same tick — the same idiom as gem5's TimeBuffer-connected
- * stages. Stages hold their own statistics and communicate only through
+ * stages. Stages own their statistics as StatGroups registered into the
+ * PipelineState stats tree (interval resets and exports run through the
+ * tree, not through the stage interface) and communicate only through
  * the shared PipelineState structures (ROB/IQ/LSQ and friends) and the
  * explicit latch/port objects in latches.hh; no stage reaches into
  * another stage.
@@ -40,9 +42,6 @@ class Stage
      * and buffers a stage owns privately.
      */
     virtual void squash(InstSeqNum youngestKept) = 0;
-
-    /** Start a measurement interval: baseline the stage's counters. */
-    virtual void resetStats() = 0;
 };
 
 /**

@@ -17,6 +17,10 @@ NonBlockingCache::NonBlockingCache(const CacheConfig &config)
     VPR_ASSERT(isPowerOf2(numSets), "number of sets must be a power of 2");
     lineMask = cfg.lineSize - 1;
     lines.assign(numSets * cfg.assoc, Line{});
+
+    group.add(&accessesStat);
+    group.add(&missesStat);
+    group.add(&missRateStat);
 }
 
 std::size_t
@@ -148,6 +152,24 @@ NonBlockingCache::reset()
     mshrFile.clear();
     theBus.reset();
     nAccesses = nHits = nMisses = nMerged = nBlocked = nWritebacks = 0;
+    baseAccesses = baseMisses = 0;
+}
+
+void
+NonBlockingCache::regStats(stats::StatRegistry &r)
+{
+    r.add(
+        &group,
+        [this] {
+            accessesStat.set(nAccesses - baseAccesses);
+            missesStat.set(nMisses + nMerged - baseMisses);
+            missRateStat.set(missRate());
+        },
+        [this] {
+            group.resetAll();
+            baseAccesses = nAccesses;
+            baseMisses = nMisses + nMerged;
+        });
 }
 
 } // namespace vpr

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "memory/bus.hh"
 #include "memory/mshr.hh"
@@ -106,6 +107,14 @@ class NonBlockingCache
 
     void reset();
 
+    /**
+     * Register the "memory" stat group into the core's stats tree. The
+     * exported access/miss counts are measurement-interval deltas of
+     * the monotonic counters above; the miss rate stays whole-run (the
+     * steady-state figure the paper quotes).
+     */
+    void regStats(stats::StatRegistry &r);
+
   private:
     struct Line
     {
@@ -139,6 +148,16 @@ class NonBlockingCache
     std::uint64_t nMerged = 0;
     std::uint64_t nBlocked = 0;
     std::uint64_t nWritebacks = 0;
+
+    stats::StatGroup group{"memory"};
+    stats::Scalar accessesStat{"cache_accesses",
+                               "L1 data cache accesses"};
+    stats::Scalar missesStat{"cache_misses",
+                             "L1 data cache misses (incl. merged)"};
+    stats::Real missRateStat{"cache_miss_rate",
+                             "L1 data cache miss rate"};
+    std::uint64_t baseAccesses = 0;
+    std::uint64_t baseMisses = 0;
 };
 
 } // namespace vpr

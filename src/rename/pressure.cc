@@ -5,8 +5,9 @@
 namespace vpr
 {
 
-PressureTracker::PressureTracker(std::size_t numPhysRegs)
-    : allocCycle(numPhysRegs, kNoCycle)
+PressureTracker::PressureTracker(std::size_t numPhysRegs,
+                                 stats::Distribution *lifetimeDist)
+    : allocCycle(numPhysRegs, kNoCycle), lifetime(lifetimeDist)
 {
 }
 
@@ -29,6 +30,8 @@ PressureTracker::onFree(PhysRegId reg, Cycle now)
                reg);
     VPR_ASSERT(now >= allocCycle[reg], "free before alloc");
     holdCycles += now - allocCycle[reg];
+    if (lifetime)
+        lifetime->sample(now - allocCycle[reg]);
     allocCycle[reg] = kNoCycle;
     ++nFrees;
     VPR_ASSERT(nBusy > 0, "busy underflow");

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/reg.hh"
 
@@ -25,7 +26,13 @@ namespace vpr
 class PressureTracker
 {
   public:
-    explicit PressureTracker(std::size_t numPhysRegs);
+    /**
+     * @param numPhysRegs registers in the class's file
+     * @param lifetimeDist optional distribution sampled with the holding
+     *        time (cycles) of every completed alloc/free pair
+     */
+    explicit PressureTracker(std::size_t numPhysRegs,
+                             stats::Distribution *lifetimeDist = nullptr);
 
     /** A physical register was taken from the free pool. */
     void onAlloc(PhysRegId reg, Cycle now);
@@ -58,6 +65,7 @@ class PressureTracker
 
   private:
     std::vector<Cycle> allocCycle;  ///< kNoCycle when free
+    stats::Distribution *lifetime;  ///< may be null
     std::size_t nBusy = 0;
     std::size_t peak = 0;
     std::uint64_t holdCycles = 0;

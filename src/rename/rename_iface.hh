@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
 #include "isa/reg.hh"
@@ -141,6 +142,37 @@ class RenameManager
     /** Self-check of internal invariants; panics when broken. */
     virtual void checkInvariants() const = 0;
 
+    /**
+     * Register the renamer's stat groups — "rename" (mean holding
+     * times), "rename.vp" (per-value register-lifetime distributions)
+     * and "regfile" (occupancy distributions, peaks) — into the core's
+     * stats tree.
+     */
+    void regStats(stats::StatRegistry &r);
+
+    /** Record this cycle's busy-register counts into the occupancy
+     *  distributions (called once per cycle by the pipeline). */
+    void
+    sampleOccupancy()
+    {
+        for (std::size_t c = 0; c < kNumRegClasses; ++c)
+            occupancyDist[c].sample(busyPhysRegs(static_cast<RegClass>(c)));
+    }
+
+    /** Regfile occupancy distribution for one class (tests/figures). */
+    const stats::Distribution &
+    occupancyStat(RegClass cls) const
+    {
+        return occupancyDist[classIdx(cls)];
+    }
+
+    /** Register-lifetime distribution for one class. */
+    const stats::Distribution &
+    lifetimeStat(RegClass cls) const
+    {
+        return lifetimeDist[classIdx(cls)];
+    }
+
     const RenameConfig &config() const { return cfg; }
 
     /** Pressure integration for each register class. */
@@ -160,8 +192,25 @@ class RenameManager
 
   protected:
     RenameConfig cfg;
+    /** Lifetime distributions are declared before the trackers that
+     *  sample into them (construction order). */
+    stats::Distribution lifetimeDist[kNumRegClasses];
+    stats::Distribution occupancyDist[kNumRegClasses];
     PressureTracker pressureTrk[kNumRegClasses];
     std::uint64_t nRejections = 0;
+
+  private:
+    stats::StatGroup renameGroup{"rename"};
+    stats::StatGroup vpGroup{"rename.vp"};
+    stats::StatGroup regfileGroup{"regfile"};
+    stats::Real meanHold[kNumRegClasses] = {
+        {"mean_hold_cycles_int",
+         "mean register-holding cycles per int value"},
+        {"mean_hold_cycles_fp",
+         "mean register-holding cycles per FP value"}};
+    stats::Scalar peakBusy[kNumRegClasses] = {
+        {"peak_busy_int", "peak busy integer physical registers"},
+        {"peak_busy_fp", "peak busy FP physical registers"}};
 };
 
 } // namespace vpr

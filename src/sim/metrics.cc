@@ -1,6 +1,7 @@
 #include "sim/metrics.hh"
 
 #include <iomanip>
+#include <ostream>
 #include <sstream>
 
 namespace vpr
@@ -79,6 +80,57 @@ MetricsRecord::sameSchema(const MetricsRecord &other) const
         if (metrics[i].name != other.metrics[i].name)
             return false;
     return true;
+}
+
+void
+printMetricHistogram(std::ostream &os, const MetricsRecord &m,
+                     const std::string &stem)
+{
+    const std::uint64_t lo = m.counter(stem + ".range_min");
+    const std::uint64_t width = m.counter(stem + ".bucket_size");
+    const std::uint64_t under = m.counter(stem + ".underflows");
+    const std::uint64_t over = m.counter(stem + ".overflows");
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = under + over, peak = 0;
+    for (std::size_t i = 0;; ++i) {
+        const std::string name =
+            stem + ".hist[" + std::to_string(i) + "]";
+        if (!m.has(name))
+            break;
+        counts.push_back(m.counter(name));
+        total += counts.back();
+        peak = peak > counts.back() ? peak : counts.back();
+    }
+    if (total == 0 || width == 0) {
+        os << "    (no samples)\n";
+        return;
+    }
+    // Percentages are of *all* samples, clipped mass included, so the
+    // bars never overstate the in-range share.
+    auto percent = [&](std::uint64_t c) {
+        return 100.0 * static_cast<double>(c) /
+               static_cast<double>(total);
+    };
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::size_t bar = peak
+            ? static_cast<std::size_t>(
+                  40.0 * static_cast<double>(counts[i]) /
+                      static_cast<double>(peak) + 0.5)
+            : 0;
+        os << "    [" << std::right << std::setw(3) << lo + i * width
+           << ".." << std::setw(3) << (lo + (i + 1) * width - 1) << "] "
+           << std::setw(6) << std::fixed << std::setprecision(1)
+           << percent(counts[i]) << std::defaultfloat << "% "
+           << std::string(bar, '#') << "\n";
+    }
+    if (under)
+        os << "    below range " << std::setw(6) << std::fixed
+           << std::setprecision(1) << percent(under)
+           << std::defaultfloat << "%\n";
+    if (over)
+        os << "    above range " << std::setw(6) << std::fixed
+           << std::setprecision(1) << percent(over) << std::defaultfloat
+           << "%\n";
 }
 
 } // namespace vpr

@@ -15,6 +15,7 @@
 #define VPR_SIM_METRICS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,17 @@ class MetricsRecord : public stats::StatVisitor
     std::vector<Metric> metrics;
     std::unordered_map<std::string, std::size_t> index;
 };
+
+/**
+ * Render the histogram a Distribution exported under @p stem
+ * ("<stem>.hist[i]", with its geometry from "<stem>.range_min" and
+ * "<stem>.bucket_size") as indented ASCII bars with a per-bucket
+ * percentage of *all* samples (clipped mass gets below/above-range
+ * lines), one line per bucket. Reads only the record, so tables
+ * re-rendered from merged shard files are byte-identical.
+ */
+void printMetricHistogram(std::ostream &os, const MetricsRecord &m,
+                          const std::string &stem);
 
 } // namespace vpr
 

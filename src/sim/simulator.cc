@@ -60,98 +60,12 @@ Simulator::run()
 }
 
 void
-Simulator::collectMetrics(MetricsRecord &m) const
+Simulator::collectMetrics(MetricsRecord &m)
 {
-    const Core &c = *theCore;
-    const CoreStatsSnapshot s = c.snapshot();
-
-    // Stat groups are built on the fly from the interval snapshot and
-    // visited into the record, so the export schema is exactly what the
-    // groups register — adding a stat here adds a column everywhere.
-    stats::StatGroup core("core");
-    stats::Scalar cycles("cycles", "simulated cycles in the interval");
-    cycles.set(s.cycles);
-    stats::Scalar committed("committed", "committed instructions");
-    committed.set(s.committed);
-    stats::Scalar committedExec("committed_executions",
-                                "issues of committed instructions");
-    committedExec.set(s.committedExecutions);
-    stats::Scalar issued("issued", "instructions issued");
-    issued.set(s.issued);
-    stats::Scalar squashed("squashed", "instructions squashed");
-    squashed.set(s.squashed);
-    stats::Scalar wbRej("wb_rejections",
-                        "write-back allocation denials (VP)");
-    wbRej.set(s.wbRejections);
-    stats::Scalar branches("branches", "branches fetched");
-    branches.set(s.branches);
-    stats::Scalar mispred("mispredicts", "mispredicted branches");
-    mispred.set(s.mispredicts);
-    stats::Scalar stallReg("rename_stall_reg",
-                           "rename stalls: no free register");
-    stallReg.set(s.renameStallReg);
-    stats::Scalar stallRob("rename_stall_rob", "rename stalls: ROB full");
-    stallRob.set(s.renameStallRob);
-    stats::Scalar stallIq("rename_stall_iq", "rename stalls: IQ full");
-    stallIq.set(s.renameStallIq);
-    stats::Scalar stallLsq("rename_stall_lsq", "rename stalls: LSQ full");
-    stallLsq.set(s.renameStallLsq);
-    stats::Scalar storeStalls("store_commit_stalls",
-                              "commit stalls on store write");
-    storeStalls.set(s.storeCommitStalls);
-    stats::Real ipc("ipc", "committed instructions per cycle");
-    ipc.set(s.ipc());
-    stats::Real execPerCommit("exec_per_commit",
-                              "executions per committed instruction");
-    execPerCommit.set(s.executionsPerCommit());
-    stats::Real busyInt("avg_busy_int_regs",
-                        "mean busy integer physical registers");
-    busyInt.set(s.avgBusyIntRegs);
-    stats::Real busyFp("avg_busy_fp_regs",
-                       "mean busy FP physical registers");
-    busyFp.set(s.avgBusyFpRegs);
-    for (stats::Scalar *st :
-         {&cycles, &committed, &committedExec, &issued, &squashed, &wbRej,
-          &branches, &mispred, &stallReg, &stallRob, &stallIq, &stallLsq,
-          &storeStalls})
-        core.add(st);
-    core.add(&ipc);
-    core.add(&execPerCommit);
-    core.add(&busyInt);
-    core.add(&busyFp);
-
-    stats::StatGroup memory("memory");
-    stats::Scalar accesses("cache_accesses", "L1 data cache accesses");
-    accesses.set(s.cacheAccesses);
-    stats::Scalar misses("cache_misses",
-                         "L1 data cache misses (incl. merged)");
-    misses.set(s.cacheMisses);
-    stats::Real missRate("cache_miss_rate", "L1 data cache miss rate");
-    missRate.set(c.cache().missRate());
-    stats::Scalar forwards("lsq_forwards", "store-to-load forwards");
-    forwards.set(c.lsq().forwards());
-    memory.add(&accesses);
-    memory.add(&misses);
-    memory.add(&missRate);
-    memory.add(&forwards);
-
-    stats::StatGroup branch("branch");
-    stats::Real bhtAcc("bht_accuracy", "branch predictor accuracy");
-    bhtAcc.set(c.fetchUnit().predictor().accuracy());
-    branch.add(&bhtAcc);
-
-    stats::StatGroup rename("rename");
-    stats::Real holdInt("mean_hold_cycles_int",
-                        "mean register-holding cycles per int value");
-    holdInt.set(c.renamer().pressure(RegClass::Int).meanHoldCycles());
-    stats::Real holdFp("mean_hold_cycles_fp",
-                       "mean register-holding cycles per FP value");
-    holdFp.set(c.renamer().pressure(RegClass::Float).meanHoldCycles());
-    rename.add(&holdInt);
-    rename.add(&holdFp);
-
-    for (const stats::StatGroup *g : {&core, &memory, &branch, &rename})
-        g->visit(m);
+    // The record is one walk of the core's stats tree: every component
+    // and stage owns its StatGroup, so a stat added anywhere appears
+    // here (and in every exporter downstream) with no glue.
+    theCore->visitStats(m);
 }
 
 void
@@ -162,8 +76,12 @@ Simulator::printReport(std::ostream &os, const SimResults &r) const
     os << "physRegs/file     " << cfg.core.rename.numPhysRegs << "\n";
     os << "NRR (int/fp)      " << cfg.core.rename.nrrInt << "/"
        << cfg.core.rename.nrrFp << "\n";
-    // The record is self-describing: one line per metric.
+    // The record is self-describing: one line per metric. Histogram
+    // buckets are elided — the moments summarize each distribution and
+    // the full shape travels in the --out record files.
     for (const Metric &m : r.metrics.all()) {
+        if (m.name.find(".hist[") != std::string::npos)
+            continue;
         os << std::left << std::setw(32) << m.name << " " << std::right
            << std::setw(14);
         if (m.kind == Metric::Kind::UInt)

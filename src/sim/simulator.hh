@@ -36,10 +36,10 @@ struct SimResults
     std::uint64_t
     committed() const
     {
-        return metrics.counter("core.committed");
+        return metrics.counter("commit.committed");
     }
 
-    std::uint64_t issued() const { return metrics.counter("core.issued"); }
+    std::uint64_t issued() const { return metrics.counter("issue.issued"); }
 
     std::uint64_t
     squashed() const
@@ -50,19 +50,19 @@ struct SimResults
     std::uint64_t
     mispredicts() const
     {
-        return metrics.counter("core.mispredicts");
+        return metrics.counter("fetch.mispredicts");
     }
 
     std::uint64_t
     wbRejections() const
     {
-        return metrics.counter("core.wb_rejections");
+        return metrics.counter("complete.wb_rejections");
     }
 
     std::uint64_t
     renameStallReg() const
     {
-        return metrics.counter("core.rename_stall_reg");
+        return metrics.counter("rename.stall_reg");
     }
 
     double
@@ -94,13 +94,27 @@ struct SimResults
     double
     avgBusyIntRegs() const
     {
-        return metrics.real("core.avg_busy_int_regs");
+        return metrics.real("regfile.occupancy.int.mean");
     }
 
     double
     avgBusyFpRegs() const
     {
-        return metrics.real("core.avg_busy_fp_regs");
+        return metrics.real("regfile.occupancy.fp.mean");
+    }
+
+    double
+    robOccupancyMean() const
+    {
+        return metrics.real("rob.occupancy.mean");
+    }
+
+    double
+    regLifetimeMean(RegClass cls) const
+    {
+        return metrics.real(cls == RegClass::Int
+                                ? "rename.vp.lifetime.int.mean"
+                                : "rename.vp.lifetime.fp.mean");
     }
     /** @} */
 };
@@ -125,8 +139,8 @@ class Simulator
     const Core &core() const { return *theCore; }
 
   private:
-    /** Build the result record by visiting the core's stat groups. */
-    void collectMetrics(MetricsRecord &m) const;
+    /** Build the result record by walking the core's stats tree. */
+    void collectMetrics(MetricsRecord &m);
 
     SimConfig cfg;
     std::unique_ptr<TraceStream> ownedStream;

@@ -171,20 +171,134 @@ TEST(Visitation, AverageVisitsMeanAndSamples)
     EXPECT_EQ(v.entries[1], "lat.samples=2");
 }
 
-TEST(Visitation, DistributionVisitsSubValues)
+TEST(Visitation, DistributionVisitsSubValuesAndBuckets)
 {
     Distribution d("occ", "occupancy", 0, 9, 1);
     d.sample(2);
     d.sample(4);
     RecordingVisitor v;
     d.visit(v);
-    ASSERT_EQ(v.entries.size(), 6u);
+    // Moments first, then the bucket geometry, then one hist[i] per
+    // bucket.
+    ASSERT_EQ(v.entries.size(), 9u + d.numBuckets());
     EXPECT_EQ(v.entries[0], "occ.mean=3");
-    EXPECT_EQ(v.entries[1], "occ.samples=2");
-    EXPECT_EQ(v.entries[2], "occ.min=2");
-    EXPECT_EQ(v.entries[3], "occ.max=4");
-    EXPECT_EQ(v.entries[4], "occ.underflows=0");
-    EXPECT_EQ(v.entries[5], "occ.overflows=0");
+    EXPECT_EQ(v.entries[1], "occ.stddev=1");
+    EXPECT_EQ(v.entries[2], "occ.samples=2");
+    EXPECT_EQ(v.entries[3], "occ.min=2");
+    EXPECT_EQ(v.entries[4], "occ.max=4");
+    EXPECT_EQ(v.entries[5], "occ.underflows=0");
+    EXPECT_EQ(v.entries[6], "occ.overflows=0");
+    EXPECT_EQ(v.entries[7], "occ.range_min=0");
+    EXPECT_EQ(v.entries[8], "occ.bucket_size=1");
+    EXPECT_EQ(v.entries[9], "occ.hist[0]=0");
+    EXPECT_EQ(v.entries[11], "occ.hist[2]=1");
+    EXPECT_EQ(v.entries[13], "occ.hist[4]=1");
+}
+
+TEST(Distribution, StddevOfConstantIsZero)
+{
+    Distribution d("d", "dist", 0, 9, 1);
+    d.sample(4);
+    d.sample(4);
+    d.sample(4);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, StddevMatchesPopulationFormula)
+{
+    Distribution d("d", "dist", 0, 99, 10);
+    // Samples 2 and 4: mean 3, population variance 1.
+    d.sample(2);
+    d.sample(4);
+    EXPECT_DOUBLE_EQ(d.stddev(), 1.0);
+    EXPECT_DOUBLE_EQ(Distribution("e", "x", 0, 9, 1).stddev(), 0.0);
+}
+
+TEST(Distribution, EvenBucketsFixesTheBucketCount)
+{
+    // The bucket count must not depend on the range — that is what
+    // keeps export schemas identical across a structure-size sweep.
+    for (std::uint64_t max : {47u, 48u, 63u, 96u, 100u, 255u}) {
+        Distribution d = Distribution::evenBuckets("d", "x", 0, max, 16);
+        EXPECT_EQ(d.numBuckets(), 16u) << "max=" << max;
+        d.sample(max);  // the top value must land in a bucket
+        EXPECT_EQ(d.overflows(), 0u) << "max=" << max;
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < d.numBuckets(); ++i)
+            total += d.bucketCount(i);
+        EXPECT_EQ(total, 1u) << "max=" << max;
+    }
+}
+
+TEST(Counter2D, CountsAndTotals)
+{
+    Counter2D c("m", "matrix", {"a", "b"}, {"x", "y", "z"});
+    c.inc(0, 0);
+    c.inc(0, 2, 5);
+    c.inc(1, 1);
+    EXPECT_EQ(c.count(0, 0), 1u);
+    EXPECT_EQ(c.count(0, 2), 5u);
+    EXPECT_EQ(c.rowTotal(0), 6u);
+    EXPECT_EQ(c.colTotal(1), 1u);
+    EXPECT_EQ(c.total(), 7u);
+    c.reset();
+    EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Counter2D, VisitsEveryLabelledCell)
+{
+    Counter2D c("m", "matrix", {"a", "b"}, {"x", "y"});
+    c.inc(1, 0, 3);
+    RecordingVisitor v;
+    c.visit(v);
+    ASSERT_EQ(v.entries.size(), 4u);
+    EXPECT_EQ(v.entries[0], "m.a.x=0");
+    EXPECT_EQ(v.entries[1], "m.a.y=0");
+    EXPECT_EQ(v.entries[2], "m.b.x=3");
+    EXPECT_EQ(v.entries[3], "m.b.y=0");
+}
+
+TEST(Registry, VisitRunsUpdateHooksInRegistrationOrder)
+{
+    StatRegistry reg;
+    StatGroup g1("one"), g2("two");
+    Scalar s1("n", "x"), s2("n", "x");
+    Real derived("sum", "derived from both scalars");
+    g1.add(&s1);
+    g2.add(&s2);
+    g2.add(&derived);
+    s1.set(2);
+    s2.set(3);
+    reg.add(&g1);
+    reg.add(&g2, [&] {
+        derived.set(static_cast<double>(s1.value() + s2.value()));
+    });
+
+    RecordingVisitor v;
+    reg.visit(v);
+    ASSERT_EQ(v.entries.size(), 3u);
+    EXPECT_EQ(v.entries[0], "one.n=2");
+    EXPECT_EQ(v.entries[1], "two.n=3");
+    EXPECT_EQ(v.entries[2], "two.sum=5");
+}
+
+TEST(Registry, ResetUsesCustomHookOrDefaultsToResetAll)
+{
+    StatRegistry reg;
+    StatGroup g1("one"), g2("two");
+    Scalar s1("n", "x"), s2("n", "x");
+    g1.add(&s1);
+    g2.add(&s2);
+    s1.set(7);
+    s2.set(9);
+    bool customRan = false;
+    reg.add(&g1);
+    reg.add(&g2, {}, [&] { customRan = true; });  // keeps s2's value
+
+    reg.reset();
+    EXPECT_EQ(s1.value(), 0u);
+    EXPECT_EQ(s2.value(), 9u);
+    EXPECT_TRUE(customRan);
 }
 
 TEST(Visitation, GroupPrefixesAndPreservesOrder)

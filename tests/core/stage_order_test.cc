@@ -13,10 +13,14 @@
 #include "core/core.hh"
 #include "trace/builder.hh"
 
+#include "../support/core_stats.hh"
+
 namespace vpr
 {
 namespace
 {
+
+using test::statsOf;
 
 CoreConfig
 quietConfig()
@@ -68,12 +72,12 @@ TEST(StageOrder, ThreeInstructionWindowAdvancesOneStagePerCycle)
     EXPECT_EQ(core.iq().size(), 3u);
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(core.rob().at(i).phase, InstPhase::Renamed);
-    EXPECT_EQ(core.snapshot().issued, 0u);
+    EXPECT_EQ(statsOf(core).counter("issue.issued"), 0u);
 
     // Cycle 3: issue selects all three; their completion events now sit
     // in the issue→complete latch.
     core.tick();
-    EXPECT_EQ(core.snapshot().issued, 3u);
+    EXPECT_EQ(statsOf(core).counter("issue.issued"), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
         EXPECT_EQ(core.rob().at(i).phase, InstPhase::Issued);
         EXPECT_TRUE(core.hasPendingEvent(core.rob().at(i).seq));
@@ -142,7 +146,7 @@ TEST(StageOrder, SquashFansOutToStages)
     while (core.tick()) {
     }
     EXPECT_EQ(core.committedInsts(), 200u);
-    EXPECT_GT(core.snapshot().squashed, 0u);
+    EXPECT_GT(statsOf(core).counter("core.squashed"), 0u);
     EXPECT_TRUE(core.iq().empty());
     EXPECT_TRUE(core.lsq().empty());
     core.renamer().checkInvariants();

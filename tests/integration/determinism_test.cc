@@ -69,6 +69,37 @@ TEST(Determinism, WorkloadSeedChangesRandomBenchmarks)
     EXPECT_NE(a.cycles(), b.cycles());
 }
 
+TEST(Determinism, WaitListWakeupMatchesScanByteForByte)
+{
+    // The per-tag wakeup wait lists are a pure mechanism change: every
+    // schedule — and therefore every exported metric, distributions
+    // included — must be byte-identical to the legacy full-queue scan.
+    // Run every scheme (the VP write-back squash re-inserts issued
+    // instructions, the hardest path for the wait lists).
+    for (RenameScheme scheme : {RenameScheme::Conventional,
+                                RenameScheme::VPAllocAtWriteback,
+                                RenameScheme::VPAllocAtIssue,
+                                RenameScheme::ConventionalEarlyRelease}) {
+        SimConfig c = quick();
+        c.setScheme(scheme);
+        if (scheme == RenameScheme::ConventionalEarlyRelease)
+            c.core.fetch.wrongPath = WrongPathMode::Stall;
+        c.core.iqScanWakeup = false;
+        auto waitlist = runOne("vortex", c);
+        c.core.iqScanWakeup = true;
+        auto scan = runOne("vortex", c);
+
+        ASSERT_TRUE(
+            waitlist.metrics.sameSchema(scan.metrics));
+        for (std::size_t i = 0; i < waitlist.metrics.all().size(); ++i) {
+            const Metric &a = waitlist.metrics.all()[i];
+            const Metric &b = scan.metrics.all()[i];
+            EXPECT_EQ(a.text(), b.text())
+                << renameSchemeName(scheme) << ": " << a.name;
+        }
+    }
+}
+
 TEST(Determinism, SimulatorOwnsIndependentStreams)
 {
     // Two simulators over the same benchmark do not share stream state.

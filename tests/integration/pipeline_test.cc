@@ -10,10 +10,14 @@
 #include "core/core.hh"
 #include "trace/builder.hh"
 
+#include "../support/core_stats.hh"
+
 namespace vpr
 {
 namespace
 {
+
+using test::statsOf;
 
 CoreConfig
 baseConfig(RenameScheme scheme = RenameScheme::Conventional)
@@ -122,9 +126,10 @@ TEST_P(AllSchemesPipeline, MispredictRecoveryKeepsArchState)
     while (core->tick()) {
     }
     EXPECT_EQ(core->committedInsts(), 800u);
-    auto snap = core->snapshot();
-    EXPECT_GT(snap.mispredicts, 50u);
-    EXPECT_GT(snap.squashed, 0u);  // wrong-path work was squashed
+    MetricsRecord snap = statsOf(*core);
+    EXPECT_GT(snap.counter("fetch.mispredicts"), 50u);
+    // Wrong-path work was squashed.
+    EXPECT_GT(snap.counter("core.squashed"), 0u);
     // After drain every speculative register came back.
     EXPECT_EQ(core->renamer().freePhysRegs(RegClass::Int),
               static_cast<std::size_t>(
@@ -220,7 +225,7 @@ TEST(Pipeline, ConventionalAllocatesAtDecode)
     EXPECT_EQ(core.renamer().freePhysRegs(RegClass::Float), 31u);
 }
 
-TEST(Pipeline, SnapshotDeltasAfterReset)
+TEST(Pipeline, StatsTreeDeltasAfterReset)
 {
     TraceBuilder b;
     for (int i = 0; i < 600; ++i)
@@ -231,10 +236,13 @@ TEST(Pipeline, SnapshotDeltasAfterReset)
     core.resetStats();
     while (core.tick()) {
     }
-    auto snap = core.snapshot();
-    EXPECT_EQ(snap.committed, 300u);
-    EXPECT_GT(snap.cycles, 0u);
-    EXPECT_LT(snap.cycles, core.cycle());
+    MetricsRecord snap = statsOf(core);
+    EXPECT_EQ(snap.counter("commit.committed"), 300u);
+    EXPECT_GT(snap.counter("core.cycles"), 0u);
+    EXPECT_LT(snap.counter("core.cycles"), core.cycle());
+    // Occupancy distributions restarted with the interval.
+    EXPECT_EQ(snap.counter("rob.occupancy.samples"),
+              snap.counter("core.cycles"));
 }
 
 } // namespace

@@ -243,5 +243,151 @@ TEST(ResultsCsvDeath, MalformedFileIsFatal)
                 "vpr-results");
 }
 
+// --- reader error paths ---------------------------------------------------
+
+void
+readCsvText(const std::string &text)
+{
+    std::istringstream is(text);
+    readResultsCsv(is, "bad");
+}
+
+TEST(ResultsCsvDeath, EmptyFileIsFatal)
+{
+    EXPECT_EXIT(readCsvText(""), ::testing::ExitedWithCode(1),
+                "empty result file");
+}
+
+TEST(ResultsCsvDeath, UnsupportedVersionIsFatal)
+{
+    EXPECT_EXIT(
+        readCsvText("# vpr-results v9 figure=f cells=1 shard=0/1\n"),
+        ::testing::ExitedWithCode(1), "unsupported version");
+}
+
+TEST(ResultsCsvDeath, TruncatedAfterMetadataIsFatal)
+{
+    EXPECT_EXIT(
+        readCsvText("# vpr-results v1 figure=f cells=1 shard=0/1\n"),
+        ::testing::ExitedWithCode(1), "missing header row");
+}
+
+TEST(ResultsCsvDeath, UnknownHeaderIsFatal)
+{
+    // A header whose fixed columns do not match the writer's layout
+    // (e.g. a hand-edited or foreign file).
+    EXPECT_EXIT(
+        readCsvText("# vpr-results v1 figure=f cells=1 shard=0/1\n"
+                    "cell,bogus_column,core.ipc\n"),
+        ::testing::ExitedWithCode(1), "unexpected header row");
+}
+
+TEST(ResultsCsvDeath, TruncatedRowIsFatal)
+{
+    // Chop the final field off the last data row: the column count no
+    // longer matches the header.
+    std::string csv = halfShardCsv();
+    std::size_t lastComma = csv.rfind(',');
+    ASSERT_NE(lastComma, std::string::npos);
+    csv = csv.substr(0, lastComma) + "\n";
+    EXPECT_EXIT(readCsvText(csv), ::testing::ExitedWithCode(1),
+                "columns");
+}
+
+TEST(ResultsCsvDeath, CellIndexOutOfRangeIsFatal)
+{
+    // Forge a row claiming cell 7 of a 2-cell grid.
+    std::string csv = halfShardCsv();
+    std::size_t rowStart = csv.rfind("\n0,");
+    ASSERT_NE(rowStart, std::string::npos);
+    csv.replace(rowStart, 3, "\n7,");
+    EXPECT_EXIT(readCsvText(csv), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ResultsCsvDeath, MixedMetricSchemasCannotMerge)
+{
+    // Two shards whose records carry different metric names (e.g. one
+    // produced by an older binary) must be rejected, not zipped.
+    std::string a = halfShardCsv();
+    std::string b = halfShardCsv();
+    std::size_t pos = b.find("core.ipc");
+    ASSERT_NE(pos, std::string::npos);
+    b.replace(pos, std::string("core.ipc").size(), "core.wat");
+    std::size_t cellCol = b.rfind("\n0,");
+    ASSERT_NE(cellCol, std::string::npos);
+    b.replace(cellCol, 3, "\n1,");  // cover cell 1 so only names differ
+    auto mergeMixed = [&a, &b] {
+        std::istringstream ia(a), ib(b);
+        std::vector<ResultsFile> files;
+        files.push_back(readResultsCsv(ia, "a"));
+        files.push_back(readResultsCsv(ib, "b"));
+        mergeResults(files);
+    };
+    EXPECT_EXIT(mergeMixed(), ::testing::ExitedWithCode(1),
+                "header mismatch");
+}
+
+// --- distribution metrics round-trip --------------------------------------
+
+/** A result whose record carries a full distribution (as produced by
+ *  visiting a component's StatGroup). */
+SimResults
+distributionResult()
+{
+    stats::Distribution occ = stats::Distribution::evenBuckets(
+        "occupancy", "busy registers per cycle", 0, 64, 16);
+    for (std::uint64_t v : {3u, 7u, 7u, 12u, 40u, 64u})
+        occ.sample(v);
+    stats::StatGroup g("regfile");
+    g.add(&occ);
+
+    SimResults r;
+    g.visit(r.metrics);
+    return r;
+}
+
+TEST(ResultsCsv, DistributionMetricsRoundTripBitExact)
+{
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {distributionResult(),
+                                       distributionResult()};
+    std::ostringstream os;
+    writeResultsCsv(os, "dist", 2, ShardSpec{}, {0, 1}, cells, results);
+
+    std::istringstream is(os.str());
+    ResultsFile file = readResultsCsv(is, "dist");
+    std::vector<SimResults> back = resultsFromFile(file);
+    ASSERT_EQ(back.size(), 2u);
+
+    // Every metric — moments and histogram buckets — reproduces its
+    // exact text form, so re-exporting is byte-identical.
+    const auto &orig = results[0].metrics.all();
+    const auto &rt = back[0].metrics.all();
+    ASSERT_EQ(orig.size(), rt.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(orig[i].name, rt[i].name);
+        EXPECT_EQ(orig[i].text(), rt[i].text()) << orig[i].name;
+    }
+    EXPECT_EQ(back[0].metrics.counter("regfile.occupancy.hist[1]"), 2u);
+    EXPECT_EQ(back[0].metrics.counter("regfile.occupancy.samples"), 6u);
+    EXPECT_DOUBLE_EQ(back[0].metrics.real("regfile.occupancy.mean"),
+                     results[0].metrics.real("regfile.occupancy.mean"));
+}
+
+TEST(ResultsJson, DistributionMetricsAppearAsKeys)
+{
+    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<SimResults> results = {distributionResult()};
+    std::ostringstream os;
+    writeResultsJson(os, "dist", 1, ShardSpec{}, {0}, cells, results);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"regfile.occupancy.mean\""), std::string::npos);
+    EXPECT_NE(json.find("\"regfile.occupancy.stddev\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"regfile.occupancy.hist[15]\""),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace vpr

@@ -122,7 +122,7 @@ TEST(FigureRegistry, EveryBenchBinaryIsRegistered)
          {"table2_ipc", "fig4_nrr_writeback", "fig5_nrr_issue",
           "fig6_wb_vs_issue", "fig7_regfile_size",
           "ablation_early_release", "ablation_mshr", "ablation_window",
-          "ablation_wrongpath", "motivating_example"}) {
+          "ablation_wrongpath", "motivating_example", "regpressure"}) {
         const bench::FigureDef *def = bench::findFigure(name);
         ASSERT_NE(def, nullptr) << name;
         EXPECT_EQ(def->name, name);

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end checks of the component-owned stats tree: a simulation's
+ * MetricsRecord is one walk of the tree, distributions flow into it
+ * with stable dotted names, and the export schema is identical across
+ * schemes and structure sizes (the property sharded CSV merging needs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace vpr
+{
+namespace
+{
+
+SimConfig
+tiny(RenameScheme scheme = RenameScheme::VPAllocAtWriteback)
+{
+    SimConfig c = paperConfig();
+    c.setScheme(scheme);
+    c.skipInsts = 1000;
+    c.measureInsts = 8000;
+    c.core.fetch.wrongPath = WrongPathMode::Stall;
+    return c;
+}
+
+TEST(StatsExport, RecordCarriesEveryComponentGroup)
+{
+    SimResults r = runOne("swim", tiny());
+    const MetricsRecord &m = r.metrics;
+
+    // One stable dotted name per component tree node.
+    for (const char *name :
+         {"core.cycles", "core.squashed", "core.ipc",
+          "core.exec_per_commit", "rob.occupancy.mean",
+          "rob.occupancy.stddev", "rob.occupancy.range_min",
+          "rob.occupancy.bucket_size", "rob.occupancy.hist[0]",
+          "iq.occupancy.mean", "iq.wakeup_broadcasts",
+          "iq.operands_woken", "lsq.occupancy.mean", "lsq.forwards",
+          "memory.cache_accesses", "memory.cache_misses",
+          "memory.cache_miss_rate", "branch.bht_accuracy",
+          "rename.mean_hold_cycles_int", "rename.mean_hold_cycles_fp",
+          "rename.vp.lifetime.int.mean", "rename.vp.lifetime.fp.hist[0]",
+          "regfile.occupancy.int.mean", "regfile.occupancy.fp.hist[15]",
+          "regfile.peak_busy_fp", "commit.committed",
+          "commit.committed_executions", "commit.store_stalls",
+          "complete.wb_rejections", "issue.issued",
+          "issue.issued_by_class.fpadd.first",
+          "issue.issued_by_class.fpadd.reexec", "rename.stall_reg",
+          "fetch.branches", "fetch.mispredicts"})
+        EXPECT_TRUE(m.has(name)) << name;
+
+    // Occupancies are sampled once per measured cycle.
+    EXPECT_EQ(m.counter("rob.occupancy.samples"),
+              m.counter("core.cycles"));
+    EXPECT_EQ(m.counter("regfile.occupancy.fp.samples"),
+              m.counter("core.cycles"));
+
+    // The histogram integrates to the sample count.
+    std::uint64_t total = 0;
+    for (int i = 0; i < 16; ++i)
+        total += m.counter("rob.occupancy.hist[" + std::to_string(i) +
+                           "]");
+    total += m.counter("rob.occupancy.underflows");
+    total += m.counter("rob.occupancy.overflows");
+    EXPECT_EQ(total, m.counter("rob.occupancy.samples"));
+
+    // The issued_by_class matrix sums to the issue counter.
+    std::uint64_t issued = 0;
+    for (const Metric &metric : m.all())
+        if (metric.name.rfind("issue.issued_by_class.", 0) == 0)
+            issued += metric.uval;
+    EXPECT_EQ(issued, m.counter("issue.issued"));
+}
+
+TEST(StatsExport, SchemaIsIdenticalAcrossSchemesAndSizes)
+{
+    // Every grid cell of a sweep must produce the same metric names in
+    // the same order, whatever its scheme or register-file size —
+    // otherwise the CSV writer (rightly) refuses to export the grid.
+    SimResults ref = runOne("compress", tiny());
+    for (RenameScheme scheme : {RenameScheme::Conventional,
+                                RenameScheme::ConventionalEarlyRelease,
+                                RenameScheme::VPAllocAtIssue}) {
+        SimResults r = runOne("compress", tiny(scheme));
+        EXPECT_TRUE(ref.metrics.sameSchema(r.metrics))
+            << renameSchemeName(scheme);
+    }
+    for (std::uint16_t regs : {48, 96}) {
+        SimConfig c = tiny();
+        c.setPhysRegs(regs);
+        SimResults r = runOne("compress", c);
+        EXPECT_TRUE(ref.metrics.sameSchema(r.metrics)) << regs;
+    }
+    SimConfig big = tiny();
+    big.core.robSize = big.core.iqSize = big.core.lsqSize = 256;
+    big.setPhysRegs(big.core.rename.numPhysRegs);  // re-derive VP pool
+    EXPECT_TRUE(
+        ref.metrics.sameSchema(runOne("compress", big).metrics));
+}
+
+TEST(StatsExport, MeasurementIntervalExcludesWarmup)
+{
+    // The same workload measured after different warm-ups: interval
+    // counters must reflect only the measured slice.
+    SimConfig c = tiny();
+    c.skipInsts = 0;
+    c.measureInsts = 5000;
+    SimResults all = runOne("li", c);
+    c.skipInsts = 5000;
+    SimResults tail = runOne("li", c);
+    // The 8-wide commit can overshoot the target within the last cycle.
+    EXPECT_GE(all.committed(), 5000u);
+    EXPECT_LT(all.committed(), 5008u);
+    EXPECT_GE(tail.committed(), 5000u);
+    EXPECT_LT(tail.committed(), 5008u);
+    EXPECT_EQ(tail.metrics.counter("rob.occupancy.samples"),
+              tail.cycles());
+}
+
+} // namespace
+} // namespace vpr

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Test support: walk a Core's stats tree into a fresh MetricsRecord so
+ * assertions can read metrics by their stable dotted names.
+ */
+
+#ifndef VPR_TESTS_SUPPORT_CORE_STATS_HH
+#define VPR_TESTS_SUPPORT_CORE_STATS_HH
+
+#include "core/core.hh"
+#include "sim/metrics.hh"
+
+namespace vpr::test
+{
+
+/** One stats-tree walk into a fresh record. */
+inline MetricsRecord
+statsOf(Core &core)
+{
+    MetricsRecord m;
+    core.visitStats(m);
+    return m;
+}
+
+} // namespace vpr::test
+
+#endif // VPR_TESTS_SUPPORT_CORE_STATS_HH
