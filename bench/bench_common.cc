@@ -6,6 +6,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "sim/params.hh"
+
 namespace vpr::bench
 {
 
@@ -43,10 +45,14 @@ parseArgs(int argc, char **argv)
             opt.shard = parseShard(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             opt.outPath = argv[i] + 6;
+        } else if (parseConfigArg(argc, argv, i, opt.config)) {
+            // --set / --set= / --config= / --dump-config taken.
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=<factor>] [--jobs=<n>] "
                 "[--shard=i/N] [--out=<path>]\n"
+                "          [--set <key>=<value>] [--config=<file.json>] "
+                "[--dump-config]\n"
                 "  --scale scales the simulated instruction budget "
                 "(default 1.0;\n"
                 "  also settable via VPR_INSTS_SCALE)\n"
@@ -62,7 +68,17 @@ parseArgs(int argc, char **argv)
                 "  table byte-for-byte.\n"
                 "  --out writes one record per executed grid cell "
                 "(CSV, or JSON when\n"
-                "  the path ends in .json).\n",
+                "  the path ends in .json).\n"
+                "  --set overrides one config parameter by dotted name "
+                "(repeatable;\n"
+                "  run vpr_sim --help-params for the list). --config "
+                "loads a\n"
+                "  --dump-config dump first; --dump-config prints the "
+                "effective base\n"
+                "  config and exits. Overrides apply to the base "
+                "config the figure\n"
+                "  grid is built from; axes the figure itself sweeps "
+                "win.\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -73,6 +89,17 @@ parseArgs(int argc, char **argv)
             std::exit(1);
         }
     }
+
+    if (opt.config.dumpConfig) {
+        dumpConfig(std::cout, experimentConfig());
+        std::exit(0);
+    }
+}
+
+void
+addConfigOverride(const std::string &assignment)
+{
+    mutableOptions().config.assignments.push_back(assignment);
 }
 
 SimConfig
@@ -89,6 +116,9 @@ experimentConfig()
     // misprediction, as in the paper's ATOM-based framework.
     config.core.fetch.wrongPath = WrongPathMode::Stall;
     config.jobs = defaultJobs();
+    // User overrides, by dotted parameter name: --config first, then
+    // --set in command-line order.
+    applyConfigCli(config, benchOptions().config);
     return config;
 }
 

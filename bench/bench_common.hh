@@ -5,6 +5,10 @@
  * Every bench regenerates one table or figure of the paper. Instruction
  * budgets are scaled-down from the paper's 50 M (see DESIGN.md §4) and
  * can be rescaled with VPR_INSTS_SCALE=<factor> or --scale=<factor>.
+ * Any configuration parameter can be overridden by dotted name with
+ * --set <key>=<value> / --config=<file.json> (see sim/params.hh and
+ * vpr_sim --help-params); overrides apply to the base config every
+ * figure grid is built from, so the axes a figure itself sweeps win.
  */
 
 #ifndef VPR_BENCH_BENCH_COMMON_HH
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/params.hh"
 #include "trace/kernels/kernels.hh"
 
 namespace vpr::bench
@@ -27,19 +32,27 @@ struct BenchOptions
     /** --out=<path>: write one record per executed grid cell (CSV, or
      *  JSON when the path ends in .json). Empty = no export. */
     std::string outPath;
+    /** --set / --config= / --dump-config, applied to the base config
+     *  with the shared contract (config file first, then --set). */
+    ConfigCliArgs config;
 };
 
 /** The options parseArgs() collected. */
 const BenchOptions &benchOptions();
 
 /** Parse --scale=<f> into VPR_INSTS_SCALE, --jobs=<n> into VPR_JOBS,
- *  and --shard=i/N / --out=<path> into benchOptions(), before anything
- *  runs. */
+ *  and --shard=i/N / --out=<path> / --config=<path> / --set <k>=<v> /
+ *  --dump-config into benchOptions(), before anything runs. */
 void parseArgs(int argc, char **argv);
+
+/** Append one "key=value" override as if passed via --set (used by
+ *  tools that share the figure registry, e.g. merge_results). */
+void addConfigOverride(const std::string &assignment);
 
 /** The SimConfig all paper experiments start from: section 4.1 machine,
  *  trace-driven fetch stall on mispredictions, scaled-down budget,
- *  jobs from VPR_JOBS (see --jobs). */
+ *  jobs from VPR_JOBS (see --jobs), with any --config/--set overrides
+ *  applied last. */
 SimConfig experimentConfig();
 
 /** Geometric-mean helper used when summarizing speedup figures. */

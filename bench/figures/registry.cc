@@ -66,8 +66,8 @@ figureMain(const std::string &name, int argc, char **argv)
         runGrid(selected, defaultJobs());
 
     if (!opt.outPath.empty())
-        writeResultsFile(opt.outPath, def->name, cells.size(), opt.shard,
-                         indices, selected, results);
+        writeResultsFile(opt.outPath, def->name, opt.shard, indices,
+                         cells, results);
 
     if (opt.shard.active()) {
         // A shard holds only part of the grid; the table comes from

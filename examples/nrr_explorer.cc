@@ -9,9 +9,12 @@
  * The whole sweep is submitted to the ParallelExperimentEngine as one
  * grid; the printed table is byte-identical for every --jobs value.
  *
- * Usage: nrr_explorer [--jobs N] [--out F] [benchmark] [physRegs]
+ * Usage: nrr_explorer [--jobs N] [--out F] [--set k=v] [--config=F]
+ *                     [--dump-config] [benchmark] [physRegs]
  *        (defaults: hydro2d 64, jobs 1; jobs 0 = one per hw thread;
- *        --out writes one record per grid cell, CSV or .json)
+ *        --out writes one record per grid cell, CSV or .json; --set /
+ *        --config override any dotted config parameter of the base
+ *        machine — run vpr_sim --help-params for the list)
  */
 
 #include <cstdlib>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/params.hh"
 #include "sim/results_io.hh"
 #include "trace/kernels/kernels.hh"
 
@@ -34,6 +38,7 @@ main(int argc, char **argv)
     std::uint16_t physRegs = 64;
     unsigned jobs = 1;
     std::string outPath;
+    ConfigCliArgs cliConfig;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -45,6 +50,8 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             outPath = argv[i] + 6;
+        } else if (parseConfigArg(argc, argv, i, cliConfig)) {
+            // --set / --set= / --config= / --dump-config taken.
         } else {
             positional.push_back(argv[i]);
         }
@@ -60,9 +67,16 @@ main(int argc, char **argv)
     config.skipInsts = 10000;
     config.measureInsts = 80000;
     config.core.fetch.wrongPath = WrongPathMode::Stall;
+    applyConfigCli(config, cliConfig);
+    if (cliConfig.dumpConfig) {
+        dumpConfig(std::cout, config);
+        return 0;
+    }
 
     // The NRR points of the sweep (powers of two up to NPR - NLR, with
-    // the maximum always included).
+    // the maximum always included). Read back from the config so a
+    // --set/--config override of the register-file size is honoured.
+    physRegs = config.core.rename.numPhysRegs;
     std::uint16_t maxNrr =
         static_cast<std::uint16_t>(physRegs - kNumLogicalRegs);
     std::vector<std::uint16_t> nrrs;

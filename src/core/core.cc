@@ -1,9 +1,61 @@
 #include "core/core.hh"
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
+
+void
+CoreConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("rename_width", renameWidth,
+                "instructions renamed per cycle");
+    v.uintParam("issue_width", issueWidth,
+                "instructions issued per cycle");
+    v.uintParam("commit_width", commitWidth,
+                "instructions committed per cycle");
+    v.uintParam("rob_size", robSize,
+                "reorder-buffer (instruction window) entries");
+    v.uintParam("iq_size", iqSize,
+                "instruction-queue entries (unified int+fp queue)");
+    v.uintParam("lsq_size", lsqSize, "load/store-queue entries");
+    v.uintParam("reg_read_ports", regReadPorts,
+                "register-file read ports per cycle");
+    v.uintParam("reg_write_ports", regWritePorts,
+                "register-file write ports per cycle");
+    v.uintParam("cache_ports", cachePorts,
+                "data-cache ports per cycle");
+    v.enumParam("scheme", scheme,
+                {{"conventional", RenameScheme::Conventional},
+                 {"conv", RenameScheme::Conventional},
+                 {"vp-writeback", RenameScheme::VPAllocAtWriteback},
+                 {"vp-wb", RenameScheme::VPAllocAtWriteback},
+                 {"vp-issue", RenameScheme::VPAllocAtIssue},
+                 {"conv-early-release",
+                  RenameScheme::ConventionalEarlyRelease},
+                 {"conv-er", RenameScheme::ConventionalEarlyRelease}},
+                "register-renaming scheme");
+    v.boolParam("iq_scan_wakeup", iqScanWakeup,
+                "use the legacy full-queue IQ wakeup scan instead of "
+                "per-tag wait lists (schedules are byte-identical)");
+    v.boolParam("invariant_checks", invariantChecks,
+                "run the renamer's invariant self-check every 64 cycles");
+    v.uintParam("deadlock_threshold", deadlockThreshold,
+                "panic if no instruction commits for this many cycles");
+    v.pushGroup("rename");
+    rename.visitParams(v);
+    v.popGroup();
+    v.pushGroup("fetch");
+    fetch.visitParams(v);
+    v.popGroup();
+    v.pushGroup("fu");
+    fu.visitParams(v);
+    v.popGroup();
+    v.pushGroup("cache");
+    cache.visitParams(v);
+    v.popGroup();
+}
 
 Core::Core(TraceStream &stream, const CoreConfig &config)
     : state(stream, config),

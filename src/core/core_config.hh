@@ -16,6 +16,8 @@
 namespace vpr
 {
 
+class ParamVisitor;
+
 /** Full configuration of one core (defaults = the paper's machine). */
 struct CoreConfig
 {
@@ -42,6 +44,10 @@ struct CoreConfig
     bool invariantChecks = false;
     /** Panic if no instruction commits for this many cycles. */
     Cycle deadlockThreshold = 200000;
+
+    /** Reflect the core parameters and every nested config struct
+     *  (sim/params.hh); implemented in core.cc. */
+    void visitParams(ParamVisitor &v);
 };
 
 } // namespace vpr

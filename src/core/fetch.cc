@@ -1,6 +1,7 @@
 #include "core/fetch.hh"
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
@@ -9,6 +10,28 @@ const char *
 wrongPathModeName(WrongPathMode mode)
 {
     return mode == WrongPathMode::Stall ? "stall" : "synthesize";
+}
+
+void
+FetchConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("fetch_width", fetchWidth,
+                "instructions fetched per cycle");
+    v.uintParam("buffer_capacity", bufferCapacity,
+                "fetch-buffer entries between fetch and rename");
+    v.uintParam("bht_entries", bhtEntries,
+                "branch-history-table entries (2-bit counters)");
+    v.uintParam("redirect_delay", redirectDelay,
+                "cycles from branch resolve to redirected fetch");
+    v.enumParam("wrong_path", wrongPath,
+                {{"stall", WrongPathMode::Stall},
+                 {"synthesize", WrongPathMode::Synthesize}},
+                "fetch behaviour past a detected misprediction");
+    v.uintParam("wrong_path_seed", wrongPathSeed,
+                "base seed of the wrong-path synthesis RNG");
+    v.boolParam("wrong_path_mem", wrongPathMem,
+                "synthesized wrong-path instructions include loads and "
+                "stores that really probe the cache and LSQ");
 }
 
 FetchUnit::FetchUnit(TraceStream &stream, const FetchConfig &config)

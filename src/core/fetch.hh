@@ -32,6 +32,8 @@
 namespace vpr
 {
 
+class ParamVisitor;
+
 /** How fetch behaves after a detected misprediction. */
 enum class WrongPathMode : std::uint8_t
 {
@@ -65,6 +67,9 @@ struct FetchConfig
      * accesses out of scope, and the reproduction numbers match it.
      */
     bool wrongPathMem = false;
+
+    /** Reflect the fetch parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
 };
 
 /** Short stable name for a WrongPathMode ("stall"/"synthesize"). */

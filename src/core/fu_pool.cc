@@ -3,9 +3,27 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
+
+void
+FuPoolConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("simple_int", simpleInt,
+                "simple-integer units (fully pipelined)");
+    v.uintParam("complex_int", complexInt,
+                "complex-integer units (mul pipelined, div holds the "
+                "unit)");
+    v.uintParam("eff_addr", effAddr,
+                "effective-address units (fully pipelined)");
+    v.uintParam("simple_fp", simpleFp,
+                "simple-FP units (fully pipelined)");
+    v.uintParam("fp_mul", fpMul, "FP multiply units (fully pipelined)");
+    v.uintParam("fp_div_sqrt", fpDivSqrt,
+                "FP divide/sqrt units (unpipelined)");
+}
 
 unsigned
 FuPoolConfig::count(FUType t) const

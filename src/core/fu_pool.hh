@@ -20,6 +20,8 @@
 namespace vpr
 {
 
+class ParamVisitor;
+
 /** Configurable unit counts (defaults = paper's Table 1). */
 struct FuPoolConfig
 {
@@ -31,6 +33,9 @@ struct FuPoolConfig
     unsigned fpDivSqrt = 2;
 
     unsigned count(FUType t) const;
+
+    /** Reflect the unit counts (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
 };
 
 /** Tracks functional-unit availability cycle by cycle. */

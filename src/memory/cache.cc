@@ -2,9 +2,25 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
+
+void
+CacheConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("size_bytes", sizeBytes, "L1 data-cache capacity");
+    v.uintParam("line_size", lineSize, "line size in bytes");
+    v.uintParam("assoc", assoc, "associativity (1 = direct mapped)");
+    v.uintParam("hit_latency", hitLatency, "hit latency in cycles");
+    v.uintParam("miss_penalty", missPenalty,
+                "total latency of a fill in cycles");
+    v.uintParam("num_mshrs", numMshrs,
+                "outstanding misses to distinct lines (lockup-free)");
+    v.uintParam("bus_occupancy", busOccupancy,
+                "cycles a line fill holds the L1-L2 bus");
+}
 
 NonBlockingCache::NonBlockingCache(const CacheConfig &config)
     : cfg(config), mshrFile(config.numMshrs), theBus(config.busOccupancy)

@@ -27,6 +27,8 @@
 namespace vpr
 {
 
+class ParamVisitor;
+
 /** Static cache parameters. */
 struct CacheConfig
 {
@@ -37,6 +39,9 @@ struct CacheConfig
     unsigned missPenalty = 50;    ///< total latency of a fill
     unsigned numMshrs = 8;
     unsigned busOccupancy = 4;    ///< cycles a line holds the L1-L2 bus
+
+    /** Reflect the cache parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
 };
 
 /** Possible outcomes of a cache access. */

@@ -1,12 +1,30 @@
 #include "rename/rename_iface.hh"
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
 
 // renameSchemeName lives in factory.cc next to the scheme registry, so
 // a scheme's name and constructor are registered in one place.
+
+void
+RenameConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("phys_regs", numPhysRegs,
+                "physical registers per register file (paper: 48, 64 "
+                "or 96)");
+    v.uintParam("vp_regs", numVPRegs,
+                "virtual-physical registers per file (must be >= NLR + "
+                "window)");
+    v.uintParam("nrr_int", nrrInt,
+                "reserved int registers for the oldest instructions "
+                "(VP schemes)");
+    v.uintParam("nrr_fp", nrrFp,
+                "reserved FP registers for the oldest instructions "
+                "(VP schemes)");
+}
 
 namespace
 {

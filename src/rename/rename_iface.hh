@@ -58,6 +58,8 @@ struct CompleteResult
     bool ok = true;
 };
 
+class ParamVisitor;
+
 /** Register-file sizing for one core. */
 struct RenameConfig
 {
@@ -70,6 +72,9 @@ struct RenameConfig
      *  Only meaningful for the VP schemes. */
     std::uint16_t nrrInt = 32;
     std::uint16_t nrrFp = 32;
+
+    /** Reflect the sizing parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
@@ -53,6 +54,63 @@ SimConfig::validate() const
     }
     if (core.iqSize < core.robSize)
         VPR_FATAL("iqSize must be >= robSize (unified queue)");
+}
+
+void
+SimConfig::visitParams(ParamVisitor &v)
+{
+    v.uintParam("skip_insts", skipInsts,
+                "committed instructions to skip before measuring "
+                "(cache/BHT warm-up)");
+    v.uintParam("measure_insts", measureInsts,
+                "committed instructions to measure");
+    v.uintParam("seed", seed,
+                "workload seed (0 = the kernel's default stream)");
+    v.uintParam("jobs", jobs,
+                "worker threads for grid sweeps (0 = one per hardware "
+                "thread); never changes results",
+                /*execOnly=*/true);
+    v.pushGroup("core");
+    core.visitParams(v);
+    v.popGroup();
+
+    // Convenience parameters: one knob applying the paper's
+    // cross-parameter sizing rules. Settable and sweepable like any
+    // other parameter; exports always carry the underlying values.
+    v.derivedUInt(
+        "core.rename.regfile_size",
+        "register-file sizing rule: sets phys_regs, sizes the VP pool "
+        "to NLR + window, and sets NRR to its maximum (NPR - NLR)",
+        std::numeric_limits<std::uint16_t>::max(),
+        [this] { return std::to_string(core.rename.numPhysRegs); },
+        [this](std::uint64_t n) {
+            setPhysRegs(static_cast<std::uint16_t>(n));
+            return true;
+        });
+    v.derivedUInt(
+        "core.rename.nrr",
+        "sets both reserved-register counts (nrr_int and nrr_fp), as "
+        "in the paper's experiments",
+        std::numeric_limits<std::uint16_t>::max(),
+        [this] { return std::to_string(core.rename.nrrInt); },
+        [this](std::uint64_t n) {
+            setNrr(static_cast<std::uint16_t>(n));
+            return true;
+        });
+    v.derivedUInt(
+        "core.window",
+        "window sizing rule: sets rob_size, iq_size and lsq_size "
+        "together and re-derives vp_regs and NRR (= max) from the new "
+        "window",
+        std::numeric_limits<std::uint32_t>::max(),
+        [this] { return std::to_string(core.robSize); },
+        [this](std::uint64_t n) {
+            core.robSize = static_cast<std::size_t>(n);
+            core.iqSize = static_cast<std::size_t>(n);
+            core.lsqSize = static_cast<std::size_t>(n);
+            setPhysRegs(core.rename.numPhysRegs);
+            return true;
+        });
 }
 
 SimConfig

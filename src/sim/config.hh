@@ -15,6 +15,8 @@
 namespace vpr
 {
 
+class ParamVisitor;
+
 /** Everything a single simulation run needs. */
 struct SimConfig
 {
@@ -64,6 +66,15 @@ struct SimConfig
 
     /** Validate cross-parameter constraints; fatal()s on user error. */
     void validate() const;
+
+    /**
+     * Reflect the whole config tree — run control, the core, and every
+     * nested struct — as dotted-name parameters (sim/params.hh), plus
+     * the derived convenience parameters (core.rename.regfile_size,
+     * core.rename.nrr, core.window) that apply the setPhysRegs /
+     * setNrr / window sizing rules above.
+     */
+    void visitParams(ParamVisitor &v);
 };
 
 /** A SimConfig preloaded with the paper's section 4.1 machine. */

@@ -1,0 +1,334 @@
+#include "sim/params.hh"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/config.hh"
+
+namespace vpr
+{
+
+bool
+parseParamU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text.size() > 20)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+void
+ParamVisitor::boolParam(const std::string &name, bool &field,
+                        const std::string &doc)
+{
+    ParamDef def;
+    def.name = prefixed(name);
+    def.kind = ParamDef::Kind::Bool;
+    def.maxValue = 1;
+    def.type = "bool";
+    def.doc = doc;
+    bool *field_p = &field;
+    def.get = [field_p] { return std::string(*field_p ? "1" : "0"); };
+    def.set = [field_p](const std::string &text) {
+        if (text == "1" || text == "true")
+            *field_p = true;
+        else if (text == "0" || text == "false")
+            *field_p = false;
+        else
+            return false;
+        return true;
+    };
+    onParam(std::move(def));
+}
+
+void
+ParamVisitor::derivedUInt(const std::string &name, const std::string &doc,
+                          std::uint64_t maxValue,
+                          std::function<std::string()> get,
+                          std::function<bool(std::uint64_t)> set)
+{
+    ParamDef def;
+    def.name = prefixed(name);
+    def.kind = ParamDef::Kind::UInt;
+    def.maxValue = maxValue;
+    def.type = "u" + std::to_string(
+        maxValue <= std::numeric_limits<std::uint16_t>::max() ? 16
+        : maxValue <= std::numeric_limits<std::uint32_t>::max() ? 32
+        : 64);
+    def.doc = doc;
+    def.derived = true;
+    def.get = std::move(get);
+    def.set = [set = std::move(set), maxValue](const std::string &text) {
+        std::uint64_t v = 0;
+        if (!parseParamU64(text, v) || v > maxValue)
+            return false;
+        return set(v);
+    };
+    onParam(std::move(def));
+}
+
+void
+ParamVisitor::pushGroup(const std::string &group)
+{
+    prefix += group + ".";
+}
+
+void
+ParamVisitor::popGroup()
+{
+    VPR_ASSERT(!prefix.empty(), "popGroup without pushGroup");
+    std::size_t dot = prefix.rfind('.', prefix.size() - 2);
+    prefix.resize(dot == std::string::npos ? 0 : dot + 1);
+}
+
+std::string
+ParamVisitor::prefixed(const std::string &name) const
+{
+    return prefix + name;
+}
+
+ConfigRegistry::ConfigRegistry(SimConfig &config)
+{
+    config.visitParams(*this);
+}
+
+void
+ConfigRegistry::onParam(ParamDef def)
+{
+    VPR_ASSERT(index.find(def.name) == index.end(),
+               "duplicate parameter name '", def.name, "'");
+    index.emplace(def.name, defs.size());
+    defs.push_back(std::move(def));
+}
+
+const ParamDef *
+ConfigRegistry::find(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &defs[it->second];
+}
+
+void
+ConfigRegistry::set(const std::string &name, const std::string &value)
+{
+    const ParamDef *def = find(name);
+    if (!def)
+        VPR_FATAL("unknown parameter '", name,
+                  "' (run --help-params for the full list)");
+    if (!def->set(value))
+        VPR_FATAL("bad value '", value, "' for parameter '", name,
+                  "' of type ", def->type);
+}
+
+std::string
+ConfigRegistry::get(const std::string &name) const
+{
+    const ParamDef *def = find(name);
+    if (!def)
+        VPR_FATAL("unknown parameter '", name,
+                  "' (run --help-params for the full list)");
+    return def->get();
+}
+
+void
+applyAssignment(SimConfig &config, const std::string &assignment)
+{
+    std::size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0)
+        VPR_FATAL("malformed assignment '", assignment,
+                  "' (expected key=value)");
+    ConfigRegistry registry(config);
+    registry.set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+void
+applyAssignments(SimConfig &config,
+                 const std::vector<std::string> &assignments)
+{
+    for (const std::string &a : assignments)
+        applyAssignment(config, a);
+}
+
+bool
+parseConfigArg(int argc, char **argv, int &i, ConfigCliArgs &args)
+{
+    const char *arg = argv[i];
+    if (std::strncmp(arg, "--set=", 6) == 0) {
+        args.assignments.push_back(arg + 6);
+    } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
+        args.assignments.push_back(argv[++i]);
+    } else if (std::strncmp(arg, "--config=", 9) == 0) {
+        args.configPath = arg + 9;
+    } else if (std::strcmp(arg, "--dump-config") == 0) {
+        args.dumpConfig = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+applyConfigCli(SimConfig &config, const ConfigCliArgs &args)
+{
+    if (!args.configPath.empty())
+        loadConfigFile(config, args.configPath);
+    applyAssignments(config, args.assignments);
+}
+
+void
+dumpConfig(std::ostream &os, const SimConfig &config)
+{
+    SimConfig copy = config;
+    ConfigRegistry registry(copy);
+    os << "{\n";
+    bool first = true;
+    for (const ParamDef &def : registry.params()) {
+        // Derived params serialize through their underlying values;
+        // execution-only knobs (jobs) describe how a grid is run, not
+        // the machine, and must not be resurrected by --config.
+        if (def.derived || def.execOnly)
+            continue;
+        os << (first ? "" : ",\n") << "  \"" << def.name << "\": \""
+           << def.get() << "\"";
+        first = false;
+    }
+    os << "\n}\n";
+}
+
+void
+loadConfig(SimConfig &config, std::istream &is, const std::string &name)
+{
+    ConfigRegistry registry(config);
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawOpen = false, sawClose = false;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        // Strip surrounding whitespace and the trailing comma.
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        std::string body = line.substr(b, e - b + 1);
+        if (!body.empty() && body.back() == ',')
+            body.pop_back();
+        if (body == "{") {
+            sawOpen = true;
+            continue;
+        }
+        if (body == "}") {
+            sawClose = true;
+            continue;
+        }
+        // Expect "key": "value".
+        if (body.size() < 7 || body.front() != '"')
+            VPR_FATAL(name, ":", lineNo, ": expected '\"key\": \"value\"'");
+        std::size_t keyEnd = body.find('"', 1);
+        if (keyEnd == std::string::npos)
+            VPR_FATAL(name, ":", lineNo, ": unterminated key");
+        std::string key = body.substr(1, keyEnd - 1);
+        std::size_t colon = body.find(':', keyEnd);
+        std::size_t vOpen =
+            colon == std::string::npos ? std::string::npos
+                                       : body.find('"', colon);
+        std::size_t vClose = vOpen == std::string::npos
+                                 ? std::string::npos
+                                 : body.find('"', vOpen + 1);
+        if (vClose == std::string::npos || vClose + 1 != body.size())
+            VPR_FATAL(name, ":", lineNo, ": expected '\"key\": \"value\"'");
+        registry.set(key, body.substr(vOpen + 1, vClose - vOpen - 1));
+    }
+    if (!sawOpen || !sawClose)
+        VPR_FATAL(name, ": not a config dump (missing braces)");
+}
+
+void
+loadConfigFile(SimConfig &config, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        VPR_FATAL("cannot open config file '", path, "'");
+    loadConfig(config, is, path);
+}
+
+std::vector<std::pair<std::string, std::string>>
+configProvenance(const SimConfig &config)
+{
+    SimConfig copy = config;
+    ConfigRegistry registry(copy);
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const ParamDef &def : registry.params())
+        if (!def.execOnly && !def.derived)
+            out.emplace_back(def.name, def.get());
+    return out;
+}
+
+std::vector<ParamInfo>
+paramReference()
+{
+    SimConfig defaults;
+    ConfigRegistry registry(defaults);
+    std::vector<ParamInfo> out;
+    for (const ParamDef &def : registry.params()) {
+        ParamInfo info;
+        info.name = def.name;
+        info.type = def.type;
+        info.doc = def.doc;
+        info.defaultText = def.get();
+        info.execOnly = def.execOnly;
+        info.derived = def.derived;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+void
+printParamHelp(std::ostream &os)
+{
+    const std::vector<ParamInfo> reference = paramReference();
+    std::size_t nameWidth = 0, typeWidth = 0, defWidth = 0;
+    for (const ParamInfo &p : reference) {
+        nameWidth = std::max(nameWidth, p.name.size());
+        typeWidth = std::max(typeWidth, p.type.size());
+        defWidth = std::max(defWidth, p.defaultText.size());
+    }
+
+    auto printTable = [&](bool derived) {
+        for (const ParamInfo &p : reference) {
+            if (p.derived != derived)
+                continue;
+            os << "  " << std::left << std::setw(static_cast<int>(nameWidth))
+               << p.name << "  " << std::setw(static_cast<int>(typeWidth))
+               << p.type << "  " << std::setw(static_cast<int>(defWidth))
+               << p.defaultText << "  " << p.doc
+               << (p.execOnly ? " [execution-only; not exported]" : "")
+               << "\n";
+        }
+    };
+
+    os << "Configuration parameters (set with --set <name>=<value>, "
+          "sweep with --sweep <name>=<v1,v2,...>;\n"
+          "see README \"Configuration & sweeps\"). Every parameter below "
+          "except execution-only knobs\nis embedded as cfg.<name> "
+          "provenance in exported result records.\n\n";
+    printTable(false);
+    os << "\nConvenience parameters (write through to the parameters "
+          "above; settable and sweepable\nbut never exported — records "
+          "carry the underlying values):\n\n";
+    printTable(true);
+}
+
+} // namespace vpr

@@ -8,15 +8,13 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/params.hh"
 
 namespace vpr
 {
 
 namespace
 {
-
-/** Columns before the metrics begin. */
-constexpr std::size_t kFixedColumns = 17;
 
 /** A value placed in a CSV cell must not break the row structure. */
 void
@@ -89,60 +87,81 @@ metricSchema(const std::vector<SimResults> &results)
     return names;
 }
 
+void
+checkWriterArgs(const std::vector<std::size_t> &indices,
+                const std::vector<GridCell> &cells,
+                const std::vector<SimResults> &results)
+{
+    VPR_ASSERT(indices.size() == results.size(),
+               "indices/results size mismatch");
+    for (std::size_t i : indices)
+        VPR_ASSERT(i < cells.size(), "cell index ", i,
+                   " outside the ", cells.size(), "-cell grid");
+}
+
 } // namespace
 
 const std::vector<std::string> &
 resultFixedColumns()
 {
-    static const std::vector<std::string> columns = {
-        "cell",         "benchmark", "scheme",        "phys_regs",
-        "vp_regs",      "nrr_int",   "nrr_fp",        "rob",
-        "iq",           "lsq",       "miss_penalty",  "mshrs",
-        "wrong_path",   "wrong_path_mem", "skip_insts",
-        "measure_insts", "seed"};
-    VPR_ASSERT(columns.size() == kFixedColumns, "fixed column mismatch");
+    static const std::vector<std::string> columns = [] {
+        std::vector<std::string> c = {"cell", "benchmark"};
+        for (const ParamInfo &p : paramReference())
+            if (!p.execOnly && !p.derived)
+                c.push_back("cfg." + p.name);
+        return c;
+    }();
     return columns;
 }
 
 std::vector<std::string>
 cellConfigValues(const GridCell &cell)
 {
-    const SimConfig &c = cell.config;
-    const RenameConfig &r = c.core.rename;
-    return {
-        cell.benchmark,
-        renameSchemeName(c.core.scheme),
-        std::to_string(r.numPhysRegs),
-        std::to_string(r.numVPRegs),
-        std::to_string(r.nrrInt),
-        std::to_string(r.nrrFp),
-        std::to_string(c.core.robSize),
-        std::to_string(c.core.iqSize),
-        std::to_string(c.core.lsqSize),
-        std::to_string(c.core.cache.missPenalty),
-        std::to_string(c.core.cache.numMshrs),
-        wrongPathModeName(c.core.fetch.wrongPath),
-        std::to_string(c.core.fetch.wrongPathMem ? 1 : 0),
-        std::to_string(c.skipInsts),
-        std::to_string(c.measureInsts),
-        std::to_string(c.seed),
+    std::vector<std::string> out = {cell.benchmark};
+    for (const auto &[name, value] : configProvenance(cell.config)) {
+        (void)name;
+        out.push_back(value);
+    }
+    VPR_ASSERT(out.size() + 1 == resultFixedColumns().size(),
+               "provenance column mismatch");
+    return out;
+}
+
+std::string
+gridConfigDigest(const std::vector<GridCell> &cells)
+{
+    // FNV-1a over every cell's (benchmark, key, value) provenance
+    // triples with separators, so reordered or truncated grids hash
+    // differently.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= 0xffu;
+        h *= 1099511628211ull;
     };
+    for (const GridCell &cell : cells)
+        for (const std::string &v : cellConfigValues(cell))
+            mix(v);
+    std::ostringstream os;
+    os << std::hex << std::setfill('0') << std::setw(16) << h;
+    return os.str();
 }
 
 void
 writeResultsCsv(std::ostream &os, const std::string &figure,
-                std::size_t totalCells, const ShardSpec &shard,
+                const ShardSpec &shard,
                 const std::vector<std::size_t> &indices,
                 const std::vector<GridCell> &cells,
                 const std::vector<SimResults> &results)
 {
-    VPR_ASSERT(indices.size() == cells.size() &&
-                   indices.size() == results.size(),
-               "indices/cells/results size mismatch");
+    checkWriterArgs(indices, cells, results);
 
-    os << "# vpr-results v1 figure=" << figure << " cells=" << totalCells
-       << " shard=" << shardText(shard) << " scale=" << scaleText()
-       << "\n";
+    os << "# vpr-results v1 figure=" << figure << " cells="
+       << cells.size() << " shard=" << shardText(shard) << " scale="
+       << scaleText() << " cfg=" << gridConfigDigest(cells) << "\n";
 
     const std::vector<std::string> metricNames = metricSchema(results);
     const std::vector<std::string> &fixed = resultFixedColumns();
@@ -154,7 +173,7 @@ writeResultsCsv(std::ostream &os, const std::string &figure,
 
     for (std::size_t k = 0; k < indices.size(); ++k) {
         os << indices[k];
-        for (const std::string &v : cellConfigValues(cells[k])) {
+        for (const std::string &v : cellConfigValues(cells[indices[k]])) {
             checkCsvSafe(v);
             os << "," << v;
         }
@@ -166,32 +185,36 @@ writeResultsCsv(std::ostream &os, const std::string &figure,
 
 void
 writeResultsJson(std::ostream &os, const std::string &figure,
-                 std::size_t totalCells, const ShardSpec &shard,
+                 const ShardSpec &shard,
                  const std::vector<std::size_t> &indices,
                  const std::vector<GridCell> &cells,
                  const std::vector<SimResults> &results)
 {
-    VPR_ASSERT(indices.size() == cells.size() &&
-                   indices.size() == results.size(),
-               "indices/cells/results size mismatch");
+    checkWriterArgs(indices, cells, results);
 
     const std::vector<std::string> &fixed = resultFixedColumns();
     os << "{\n";
     os << "  \"format\": \"vpr-results\",\n";
     os << "  \"version\": 1,\n";
     os << "  \"figure\": \"" << jsonEscape(figure) << "\",\n";
-    os << "  \"cells\": " << totalCells << ",\n";
+    os << "  \"cells\": " << cells.size() << ",\n";
     os << "  \"shard\": \"" << shardText(shard) << "\",\n";
     os << "  \"scale\": " << scaleText() << ",\n";
+    os << "  \"config_digest\": \"" << gridConfigDigest(cells) << "\",\n";
     os << "  \"records\": [";
     for (std::size_t k = 0; k < indices.size(); ++k) {
         os << (k ? ",\n" : "\n");
         os << "    {\"cell\": " << indices[k] << ", \"config\": {";
         const std::vector<std::string> config =
-            cellConfigValues(cells[k]);
+            cellConfigValues(cells[indices[k]]);
         for (std::size_t c = 0; c < config.size(); ++c) {
-            os << (c ? ", " : "") << "\"" << jsonEscape(fixed[c + 1])
-               << "\": \"" << jsonEscape(config[c]) << "\"";
+            // JSON nests the values under "config", so the dotted keys
+            // drop the CSV header's "cfg." disambiguation prefix.
+            std::string key = fixed[c + 1];
+            if (key.compare(0, 4, "cfg.") == 0)
+                key = key.substr(4);
+            os << (c ? ", " : "") << "\"" << jsonEscape(key) << "\": \""
+               << jsonEscape(config[c]) << "\"";
         }
         os << "}, \"metrics\": {";
         const auto &metrics = results[k].metrics.all();
@@ -206,7 +229,7 @@ writeResultsJson(std::ostream &os, const std::string &figure,
 
 void
 writeResultsFile(const std::string &path, const std::string &figure,
-                 std::size_t totalCells, const ShardSpec &shard,
+                 const ShardSpec &shard,
                  const std::vector<std::size_t> &indices,
                  const std::vector<GridCell> &cells,
                  const std::vector<SimResults> &results)
@@ -217,11 +240,9 @@ writeResultsFile(const std::string &path, const std::string &figure,
     const bool json =
         path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
     if (json)
-        writeResultsJson(os, figure, totalCells, shard, indices, cells,
-                         results);
+        writeResultsJson(os, figure, shard, indices, cells, results);
     else
-        writeResultsCsv(os, figure, totalCells, shard, indices, cells,
-                        results);
+        writeResultsCsv(os, figure, shard, indices, cells, results);
     if (!os)
         VPR_FATAL("error writing '", path, "'");
 }
@@ -234,8 +255,7 @@ exportAllCells(const std::string &path, const std::string &figure,
     std::vector<std::size_t> indices(cells.size());
     for (std::size_t i = 0; i < indices.size(); ++i)
         indices[i] = i;
-    writeResultsFile(path, figure, cells.size(), ShardSpec{}, indices,
-                     cells, results);
+    writeResultsFile(path, figure, ShardSpec{}, indices, cells, results);
 }
 
 ResultsFile
@@ -269,6 +289,8 @@ readResultsCsv(std::istream &is, const std::string &name)
             file.totalCells = std::strtoull(value.c_str(), nullptr, 10);
         else if (key == "scale")
             file.scale = value;
+        else if (key == "cfg")
+            file.configDigest = value;
     }
 
     std::string headerLine;
@@ -278,7 +300,9 @@ readResultsCsv(std::istream &is, const std::string &name)
     const std::vector<std::string> &fixed = resultFixedColumns();
     if (file.header.size() < fixed.size() ||
         !std::equal(fixed.begin(), fixed.end(), file.header.begin()))
-        VPR_FATAL(name, ": unexpected header row");
+        VPR_FATAL(name, ": unexpected header row (foreign file, or "
+                  "records from a binary with a different parameter "
+                  "registry)");
 
     std::string line;
     while (std::getline(is, line)) {
@@ -318,6 +342,7 @@ mergeResults(const std::vector<ResultsFile> &shards)
     merged.figure = shards.front().figure;
     merged.totalCells = shards.front().totalCells;
     merged.scale = shards.front().scale;
+    merged.configDigest = shards.front().configDigest;
     // The header (and with it the metric schema) comes from the first
     // shard that actually ran cells: a shard dealt an empty slice
     // (count > grid size) writes only the fixed columns and must not
@@ -341,6 +366,13 @@ mergeResults(const std::vector<ResultsFile> &shards)
             VPR_FATAL("shard instruction-scale mismatch: '", shard.scale,
                       "' vs '", merged.scale,
                       "' — rerun every shard with the same --scale");
+        if (shard.configDigest != merged.configDigest)
+            VPR_FATAL("shard config provenance disagrees (grid digest '",
+                      shard.configDigest, "' vs '", merged.configDigest,
+                      "'): the shards were produced from different "
+                      "configurations — rerun every shard with "
+                      "identical --set/--config parameters and the "
+                      "same binary");
         if (!shard.rows.empty() && shard.header != merged.header)
             VPR_FATAL("shard header mismatch (different metric schema?)");
         for (const ResultsFile::Row &row : shard.rows)
@@ -370,11 +402,37 @@ mergeResults(const std::vector<ResultsFile> &shards)
 }
 
 void
+verifyCellProvenance(const ResultsFile &file,
+                     const std::vector<GridCell> &cells,
+                     const std::string &name)
+{
+    VPR_ASSERT(cells.size() == file.totalCells,
+               "provenance check needs the full ", file.totalCells,
+               "-cell grid, got ", cells.size(), " cells");
+    const std::vector<std::string> &fixed = resultFixedColumns();
+    for (const ResultsFile::Row &row : file.rows) {
+        const std::vector<std::string> expect =
+            cellConfigValues(cells[row.cell]);
+        for (std::size_t c = 0; c < expect.size(); ++c) {
+            if (row.values[c + 1] != expect[c])
+                VPR_FATAL(name, ": cell ", row.cell,
+                          " config provenance mismatch at ",
+                          fixed[c + 1], ": record carries '",
+                          row.values[c + 1], "', the grid expects '",
+                          expect[c],
+                          "' — the records were produced from a "
+                          "different configuration (or an older "
+                          "binary)");
+        }
+    }
+}
+
+void
 writeMergedCsv(std::ostream &os, const ResultsFile &merged)
 {
     os << "# vpr-results v1 figure=" << merged.figure
        << " cells=" << merged.totalCells << " shard=0/1 scale="
-       << merged.scale << "\n";
+       << merged.scale << " cfg=" << merged.configDigest << "\n";
     for (std::size_t i = 0; i < merged.header.size(); ++i)
         os << (i ? "," : "") << merged.header[i];
     os << "\n";
@@ -390,11 +448,12 @@ resultsFromFile(const ResultsFile &file)
 {
     VPR_ASSERT(file.rows.size() == file.totalCells,
                "result file is incomplete; merge the shards first");
+    const std::size_t fixedColumns = resultFixedColumns().size();
     std::vector<SimResults> results(file.rows.size());
     for (std::size_t i = 0; i < file.rows.size(); ++i) {
         const ResultsFile::Row &row = file.rows[i];
         VPR_ASSERT(row.cell == i, "rows not in cell order");
-        for (std::size_t c = kFixedColumns; c < row.values.size(); ++c) {
+        for (std::size_t c = fixedColumns; c < row.values.size(); ++c) {
             const std::string &text = row.values[c];
             const bool integral =
                 !text.empty() &&

@@ -3,20 +3,31 @@
  * Machine-readable result files for grid sweeps.
  *
  * One record per grid cell: the cell's global index, benchmark, the
- * configuration parameters that define the cell, and every metric of
- * its MetricsRecord, in schema order. Two formats:
+ * cell's full configuration provenance, and every metric of its
+ * MetricsRecord, in schema order. The provenance columns are generated
+ * from the reflective parameter registry (sim/params.hh): one
+ * "cfg.<dotted name>" column per parameter, covering every parameter
+ * that can affect results (seed included; execution-only knobs like
+ * jobs and the shard spec excluded — records are byte-identical for
+ * any --jobs value and any sharding). Two formats:
  *
  *  - CSV: one header row, one line per cell, preceded by a single
- *    "# vpr-results v1 figure=<name> cells=<N> shard=<i>/<n>" metadata
- *    comment. This is the shard/merge interchange format: integers are
- *    written exactly and reals with 17 significant digits, so a merged
- *    file reproduces the unsharded run bit for bit.
+ *    "# vpr-results v1 figure=<name> cells=<N> shard=<i>/<n>
+ *    scale=<s> cfg=<digest>" metadata comment, where <digest> hashes
+ *    the provenance of the *whole* grid (every cell, not just the
+ *    shard's slice). This is the shard/merge interchange format:
+ *    integers are written exactly and reals with 17 significant
+ *    digits, so a merged file reproduces the unsharded run bit for
+ *    bit, and shards produced from different base configurations can
+ *    never be merged (their digests disagree).
  *  - JSON: the same records as one self-describing document (for
  *    plotting pipelines that prefer structure over columns).
  *
  * readResultsCsv/mergeResults/resultsFromFile invert the CSV writer so
  * tools/merge_results can stitch shard files back into the full
- * cell-ordered result set and re-render the paper tables.
+ * cell-ordered result set and re-render the paper tables;
+ * verifyCellProvenance checks a file's embedded provenance against a
+ * rebuilt grid, key by key.
  */
 
 #ifndef VPR_SIM_RESULTS_IO_HH
@@ -32,23 +43,31 @@
 namespace vpr
 {
 
-/** Fixed (non-metric) column names, starting with "cell". */
+/** Fixed (non-metric) column names: "cell", "benchmark", then one
+ *  "cfg.<dotted name>" column per provenance parameter. */
 const std::vector<std::string> &resultFixedColumns();
 
-/** The fixed-column values for one cell (everything but "cell"). */
+/** The fixed-column values for one cell (everything but "cell"):
+ *  benchmark, then the provenance values in column order. */
 std::vector<std::string> cellConfigValues(const GridCell &cell);
 
+/** Digest (16 hex chars) over the provenance of every cell of a grid;
+ *  shards of one run share it, runs from different configurations
+ *  don't. */
+std::string gridConfigDigest(const std::vector<GridCell> &cells);
+
 /**
- * Write the records for @p indices (global cell indices, parallel to
- * @p cells / @p results) of a @p totalCells grid. @{
+ * Write the records of one (possibly sharded) run: @p cells is the
+ * FULL grid, @p indices the global cell indices actually run, and
+ * @p results their outcomes, parallel to @p indices. @{
  */
 void writeResultsCsv(std::ostream &os, const std::string &figure,
-                     std::size_t totalCells, const ShardSpec &shard,
+                     const ShardSpec &shard,
                      const std::vector<std::size_t> &indices,
                      const std::vector<GridCell> &cells,
                      const std::vector<SimResults> &results);
 void writeResultsJson(std::ostream &os, const std::string &figure,
-                      std::size_t totalCells, const ShardSpec &shard,
+                      const ShardSpec &shard,
                       const std::vector<std::size_t> &indices,
                       const std::vector<GridCell> &cells,
                       const std::vector<SimResults> &results);
@@ -57,7 +76,7 @@ void writeResultsJson(std::ostream &os, const std::string &figure,
 /** Write to @p path, picking the format from the extension
  *  (".json" = JSON, anything else = CSV). fatal()s if unwritable. */
 void writeResultsFile(const std::string &path, const std::string &figure,
-                      std::size_t totalCells, const ShardSpec &shard,
+                      const ShardSpec &shard,
                       const std::vector<std::size_t> &indices,
                       const std::vector<GridCell> &cells,
                       const std::vector<SimResults> &results);
@@ -77,6 +96,9 @@ struct ResultsFile
     /** Instruction scale the records were produced under (raw metadata
      *  text; shards must agree exactly to merge). */
     std::string scale;
+    /** Whole-grid config-provenance digest (raw metadata text; shards
+     *  must agree exactly to merge). */
+    std::string configDigest;
     std::vector<std::string> header;
 
     struct Row
@@ -95,10 +117,22 @@ ResultsFile readResultsCsvFile(const std::string &path);
 
 /**
  * Merge shard files into the full cell-ordered result set. All inputs
- * must agree on figure, grid size and header; every cell must appear
- * exactly once across the inputs. fatal()s otherwise.
+ * must agree on figure, grid size, header, instruction scale and
+ * config-provenance digest; every cell must appear exactly once across
+ * the inputs. fatal()s otherwise — a shard produced from a different
+ * configuration can never merge silently.
  */
 ResultsFile mergeResults(const std::vector<ResultsFile> &shards);
+
+/**
+ * Check the embedded config provenance of every row of @p file against
+ * the expected grid (@p cells must be the full @p file.totalCells-cell
+ * grid, e.g. rebuilt via the figure registry); fatal()s naming the
+ * first differing dotted key. @p name labels error messages.
+ */
+void verifyCellProvenance(const ResultsFile &file,
+                          const std::vector<GridCell> &cells,
+                          const std::string &name);
 
 /** Write a merged (complete) file back out as CSV, byte-identical to
  *  what an unsharded --out export would have produced. */

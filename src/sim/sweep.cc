@@ -1,0 +1,71 @@
+#include "sim/sweep.hh"
+
+#include "common/logging.hh"
+#include "sim/params.hh"
+
+namespace vpr
+{
+
+SweepAxis
+parseSweepAxis(const std::string &spec)
+{
+    std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0)
+        VPR_FATAL("bad sweep spec '", spec,
+                  "' (expected key=v1,v2,...)");
+    SweepAxis axis;
+    axis.key = spec.substr(0, eq);
+    std::size_t start = eq + 1;
+    for (;;) {
+        std::size_t comma = spec.find(',', start);
+        std::string value = spec.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (value.empty())
+            VPR_FATAL("bad sweep spec '", spec, "' (empty value)");
+        axis.values.push_back(std::move(value));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return axis;
+}
+
+std::vector<GridCell>
+buildSweepGrid(const std::vector<std::string> &benchmarks,
+               const SimConfig &base, const std::vector<SweepAxis> &axes)
+{
+    for (const SweepAxis &axis : axes)
+        VPR_ASSERT(!axis.values.empty(), "sweep axis '", axis.key,
+                   "' has no values");
+
+    std::vector<GridCell> cells;
+    std::vector<std::size_t> pick(axes.size(), 0);
+    for (const std::string &bench : benchmarks) {
+        for (;;) {
+            SimConfig config = base;
+            {
+                ConfigRegistry registry(config);
+                for (std::size_t a = 0; a < axes.size(); ++a)
+                    registry.set(axes[a].key, axes[a].values[pick[a]]);
+            }
+            cells.emplace_back(bench, config);
+
+            // Odometer step, rightmost axis fastest; a carry off the
+            // left end means the benchmark's combinations are done
+            // (and pick is back at all zeroes for the next one).
+            bool carry = true;
+            for (std::size_t a = axes.size(); carry && a > 0;) {
+                --a;
+                if (++pick[a] < axes[a].values.size())
+                    carry = false;
+                else
+                    pick[a] = 0;
+            }
+            if (carry)
+                break;
+        }
+    }
+    return cells;
+}
+
+} // namespace vpr

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the reflective config-parameter API (sim/params.hh):
+ * registry lookups, every-parameter reachability, round-trip fuzz of
+ * --set / dump / load, provenance contents, and the error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "sim/params.hh"
+#include "sim/config.hh"
+
+namespace vpr
+{
+namespace
+{
+
+TEST(ConfigRegistry, FindsDottedNamesWithDefaults)
+{
+    SimConfig config;
+    ConfigRegistry registry(config);
+    EXPECT_EQ(registry.get("core.iq_size"), "128");
+    EXPECT_EQ(registry.get("core.cache.miss_penalty"), "50");
+    EXPECT_EQ(registry.get("core.rename.phys_regs"), "64");
+    EXPECT_EQ(registry.get("core.scheme"), "vp-writeback");
+    EXPECT_EQ(registry.get("core.fetch.wrong_path"), "synthesize");
+    EXPECT_EQ(registry.get("seed"), "0");
+    EXPECT_NE(registry.find("core.fu.fp_div_sqrt"), nullptr);
+    EXPECT_EQ(registry.find("core.nope"), nullptr);
+}
+
+TEST(ConfigRegistry, SetWritesThroughToTheStruct)
+{
+    SimConfig config;
+    ConfigRegistry registry(config);
+    registry.set("core.cache.miss_penalty", "75");
+    EXPECT_EQ(config.core.cache.missPenalty, 75u);
+    registry.set("core.scheme", "conv");  // alias accepted...
+    EXPECT_EQ(config.core.scheme, RenameScheme::Conventional);
+    // ...but get() always returns the canonical name.
+    EXPECT_EQ(registry.get("core.scheme"), "conventional");
+    registry.set("core.fetch.wrong_path_mem", "true");
+    EXPECT_TRUE(config.core.fetch.wrongPathMem);
+}
+
+TEST(ConfigRegistry, DerivedParamsApplyTheSizingRules)
+{
+    SimConfig config;
+    ConfigRegistry registry(config);
+    registry.set("core.rename.regfile_size", "48");
+    EXPECT_EQ(config.core.rename.numPhysRegs, 48u);
+    EXPECT_EQ(config.core.rename.nrrInt, 16u);   // max = NPR - NLR
+    EXPECT_EQ(config.core.rename.nrrFp, 16u);
+    EXPECT_EQ(config.core.rename.numVPRegs, 32u + 128u);
+
+    registry.set("core.rename.nrr", "4");
+    EXPECT_EQ(config.core.rename.nrrInt, 4u);
+    EXPECT_EQ(config.core.rename.nrrFp, 4u);
+
+    registry.set("core.window", "256");
+    EXPECT_EQ(config.core.robSize, 256u);
+    EXPECT_EQ(config.core.iqSize, 256u);
+    EXPECT_EQ(config.core.lsqSize, 256u);
+    EXPECT_EQ(config.core.rename.numVPRegs, 32u + 256u);
+    config.validate();
+}
+
+/** Pick a value different from @p current for @p def. */
+std::string
+differentValue(const ParamDef &def, const std::string &current)
+{
+    switch (def.kind) {
+      case ParamDef::Kind::Bool:
+        return current == "0" ? "1" : "0";
+      case ParamDef::Kind::Enum:
+        for (const std::string &name : def.enumNames)
+            if (name != current)
+                return name;
+        ADD_FAILURE() << def.name << ": single-valued enum";
+        return current;
+      case ParamDef::Kind::UInt:
+      default:
+        return current == "1" ? "2" : "1";
+    }
+}
+
+TEST(ConfigRegistry, EveryParameterIsReachable)
+{
+    // Walk the registry: every key must actually mutate a fresh
+    // SimConfig — a registered-but-disconnected parameter (or two
+    // params bound to one field) would break provenance.
+    SimConfig reference;
+    const std::size_t count = ConfigRegistry(reference).params().size();
+    ASSERT_GT(count, 30u);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        SimConfig config;
+        ConfigRegistry registry(config);
+        const ParamDef &def = registry.params()[i];
+        const std::string before = def.get();
+        const std::string target = differentValue(def, before);
+        ASSERT_TRUE(def.set(target)) << def.name << " <- " << target;
+        EXPECT_EQ(def.get(), target) << def.name;
+
+        if (def.derived || def.execOnly)
+            continue;  // not serialized; reachability checked above
+        // The mutation must surface in the dumped document too.
+        std::ostringstream dumped;
+        dumpConfig(dumped, config);
+        EXPECT_NE(dumped.str().find("\"" + def.name + "\": \"" + target +
+                                    "\""),
+                  std::string::npos)
+            << def.name;
+    }
+}
+
+TEST(ConfigRegistry, ProvenanceIncludesSeedButNeverJobs)
+{
+    SimConfig config;
+    config.seed = 1234;
+    config.jobs = 7;
+    bool sawSeed = false;
+    for (const auto &[name, value] : configProvenance(config)) {
+        EXPECT_NE(name, "jobs");
+        if (name == "seed") {
+            sawSeed = true;
+            EXPECT_EQ(value, "1234");
+        }
+    }
+    EXPECT_TRUE(sawSeed);
+
+    // And derived params never appear (only their underlying values).
+    for (const auto &[name, value] : configProvenance(config)) {
+        (void)value;
+        EXPECT_NE(name, "core.rename.regfile_size");
+        EXPECT_NE(name, "core.window");
+    }
+}
+
+TEST(ConfigParams, AssignDumpLoadDumpIsByteIdenticalUnderFuzz)
+{
+    // Random --set batches must round-trip: apply -> dump -> load into
+    // a fresh config -> dump again, byte-identical.
+    std::mt19937_64 rng(0xc0ffee);
+    SimConfig proto;
+    const std::size_t count = ConfigRegistry(proto).params().size();
+
+    for (int round = 0; round < 40; ++round) {
+        SimConfig config;
+        {
+            ConfigRegistry registry(config);
+            for (std::size_t i = 0; i < count; ++i) {
+                if (rng() % 3 != 0)
+                    continue;
+                const ParamDef &def = registry.params()[i];
+                std::string value;
+                switch (def.kind) {
+                  case ParamDef::Kind::Bool:
+                    value = rng() % 2 ? "1" : "0";
+                    break;
+                  case ParamDef::Kind::Enum:
+                    value = def.enumNames[rng() % def.enumNames.size()];
+                    break;
+                  case ParamDef::Kind::UInt:
+                  default:
+                    value = std::to_string(
+                        rng() % (std::min<std::uint64_t>(
+                                     def.maxValue, 1000000) +
+                                 1));
+                    break;
+                }
+                registry.set(def.name, value);
+            }
+        }
+
+        std::ostringstream first;
+        dumpConfig(first, config);
+
+        SimConfig reloaded;
+        std::istringstream in(first.str());
+        loadConfig(reloaded, in, "fuzz");
+        std::ostringstream second;
+        dumpConfig(second, reloaded);
+        ASSERT_EQ(first.str(), second.str()) << "round " << round;
+    }
+}
+
+TEST(ConfigParams, DumpExcludesExecutionOnlyKnobs)
+{
+    // A config file describes the machine, not how a grid is run:
+    // loading one must never clobber a --jobs given on the command
+    // line, so jobs is not serialized at all.
+    SimConfig config;
+    config.jobs = 9;
+    std::ostringstream os;
+    dumpConfig(os, config);
+    EXPECT_EQ(os.str().find("\"jobs\""), std::string::npos);
+
+    SimConfig reloaded;
+    reloaded.jobs = 4;
+    std::istringstream is(os.str());
+    loadConfig(reloaded, is, "dump");
+    EXPECT_EQ(reloaded.jobs, 4u);
+}
+
+TEST(ConfigParams, CliContractLoadsConfigFileFirstSoSetWins)
+{
+    // The shared --set/--config contract: the file loads first and
+    // --set assignments win, regardless of argument order (every
+    // binary routes through applyConfigCli).
+    SimConfig donor;
+    donor.core.cache.missPenalty = 99;
+    donor.core.cache.numMshrs = 2;
+    const std::string path =
+        testing::TempDir() + "params_test_cli_contract.json";
+    {
+        std::ofstream os(path);
+        dumpConfig(os, donor);
+    }
+
+    ConfigCliArgs cli;
+    cli.configPath = path;
+    cli.assignments = {"core.cache.miss_penalty=10"};
+    SimConfig config;
+    applyConfigCli(config, cli);
+    EXPECT_EQ(config.core.cache.missPenalty, 10u);  // --set wins
+    EXPECT_EQ(config.core.cache.numMshrs, 2u);      // file applied
+}
+
+TEST(ConfigParams, ParseConfigArgRecognizesBothSetSpellings)
+{
+    const char *argv[] = {"prog",           "--set",
+                          "core.iq_size=64", "--set=seed=3",
+                          "--config=c.json", "--dump-config",
+                          "positional"};
+    const int argc = 7;
+    ConfigCliArgs cli;
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i)
+        if (!parseConfigArg(argc, const_cast<char **>(argv), i, cli))
+            rest.push_back(argv[i]);
+    EXPECT_EQ(cli.assignments,
+              (std::vector<std::string>{"core.iq_size=64", "seed=3"}));
+    EXPECT_EQ(cli.configPath, "c.json");
+    EXPECT_TRUE(cli.dumpConfig);
+    EXPECT_EQ(rest, (std::vector<std::string>{"positional"}));
+}
+
+TEST(ConfigParams, ApplyAssignmentParsesKeyEqualsValue)
+{
+    SimConfig config;
+    applyAssignment(config, "core.cache.num_mshrs=4");
+    EXPECT_EQ(config.core.cache.numMshrs, 4u);
+    applyAssignments(config,
+                     {"skip_insts=111", "measure_insts=222"});
+    EXPECT_EQ(config.skipInsts, 111u);
+    EXPECT_EQ(config.measureInsts, 222u);
+}
+
+TEST(ConfigParams, ParamReferenceDocumentsEveryParam)
+{
+    const std::vector<ParamInfo> reference = paramReference();
+    ASSERT_GT(reference.size(), 30u);
+    for (const ParamInfo &p : reference) {
+        EXPECT_FALSE(p.doc.empty()) << p.name;
+        EXPECT_FALSE(p.type.empty()) << p.name;
+        EXPECT_FALSE(p.defaultText.empty()) << p.name;
+    }
+    std::ostringstream help;
+    printParamHelp(help);
+    EXPECT_NE(help.str().find("core.cache.miss_penalty"),
+              std::string::npos);
+    EXPECT_NE(help.str().find("core.rename.regfile_size"),
+              std::string::npos);
+}
+
+// --- error paths ----------------------------------------------------------
+
+TEST(ConfigParamsDeath, UnknownKeyIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyAssignment(config, "core.warp_drive=9"),
+                ::testing::ExitedWithCode(1), "unknown parameter");
+}
+
+TEST(ConfigParamsDeath, MalformedAssignmentIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyAssignment(config, "core.iq_size"),
+                ::testing::ExitedWithCode(1), "malformed assignment");
+}
+
+TEST(ConfigParamsDeath, BadValueIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyAssignment(config, "core.iq_size=lots"),
+                ::testing::ExitedWithCode(1), "bad value");
+}
+
+TEST(ConfigParamsDeath, OutOfRangeValueIsFatal)
+{
+    SimConfig config;
+    // phys_regs is a u16 field: 70000 does not fit.
+    EXPECT_EXIT(applyAssignment(config, "core.rename.phys_regs=70000"),
+                ::testing::ExitedWithCode(1), "bad value");
+}
+
+TEST(ConfigParamsDeath, BadEnumNameIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyAssignment(config, "core.scheme=magic"),
+                ::testing::ExitedWithCode(1), "bad value");
+}
+
+TEST(ConfigParamsDeath, BadBoolIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(
+        applyAssignment(config, "core.fetch.wrong_path_mem=maybe"),
+        ::testing::ExitedWithCode(1), "bad value");
+}
+
+TEST(ConfigParamsDeath, LoadRejectsUnknownKey)
+{
+    SimConfig config;
+    std::istringstream is("{\n  \"core.warp_drive\": \"9\"\n}\n");
+    EXPECT_EXIT(loadConfig(config, is, "bad"),
+                ::testing::ExitedWithCode(1), "unknown parameter");
+}
+
+TEST(ConfigParamsDeath, LoadRejectsMalformedDocument)
+{
+    SimConfig config;
+    std::istringstream is("core.iq_size: 64\n");
+    EXPECT_EXIT(loadConfig(config, is, "bad"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(ConfigParamsDeath, LoadRejectsMissingBraces)
+{
+    SimConfig config;
+    std::istringstream is("  \"core.iq_size\": \"64\"\n");
+    EXPECT_EXIT(loadConfig(config, is, "bad"),
+                ::testing::ExitedWithCode(1), "missing braces");
+}
+
+} // namespace
+} // namespace vpr

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/results_io.hh"
@@ -45,23 +46,77 @@ goldenResult()
     return r;
 }
 
-constexpr const char *kGoldenCsv =
-    "# vpr-results v1 figure=golden cells=2 shard=0/1 scale=1\n"
-    "cell,benchmark,scheme,phys_regs,vp_regs,nrr_int,nrr_fp,rob,iq,lsq,"
-    "miss_penalty,mshrs,wrong_path,wrong_path_mem,skip_insts,"
-    "measure_insts,seed,core.cycles,core.committed,core.ipc\n"
-    "0,swim,vp-writeback,64,160,32,32,128,128,128,50,8,stall,0,1000,"
-    "2000,7,1600,2000,1.25\n"
-    "1,swim,vp-writeback,64,160,32,32,128,128,128,50,8,stall,0,1000,"
-    "2000,7,1600,2000,1.25\n";
+/** The provenance columns of goldenCell(), in registry order (one
+ *  cfg.<dotted name> column per parameter; jobs excluded). */
+constexpr const char *kGoldenConfigColumns =
+    "cfg.skip_insts,cfg.measure_insts,cfg.seed,cfg.core.rename_width,"
+    "cfg.core.issue_width,cfg.core.commit_width,cfg.core.rob_size,"
+    "cfg.core.iq_size,cfg.core.lsq_size,cfg.core.reg_read_ports,"
+    "cfg.core.reg_write_ports,cfg.core.cache_ports,cfg.core.scheme,"
+    "cfg.core.iq_scan_wakeup,cfg.core.invariant_checks,"
+    "cfg.core.deadlock_threshold,cfg.core.rename.phys_regs,"
+    "cfg.core.rename.vp_regs,cfg.core.rename.nrr_int,"
+    "cfg.core.rename.nrr_fp,cfg.core.fetch.fetch_width,"
+    "cfg.core.fetch.buffer_capacity,cfg.core.fetch.bht_entries,"
+    "cfg.core.fetch.redirect_delay,cfg.core.fetch.wrong_path,"
+    "cfg.core.fetch.wrong_path_seed,cfg.core.fetch.wrong_path_mem,"
+    "cfg.core.fu.simple_int,cfg.core.fu.complex_int,"
+    "cfg.core.fu.eff_addr,cfg.core.fu.simple_fp,cfg.core.fu.fp_mul,"
+    "cfg.core.fu.fp_div_sqrt,cfg.core.cache.size_bytes,"
+    "cfg.core.cache.line_size,cfg.core.cache.assoc,"
+    "cfg.core.cache.hit_latency,cfg.core.cache.miss_penalty,"
+    "cfg.core.cache.num_mshrs,cfg.core.cache.bus_occupancy";
+
+constexpr const char *kGoldenConfigValues =
+    "1000,2000,7,8,8,8,128,128,128,16,8,3,vp-writeback,0,0,200000,64,"
+    "160,32,32,8,16,2048,1,stall,7860237,0,3,2,3,3,2,2,16384,32,1,2,"
+    "50,8,4";
+
+std::string
+goldenCsv()
+{
+    std::string row = std::string("swim,") + kGoldenConfigValues +
+                      ",1600,2000,1.25\n";
+    return "# vpr-results v1 figure=golden cells=2 shard=0/1 scale=1 "
+           "cfg=1fc93365a6e4d613\n"
+           "cell,benchmark," + std::string(kGoldenConfigColumns) +
+           ",core.cycles,core.committed,core.ipc\n"
+           "0," + row + "1," + row;
+}
 
 TEST(ResultsCsv, GoldenHeaderAndRowOrderAreStable)
 {
     std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult(), goldenResult()};
     std::ostringstream os;
-    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
-    EXPECT_EQ(os.str(), kGoldenCsv);
+    writeResultsCsv(os, "golden", ShardSpec{}, {0, 1}, cells, results);
+    EXPECT_EQ(os.str(), goldenCsv());
+}
+
+TEST(ResultsCsv, ProvenanceColumnsIncludeSeedButNotJobs)
+{
+    const std::vector<std::string> &fixed = resultFixedColumns();
+    EXPECT_EQ(fixed[0], "cell");
+    EXPECT_EQ(fixed[1], "benchmark");
+    EXPECT_NE(std::find(fixed.begin(), fixed.end(), "cfg.seed"),
+              fixed.end());
+    EXPECT_EQ(std::find(fixed.begin(), fixed.end(), "cfg.jobs"),
+              fixed.end());
+}
+
+TEST(ResultsCsv, RecordsAreIdenticalAcrossJobsValues)
+{
+    // jobs is an execution-only knob: two cells differing only in it
+    // must export byte-identical rows (and one shared grid digest).
+    GridCell serial = goldenCell(), parallel = goldenCell();
+    parallel.config.jobs = 8;
+    std::ostringstream a, b;
+    writeResultsCsv(a, "golden", ShardSpec{}, {0}, {serial},
+                    {goldenResult()});
+    writeResultsCsv(b, "golden", ShardSpec{}, {0}, {parallel},
+                    {goldenResult()});
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(gridConfigDigest({serial}), gridConfigDigest({parallel}));
 }
 
 TEST(ResultsJson, GoldenKeyOrderIsStable)
@@ -69,28 +124,24 @@ TEST(ResultsJson, GoldenKeyOrderIsStable)
     std::vector<GridCell> cells = {goldenCell()};
     std::vector<SimResults> results = {goldenResult()};
     std::ostringstream os;
-    writeResultsJson(os, "golden", 1, ShardSpec{}, {0}, cells, results);
-    EXPECT_EQ(
-        os.str(),
-        "{\n"
-        "  \"format\": \"vpr-results\",\n"
-        "  \"version\": 1,\n"
-        "  \"figure\": \"golden\",\n"
-        "  \"cells\": 1,\n"
-        "  \"shard\": \"0/1\",\n"
-        "  \"scale\": 1,\n"
-        "  \"records\": [\n"
-        "    {\"cell\": 0, \"config\": {\"benchmark\": \"swim\", "
-        "\"scheme\": \"vp-writeback\", \"phys_regs\": \"64\", "
-        "\"vp_regs\": \"160\", \"nrr_int\": \"32\", \"nrr_fp\": \"32\", "
-        "\"rob\": \"128\", \"iq\": \"128\", \"lsq\": \"128\", "
-        "\"miss_penalty\": \"50\", \"mshrs\": \"8\", "
-        "\"wrong_path\": \"stall\", \"wrong_path_mem\": \"0\", "
-        "\"skip_insts\": \"1000\", \"measure_insts\": \"2000\", "
-        "\"seed\": \"7\"}, \"metrics\": {\"core.cycles\": 1600, "
-        "\"core.committed\": 2000, \"core.ipc\": 1.25}}\n"
-        "  ]\n"
-        "}\n");
+    writeResultsJson(os, "golden", ShardSpec{}, {0}, cells, results);
+    const std::string json = os.str();
+    // Metadata, then per-record config (dotted keys, no cfg. prefix)
+    // and metrics.
+    EXPECT_NE(json.find("\"format\": \"vpr-results\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"config_digest\": \"700b6163ed62d452\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\": \"swim\""), std::string::npos);
+    EXPECT_NE(json.find("\"core.scheme\": \"vp-writeback\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"core.cache.miss_penalty\": \"50\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"seed\": \"7\""), std::string::npos);
+    EXPECT_EQ(json.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\": {\"core.cycles\": 1600, "
+                        "\"core.committed\": 2000, \"core.ipc\": 1.25}"),
+              std::string::npos);
 }
 
 TEST(ResultsCsv, ReadInvertsWrite)
@@ -98,12 +149,13 @@ TEST(ResultsCsv, ReadInvertsWrite)
     std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult(), goldenResult()};
     std::ostringstream os;
-    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
+    writeResultsCsv(os, "golden", ShardSpec{}, {0, 1}, cells, results);
 
     std::istringstream is(os.str());
     ResultsFile file = readResultsCsv(is, "test");
     EXPECT_EQ(file.figure, "golden");
     EXPECT_EQ(file.totalCells, 2u);
+    EXPECT_EQ(file.configDigest, gridConfigDigest(cells));
     ASSERT_EQ(file.rows.size(), 2u);
     EXPECT_EQ(file.rows[1].cell, 1u);
 
@@ -119,7 +171,7 @@ TEST(ResultsCsv, MergeOfSingleCompleteFileIsIdentity)
     std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult(), goldenResult()};
     std::ostringstream os;
-    writeResultsCsv(os, "golden", 2, ShardSpec{}, {0, 1}, cells, results);
+    writeResultsCsv(os, "golden", ShardSpec{}, {0, 1}, cells, results);
 
     std::istringstream is(os.str());
     ResultsFile merged = mergeResults({readResultsCsv(is, "test")});
@@ -130,13 +182,13 @@ TEST(ResultsCsv, MergeOfSingleCompleteFileIsIdentity)
 
 TEST(ResultsCsv, MergeReordersShardsByCell)
 {
-    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult()};
 
     // Shard 1/2 holds cell 1, shard 0/2 holds cell 0; merge in reverse.
     std::ostringstream s1, s0;
-    writeResultsCsv(s1, "golden", 2, ShardSpec{1, 2}, {1}, cells, results);
-    writeResultsCsv(s0, "golden", 2, ShardSpec{0, 2}, {0}, cells, results);
+    writeResultsCsv(s1, "golden", ShardSpec{1, 2}, {1}, cells, results);
+    writeResultsCsv(s0, "golden", ShardSpec{0, 2}, {0}, cells, results);
     std::istringstream i1(s1.str()), i0(s0.str());
     ResultsFile merged = mergeResults(
         {readResultsCsv(i1, "s1"), readResultsCsv(i0, "s0")});
@@ -149,11 +201,10 @@ TEST(ResultsCsv, MergeReordersShardsByCell)
 std::string
 halfShardCsv()
 {
-    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult()};
     std::ostringstream os;
-    writeResultsCsv(os, "golden", 2, ShardSpec{0, 2}, {0}, cells,
-                    results);
+    writeResultsCsv(os, "golden", ShardSpec{0, 2}, {0}, cells, results);
     return os.str();
 }
 
@@ -188,9 +239,9 @@ TEST(ResultsCsv, EmptyShardDoesNotVetoTheMerge)
     std::vector<GridCell> cells = {goldenCell(), goldenCell()};
     std::vector<SimResults> results = {goldenResult(), goldenResult()};
     std::ostringstream full, empty;
-    writeResultsCsv(full, "golden", 2, ShardSpec{0, 3}, {0, 1}, cells,
+    writeResultsCsv(full, "golden", ShardSpec{0, 3}, {0, 1}, cells,
                     results);
-    writeResultsCsv(empty, "golden", 2, ShardSpec{2, 3}, {}, {}, {});
+    writeResultsCsv(empty, "golden", ShardSpec{2, 3}, {}, cells, {});
 
     std::istringstream e(empty.str()), f(full.str());
     std::vector<ResultsFile> files;
@@ -223,6 +274,29 @@ TEST(ResultsCsvDeath, ScaleMismatchIsFatal)
     };
     EXPECT_EXIT(mergeMismatched(), ::testing::ExitedWithCode(1),
                 "instruction-scale mismatch");
+}
+
+TEST(ResultsCsvDeath, ConfigDigestMismatchIsFatal)
+{
+    // A sibling shard produced from a different base configuration
+    // carries a different whole-grid provenance digest: the merge must
+    // refuse it instead of zipping records of unrelated machines.
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    cells[1].config.core.cache.missPenalty = 100;
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", ShardSpec{1, 2}, {1}, cells,
+                    {goldenResult()});
+    std::string a = halfShardCsv();
+    std::string b = os.str();
+    auto mergeMismatched = [&a, &b] {
+        std::istringstream ia(a), ib(b);
+        std::vector<ResultsFile> files;
+        files.push_back(readResultsCsv(ia, "a"));
+        files.push_back(readResultsCsv(ib, "b"));
+        mergeResults(files);
+    };
+    EXPECT_EXIT(mergeMismatched(), ::testing::ExitedWithCode(1),
+                "config provenance disagrees");
 }
 
 TEST(ResultsCsvDeath, DuplicateCellIsFatal)
@@ -353,7 +427,7 @@ TEST(ResultsCsv, DistributionMetricsRoundTripBitExact)
     std::vector<SimResults> results = {distributionResult(),
                                        distributionResult()};
     std::ostringstream os;
-    writeResultsCsv(os, "dist", 2, ShardSpec{}, {0, 1}, cells, results);
+    writeResultsCsv(os, "dist", ShardSpec{}, {0, 1}, cells, results);
 
     std::istringstream is(os.str());
     ResultsFile file = readResultsCsv(is, "dist");
@@ -380,7 +454,7 @@ TEST(ResultsJson, DistributionMetricsAppearAsKeys)
     std::vector<GridCell> cells = {goldenCell()};
     std::vector<SimResults> results = {distributionResult()};
     std::ostringstream os;
-    writeResultsJson(os, "dist", 1, ShardSpec{}, {0}, cells, results);
+    writeResultsJson(os, "dist", ShardSpec{}, {0}, cells, results);
     const std::string json = os.str();
     EXPECT_NE(json.find("\"regfile.occupancy.mean\""), std::string::npos);
     EXPECT_NE(json.find("\"regfile.occupancy.stddev\""),

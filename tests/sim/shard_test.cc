@@ -85,8 +85,8 @@ TEST(ShardEquivalence, MergedShardsReproduceUnshardedRunExactly)
     std::vector<std::size_t> allIndices(cells.size());
     std::iota(allIndices.begin(), allIndices.end(), 0);
     std::ostringstream directCsv;
-    writeResultsCsv(directCsv, def->name, cells.size(), ShardSpec{},
-                    allIndices, cells, direct);
+    writeResultsCsv(directCsv, def->name, ShardSpec{}, allIndices,
+                    cells, direct);
 
     // Two independent shard runs, exported and parsed back.
     std::vector<ResultsFile> shards;
@@ -98,13 +98,15 @@ TEST(ShardEquivalence, MergedShardsReproduceUnshardedRunExactly)
         std::vector<SimResults> results = runGrid(selected, 1);
 
         std::ostringstream os;
-        writeResultsCsv(os, def->name, cells.size(), spec, indices,
-                        selected, results);
+        writeResultsCsv(os, def->name, spec, indices, cells, results);
         std::istringstream is(os.str());
         shards.push_back(readResultsCsv(is, "shard"));
+        // Each shard's embedded provenance matches the figure's grid.
+        verifyCellProvenance(shards.back(), cells, "shard");
     }
 
     ResultsFile merged = mergeResults(shards);
+    verifyCellProvenance(merged, cells, "merged");
     std::ostringstream mergedCsv;
     writeMergedCsv(mergedCsv, merged);
     EXPECT_EQ(mergedCsv.str(), directCsv.str());

@@ -3,13 +3,24 @@
  * merge_results — stitch sharded sweep records back together.
  *
  * Usage:
- *   merge_results [-o merged.csv] [--render] shard0.csv shard1.csv ...
+ *   merge_results [-o merged.csv] [--render] [--set <k>=<v>]
+ *                 [--no-verify-config] shard0.csv shard1.csv ...
  *
- * Reads the CSV record files written by the bench binaries' --out flag
- * (one record per grid cell, any subset per file), verifies that
- * together they cover the whole grid exactly once, and writes the full
- * cell-ordered result set — byte-identical to what a single unsharded
- * --out run would have produced.
+ * Reads the CSV record files written by the bench binaries' (or
+ * vpr_sim --sweep's) --out flag (one record per grid cell, any subset
+ * per file), verifies that together they cover the whole grid exactly
+ * once, and writes the full cell-ordered result set — byte-identical
+ * to what a single unsharded --out run would have produced.
+ *
+ * Shards carry full config provenance: the merge refuses inputs whose
+ * embedded provenance disagrees. Shards produced from different base
+ * configurations fail the whole-grid digest comparison, and when the
+ * figure named in the metadata is in the bench registry, every row is
+ * additionally checked key by key against the rebuilt grid — a record
+ * from a stale binary or a differently-configured run is fatal, naming
+ * the first differing dotted key. Pass the same --set overrides the
+ * shards ran with so the rebuilt grid matches; --no-verify-config
+ * skips the registry check (the digest check always runs).
  *
  * With --render, the paper-style table is re-rendered from the merged
  * records to stdout. The figure named in the file metadata is looked up
@@ -20,6 +31,8 @@
  * Options:
  *   -o <path>    write the merged CSV (default: stdout unless --render)
  *   --render     re-render the figure's table from the merged records
+ *   --set <k>=<v>      config override the shards were run with
+ *   --no-verify-config skip the per-row provenance check
  */
 
 #include <cstring>
@@ -39,6 +52,7 @@ main(int argc, char **argv)
 {
     std::string outPath;
     bool render = false;
+    bool verifyConfig = true;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -46,9 +60,16 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (std::strcmp(argv[i], "--render") == 0) {
             render = true;
+        } else if (std::strcmp(argv[i], "--no-verify-config") == 0) {
+            verifyConfig = false;
+        } else if (std::strncmp(argv[i], "--set=", 6) == 0) {
+            bench::addConfigOverride(argv[i] + 6);
+        } else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc) {
+            bench::addConfigOverride(argv[++i]);
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::cout << "usage: " << argv[0]
-                      << " [-o merged.csv] [--render] shard.csv...\n"
+                      << " [-o merged.csv] [--render] [--set <k>=<v>]\n"
+                         "       [--no-verify-config] shard.csv...\n"
                          "see the file header for details\n";
             return 0;
         } else if (argv[i][0] == '-') {
@@ -67,6 +88,23 @@ main(int argc, char **argv)
     std::vector<ResultsFile> shards;
     for (const std::string &path : inputs)
         shards.push_back(readResultsCsvFile(path));
+
+    // Refuse mismatched provenance before any output: per-row against
+    // the rebuilt grid when the figure is registered (names the first
+    // differing dotted key); mergeResults' whole-grid digest check
+    // covers the rest.
+    const bench::FigureDef *def = bench::findFigure(shards.front().figure);
+    if (verifyConfig && def) {
+        const std::vector<GridCell> cells = def->build();
+        if (cells.size() != shards.front().totalCells)
+            VPR_FATAL("figure '", shards.front().figure, "' now has ",
+                      cells.size(), " cells but the records carry ",
+                      shards.front().totalCells,
+                      " — re-run the sweep with this binary");
+        for (std::size_t i = 0; i < shards.size(); ++i)
+            verifyCellProvenance(shards[i], cells, inputs[i]);
+    }
+
     ResultsFile merged = mergeResults(shards);
 
     if (!outPath.empty()) {
@@ -81,7 +119,6 @@ main(int argc, char **argv)
     }
 
     if (render) {
-        const bench::FigureDef *def = bench::findFigure(merged.figure);
         if (!def)
             VPR_FATAL("figure '", merged.figure,
                       "' is not in the bench registry; cannot render "

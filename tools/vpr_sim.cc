@@ -1,6 +1,6 @@
 /**
  * @file
- * vpr_sim — command-line driver for single simulation runs.
+ * vpr_sim — command-line driver for single runs and declarative sweeps.
  *
  * Usage:
  *   vpr_sim [options] <benchmark | trace.vprt | all>
@@ -8,33 +8,47 @@
  * The target "all" runs every built-in benchmark through the parallel
  * experiment engine and prints an IPC summary table (use --jobs).
  *
- * Options:
- *   --scheme=conv|vp-wb|vp-issue|conv-er   renaming scheme
- *   --regs=N          physical registers per file        (default 64)
- *   --nrr=N           reserved registers (VP schemes)    (default max)
- *   --rob=N           reorder-buffer / window size       (default 128)
- *   --skip=N          committed instructions to warm up  (default 20000)
- *   --insts=N         committed instructions to measure  (default 200000)
- *   --miss=N          L1 miss penalty in cycles          (default 50)
- *   --mshrs=N         outstanding misses                 (default 8)
- *   --seed=N          workload seed (0 = kernel default)
- *   --jobs=N          worker threads for "all" (0 = hw threads)
- *   --wrongpath       synthesize wrong-path fetch (default: stall)
- *   --wrongpath-mem   wrong-path synthesis includes loads/stores that
- *                     probe the cache (implies --wrongpath)
- *   --out=F           write one machine-readable record per run to F
- *                     (CSV, or JSON when F ends in .json)
- *   --dump-trace=F,N  write the first N workload records to file F
- *   --list            list built-in benchmarks and exit
+ * Every configuration parameter of the simulated machine is settable
+ * by stable dotted name (run `vpr_sim --help-params` for the generated
+ * reference, also checked in as docs/params.txt):
+ *
+ *   --set <key>=<value>   override one parameter (repeatable)
+ *   --config=<file.json>  load a --dump-config dump first
+ *   --dump-config         print the effective config as JSON and exit
+ *   --help-params         print the parameter reference and exit
+ *
+ * Declarative sweeps replace bespoke experiment binaries: each --sweep
+ * adds one axis, and the cross product (benchmarks outermost, then the
+ * axes left to right, rightmost fastest) runs through the parallel
+ * grid engine, e.g.
+ *
+ *   vpr_sim --sweep core.rename.regfile_size=48,64,96 \
+ *           --sweep core.scheme=conv,vp-wb all
+ *
+ * reproduces the fig7_regfile_size grid cell for cell.
+ *
+ *   --sweep <key>=<v1,v2,...>  add one sweep axis (repeatable)
+ *   --figure=<name>   label for exported records (merge_results
+ *                     re-renders and provenance-checks registered names)
+ *   --shard=i/N       run only slice i of the sweep grid (see README)
+ *
+ * Run control: --skip/--insts/--seed/--jobs, --out=<path> (one record
+ * per run, CSV or .json), --dump-trace=F,N, --list. The classic flags
+ * --scheme/--regs/--nrr/--rob/--miss/--mshrs/--wrongpath[-mem] are
+ * thin aliases onto the dotted parameters above.
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/params.hh"
 #include "sim/results_io.hh"
+#include "sim/sweep.hh"
 #include "trace/kernels/kernels.hh"
 #include "trace/trace_file.hh"
 
@@ -47,9 +61,10 @@ namespace
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [options] <benchmark | trace.vprt>\n"
-                 "run '" << argv0 << " --list' for benchmarks; see the "
-                 "file header for all options\n";
+              << " [options] <benchmark | trace.vprt | all>\n"
+                 "run '" << argv0 << " --list' for benchmarks, '"
+              << argv0 << " --help-params' for every settable\n"
+                 "parameter; see the file header for all options\n";
     std::exit(1);
 }
 
@@ -64,28 +79,44 @@ matchArg(const char *arg, const char *key, const char **value)
     return false;
 }
 
-RenameScheme
-parseScheme(const std::string &s)
-{
-    if (s == "conv")
-        return RenameScheme::Conventional;
-    if (s == "vp-wb")
-        return RenameScheme::VPAllocAtWriteback;
-    if (s == "vp-issue")
-        return RenameScheme::VPAllocAtIssue;
-    if (s == "conv-er")
-        return RenameScheme::ConventionalEarlyRelease;
-    std::cerr << "unknown scheme '" << s
-              << "' (conv|vp-wb|vp-issue|conv-er)\n";
-    std::exit(1);
-}
-
 bool
 endsWith(const std::string &s, const std::string &suffix)
 {
     return s.size() >= suffix.size() &&
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
                0;
+}
+
+/** Print the per-cell summary of an unsharded sweep: benchmark, the
+ *  swept values, and IPC, in cell order. */
+void
+printSweepTable(std::ostream &os, const std::vector<SweepAxis> &axes,
+                const std::vector<GridCell> &cells,
+                const std::vector<SimResults> &results)
+{
+    std::vector<std::size_t> widths;
+    os << std::left << std::setw(6) << "cell" << std::setw(12)
+       << "benchmark";
+    for (const SweepAxis &axis : axes) {
+        std::size_t w = axis.key.size();
+        for (const std::string &v : axis.values)
+            w = std::max(w, v.size());
+        widths.push_back(w + 2);
+        os << std::setw(static_cast<int>(w + 2)) << axis.key;
+    }
+    os << "ipc\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << std::left << std::setw(6) << i << std::setw(12)
+           << cells[i].benchmark;
+        SimConfig config = cells[i].config;
+        ConfigRegistry registry(config);
+        for (std::size_t a = 0; a < axes.size(); ++a)
+            os << std::setw(static_cast<int>(widths[a]))
+               << registry.get(axes[a].key);
+        os << std::fixed << std::setprecision(3) << results[i].ipc()
+           << "\n";
+        os.unsetf(std::ios::fixed);
+    }
 }
 
 } // namespace
@@ -99,9 +130,20 @@ main(int argc, char **argv)
     config.core.fetch.wrongPath = WrongPathMode::Stall;
 
     std::string target;
-    int nrr = -1;
+    std::string nrrText;  // remembered so --regs/--rob can reapply it
     std::string dumpSpec;
     std::string outPath;
+    std::string figure;
+    std::vector<SweepAxis> axes;
+    ShardSpec shard;
+    ConfigCliArgs cli;
+
+    // Legacy flags are thin aliases: they append the equivalent --set
+    // assignment, so interleavings with --set keep command-line order
+    // and the shared contract (--config loads first, --set wins) holds.
+    auto alias = [&cli](const std::string &key, const std::string &value) {
+        cli.assignments.push_back(key + "=" + value);
+    };
 
     for (int i = 1; i < argc; ++i) {
         const char *v = nullptr;
@@ -110,39 +152,49 @@ main(int argc, char **argv)
                 std::cout << info.name << (info.isFp ? "  [fp] " : " [int] ")
                           << info.sketch << "\n";
             return 0;
+        } else if (std::strcmp(argv[i], "--help-params") == 0) {
+            printParamHelp(std::cout);
+            return 0;
+        } else if (parseConfigArg(argc, argv, i, cli)) {
+            // --set / --set= / --config= / --dump-config taken.
+        } else if (matchArg(argv[i], "--sweep", &v)) {
+            axes.push_back(parseSweepAxis(v));
+        } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+            axes.push_back(parseSweepAxis(argv[++i]));
+        } else if (matchArg(argv[i], "--figure", &v)) {
+            figure = v;
+        } else if (matchArg(argv[i], "--shard", &v)) {
+            shard = parseShard(v);
         } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
-            config.core.fetch.wrongPath = WrongPathMode::Synthesize;
+            alias("core.fetch.wrong_path", "synthesize");
         } else if (std::strcmp(argv[i], "--wrongpath-mem") == 0) {
-            config.core.fetch.wrongPath = WrongPathMode::Synthesize;
-            config.core.fetch.wrongPathMem = true;
+            alias("core.fetch.wrong_path", "synthesize");
+            alias("core.fetch.wrong_path_mem", "1");
         } else if (matchArg(argv[i], "--out", &v)) {
             outPath = v;
         } else if (matchArg(argv[i], "--scheme", &v)) {
-            config.setScheme(parseScheme(v));
+            alias("core.scheme", v);
         } else if (matchArg(argv[i], "--regs", &v)) {
-            config.setPhysRegs(
-                static_cast<std::uint16_t>(std::atoi(v)), nrr);
+            alias("core.rename.regfile_size", v);
+            if (!nrrText.empty())
+                alias("core.rename.nrr", nrrText);
         } else if (matchArg(argv[i], "--nrr", &v)) {
-            nrr = std::atoi(v);
-            config.setNrr(static_cast<std::uint16_t>(nrr));
+            nrrText = v;
+            alias("core.rename.nrr", v);
         } else if (matchArg(argv[i], "--rob", &v)) {
-            std::size_t n = static_cast<std::size_t>(std::atoll(v));
-            config.core.robSize = n;
-            config.core.iqSize = n;
-            config.core.lsqSize = n;
-            config.setPhysRegs(config.core.rename.numPhysRegs, nrr);
+            alias("core.window", v);
+            if (!nrrText.empty())
+                alias("core.rename.nrr", nrrText);
         } else if (matchArg(argv[i], "--skip", &v)) {
-            config.skipInsts = std::strtoull(v, nullptr, 10);
+            alias("skip_insts", v);
         } else if (matchArg(argv[i], "--insts", &v)) {
-            config.measureInsts = std::strtoull(v, nullptr, 10);
+            alias("measure_insts", v);
         } else if (matchArg(argv[i], "--miss", &v)) {
-            config.core.cache.missPenalty =
-                static_cast<unsigned>(std::atoi(v));
+            alias("core.cache.miss_penalty", v);
         } else if (matchArg(argv[i], "--mshrs", &v)) {
-            config.core.cache.numMshrs =
-                static_cast<unsigned>(std::atoi(v));
+            alias("core.cache.num_mshrs", v);
         } else if (matchArg(argv[i], "--seed", &v)) {
-            config.seed = std::strtoull(v, nullptr, 10);
+            alias("seed", v);
         } else if (matchArg(argv[i], "--jobs", &v)) {
             config.jobs = parseJobs(v);
         } else if (matchArg(argv[i], "--dump-trace", &v)) {
@@ -152,6 +204,12 @@ main(int argc, char **argv)
         } else {
             target = argv[i];
         }
+    }
+
+    applyConfigCli(config, cli);
+    if (cli.dumpConfig) {
+        dumpConfig(std::cout, config);
+        return 0;
     }
     if (target.empty())
         usage(argv[0]);
@@ -169,13 +227,63 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!axes.empty()) {
+        // Declarative sweep: cross product of benchmarks x axes through
+        // the grid engine, sharded exactly like the bench binaries.
+        if (endsWith(target, ".vprt")) {
+            std::cerr << "--sweep needs a benchmark name or 'all', not "
+                         "a trace file\n";
+            return 1;
+        }
+        std::vector<std::string> benchmarks;
+        if (target == "all")
+            benchmarks = benchmarkNames();
+        else
+            benchmarks.push_back(target);
+
+        const std::vector<GridCell> cells =
+            buildSweepGrid(benchmarks, config, axes);
+        const std::vector<std::size_t> indices =
+            shardCellIndices(cells.size(), shard);
+        const std::vector<GridCell> selected =
+            selectCells(cells, indices);
+        const std::vector<SimResults> results =
+            runGrid(selected, config.jobs);
+
+        if (figure.empty())
+            figure = "vpr_sim-sweep";
+        if (!outPath.empty())
+            writeResultsFile(outPath, figure, shard, indices, cells,
+                             results);
+
+        if (shard.active()) {
+            std::cout << "shard " << shard.index << "/" << shard.count
+                      << ": ran " << selected.size() << " of "
+                      << cells.size() << " sweep cells";
+            if (!outPath.empty())
+                std::cout << "; records written to " << outPath;
+            else
+                std::cout << " (no --out; records discarded)";
+            std::cout << "\n";
+            return 0;
+        }
+        printSweepTable(std::cout, axes, cells, results);
+        return 0;
+    }
+
+    if (shard.active()) {
+        std::cerr << "--shard only applies to --sweep runs\n";
+        return 1;
+    }
+
     // --out: one record per run. Every index of the run's grid is
-    // exported (vpr_sim never shards; the bench binaries do).
-    auto exportRecords = [&outPath](const std::string &figure,
+    // exported (non-sweep vpr_sim runs never shard; the bench binaries
+    // and --sweep do).
+    auto exportRecords = [&outPath](const std::string &figureName,
                                     const std::vector<GridCell> &cells,
                                     const std::vector<SimResults> &results) {
         if (!outPath.empty())
-            exportAllCells(outPath, figure, cells, results);
+            exportAllCells(outPath, figureName, cells, results);
     };
 
     if (target == "all") {
@@ -184,7 +292,8 @@ main(int argc, char **argv)
         for (const auto &name : benchmarkNames())
             cells.push_back({name, config});
         std::vector<SimResults> results = runGrid(cells, config.jobs);
-        exportRecords("vpr_sim-all", cells, results);
+        exportRecords(figure.empty() ? "vpr_sim-all" : figure, cells,
+                      results);
 
         printTableHeader(std::cout,
                          std::string("IPC, scheme=") +
@@ -204,6 +313,8 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (figure.empty())
+        figure = "vpr_sim";
     if (endsWith(target, ".vprt")) {
         FileTraceStream stream(target);
         // Finite trace: keep the warm-up from swallowing it whole.
@@ -212,12 +323,12 @@ main(int argc, char **argv)
         Simulator sim(stream, config);
         SimResults r = sim.run();
         sim.printReport(std::cout, r);
-        exportRecords("vpr_sim", {{target, config}}, {r});
+        exportRecords(figure, {{target, config}}, {r});
     } else {
         Simulator sim(target, config);
         SimResults r = sim.run();
         sim.printReport(std::cout, r);
-        exportRecords("vpr_sim", {{target, config}}, {r});
+        exportRecords(figure, {{target, config}}, {r});
     }
     return 0;
 }
