@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "branch/bht.hh"
 #include "common/random.hh"
 #include "core/core.hh"
 #include "core/iq.hh"
+#include "core/lsq.hh"
 #include "memory/cache.hh"
 #include "rename/conventional.hh"
 #include "rename/virtual_physical.hh"
@@ -110,6 +113,7 @@ void
 BM_IqWakeup(benchmark::State &state)
 {
     InstQueue iq(128);
+    iq.setTrackReady(false);  // no stage drains the ready list here
     std::vector<DynInst> insts(128);
     for (std::size_t i = 0; i < insts.size(); ++i) {
         insts[i] = makeAlu(i + 1);
@@ -135,6 +139,7 @@ void
 BM_IqRemoveReinsert(benchmark::State &state)
 {
     InstQueue iq(128);
+    iq.setTrackReady(false);  // no stage drains the ready list here
     std::vector<DynInst> insts(128);
     for (std::size_t i = 0; i < insts.size(); ++i) {
         insts[i] = makeAlu(i + 1);
@@ -148,6 +153,70 @@ BM_IqRemoveReinsert(benchmark::State &state)
     }
 }
 BENCHMARK(BM_IqRemoveReinsert);
+
+/** LSQ fixture: 96 in-flight memory ops, every store's address known,
+ *  plus one ready load checked against them — the common case the
+ *  disambiguation path pays for on every load issue. */
+class LsqDisambigFixture
+{
+  public:
+    explicit LsqDisambigFixture(bool scanDisambig) : lsq(128)
+    {
+        lsq.setScanDisambig(scanDisambig);
+        insts.reserve(97);
+        for (InstSeqNum sn = 1; sn <= 96; ++sn) {
+            Addr addr = 0x1000 + (sn * 24) % 1024;
+            DynInst d;
+            if (sn % 3 == 0) {
+                d.si = StaticInst::store(RegId::intReg(3),
+                                         RegId::intReg(2), addr);
+            } else {
+                d.si = StaticInst::load(RegId::intReg(1),
+                                        RegId::intReg(2), addr);
+            }
+            d.seq = sn;
+            insts.push_back(d);
+            lsq.insert(&insts.back());
+            if (d.si.isStore()) {
+                insts.back().addrReady = true;
+                insts.back().addrReadyCycle = sn;
+                lsq.onStoreAddrComputed(&insts.back());
+            }
+        }
+        DynInst probe;
+        probe.si = StaticInst::load(RegId::intReg(1), RegId::intReg(2),
+                                    0x4000);  // no conflict: full walk
+        probe.seq = 97;
+        insts.push_back(probe);
+        lsq.insert(&insts.back());
+    }
+
+    LoadCheck check() { return lsq.disambiguate(&insts.back(), 200); }
+
+  private:
+    Lsq lsq;
+    std::vector<DynInst> insts;
+};
+
+/** Legacy reverse-scan disambiguation over a full queue. */
+void
+BM_LsqDisambigScan(benchmark::State &state)
+{
+    LsqDisambigFixture f(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.check());
+}
+BENCHMARK(BM_LsqDisambigScan);
+
+/** Address-indexed store-table disambiguation, same queue contents. */
+void
+BM_LsqDisambigTable(benchmark::State &state)
+{
+    LsqDisambigFixture f(false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.check());
+}
+BENCHMARK(BM_LsqDisambigTable);
 
 /** Non-blocking cache: streaming accesses (25% miss). */
 void
@@ -179,20 +248,59 @@ BM_BhtPredict(benchmark::State &state)
 }
 BENCHMARK(BM_BhtPredict);
 
-/** End-to-end simulator throughput (cycles/second) on one kernel. */
+/** End-to-end simulator throughput on one kernel. With `legacyScans`
+ *  the cycle loop runs every reference scan (full-queue wakeup, full
+ *  oldest-first issue walk, reverse LSQ disambiguation) instead of the
+ *  event-driven scheduler core — the two rows report the scheduler
+ *  speedup as a number, byte-identical results guaranteed by the
+ *  determinism tests. */
 void
-BM_SimulatorEndToEnd(benchmark::State &state)
+simulatorEndToEnd(benchmark::State &state, const char *kernel,
+                  bool legacyScans)
 {
     for (auto _ : state) {
         SimConfig config = paperConfig();
         config.skipInsts = 0;
         config.measureInsts = 20000;
         config.core.fetch.wrongPath = WrongPathMode::Stall;
-        Simulator sim("swim", config);
+        config.core.iqScanWakeup = legacyScans;
+        config.core.iqScanIssue = legacyScans;
+        config.core.lsqScanDisambig = legacyScans;
+        Simulator sim(kernel, config);
         benchmark::DoNotOptimize(sim.run().ipc());
     }
 }
+
+void
+BM_SimulatorEndToEnd(benchmark::State &state)
+{
+    simulatorEndToEnd(state, "swim", false);
+}
 BENCHMARK(BM_SimulatorEndToEnd)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorEndToEndLegacyScans(benchmark::State &state)
+{
+    simulatorEndToEnd(state, "swim", true);
+}
+BENCHMARK(BM_SimulatorEndToEndLegacyScans)->Unit(benchmark::kMillisecond);
+
+/** The same pair on a pointer-chasing integer kernel (more loads held
+ *  on store addresses, so the LSQ path weighs more). */
+void
+BM_SimulatorEndToEndCompress(benchmark::State &state)
+{
+    simulatorEndToEnd(state, "compress", false);
+}
+BENCHMARK(BM_SimulatorEndToEndCompress)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorEndToEndCompressLegacyScans(benchmark::State &state)
+{
+    simulatorEndToEnd(state, "compress", true);
+}
+BENCHMARK(BM_SimulatorEndToEndCompressLegacyScans)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -36,9 +36,21 @@ CoreConfig::visitParams(ParamVisitor &v)
                   RenameScheme::ConventionalEarlyRelease},
                  {"conv-er", RenameScheme::ConventionalEarlyRelease}},
                 "register-renaming scheme");
-    v.boolParam("iq_scan_wakeup", iqScanWakeup,
+    v.pushGroup("iq");
+    v.boolParam("scan_wakeup", iqScanWakeup,
                 "use the legacy full-queue IQ wakeup scan instead of "
                 "per-tag wait lists (schedules are byte-identical)");
+    v.boolParam("scan_issue", iqScanIssue,
+                "use the legacy full-queue oldest-first issue scan "
+                "instead of the event-driven ready list (schedules are "
+                "byte-identical)");
+    v.popGroup();
+    v.pushGroup("lsq");
+    v.boolParam("scan_disambig", lsqScanDisambig,
+                "use the legacy reverse-scan memory disambiguation "
+                "instead of the address-indexed store table (schedules "
+                "are byte-identical)");
+    v.popGroup();
     v.boolParam("invariant_checks", invariantChecks,
                 "run the renamer's invariant self-check every 64 cycles");
     v.uintParam("deadlock_threshold", deadlockThreshold,

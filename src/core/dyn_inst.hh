@@ -32,6 +32,17 @@ enum class InstPhase : std::uint8_t
     Squashed    ///< removed by branch recovery (slot may be reused)
 };
 
+/** Why a load cannot begin its memory access yet (LSQ disambiguation).
+ *  Lives here rather than in lsq.hh because each load carries its most
+ *  recent hold state (DynInst::lastHold). */
+enum class LoadHold : std::uint8_t
+{
+    Ready,          ///< may access the cache
+    Forward,        ///< older matching store will forward its data
+    UnknownAddress, ///< an older store's address is not known yet
+    PartialOverlap  ///< overlaps an older store but cannot forward
+};
+
 /** One renamed source operand (Src/R fields of Figure 2). */
 struct SrcOperand
 {
@@ -68,6 +79,11 @@ struct DynInst
     /** Maintained by InstQueue: true while this instruction is resident
      *  in the IQ (validates per-tag wakeup wait-list entries). */
     bool inIq = false;
+    /** Maintained by InstQueue/IssueStage: true while the instruction is
+     *  owned by the event-driven issue scheduler (published on the ready
+     *  list or parked on a stall list / LSQ hold subscription). Guards
+     *  against publishing the same instruction twice. */
+    bool inReadyQ = false;
     bool mispredictedBranch = false;
     unsigned executions = 0;    ///< times issued (re-execution counter)
 
@@ -81,6 +97,12 @@ struct DynInst
     bool addrReady = false;     ///< effective address computed
     Cycle addrReadyCycle = kNoCycle;
     bool storeForwarded = false; ///< load got data from an older store
+    /** Most recent disambiguation outcome of this load. Hold statistics
+     *  count *episodes* (transitions into a blocking state), so the
+     *  event-driven scheduler — which re-checks a held load only when
+     *  the blocking store resolves — and the legacy every-cycle scan
+     *  account identically. */
+    LoadHold lastHold = LoadHold::Ready;
 
     bool hasDest() const { return si.hasDest(); }
     RegClass destClass() const { return si.dest.regClass(); }
@@ -115,6 +137,16 @@ struct DynInst
 
     /** Debug rendering: seq, phase and disassembly. */
     std::string toString() const;
+};
+
+/** A published/parked scheduler entry (IQ ready list, issue-stage stall
+ *  lists, LSQ hold subscriptions): @p inst is valid while the
+ *  instruction is still resident with the recorded sequence number —
+ *  the same lazy-staleness idiom as the wakeup wait lists. */
+struct ReadyRef
+{
+    DynInst *inst;
+    InstSeqNum seq;
 };
 
 } // namespace vpr

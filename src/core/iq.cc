@@ -30,6 +30,7 @@ InstQueue::insert(DynInst *inst)
     VPR_ASSERT(!full(), "insert into full IQ");
     inst->inIq = true;
     addWaiters(inst);
+    maybePublishReady(inst);
     if (list.empty() || list.back()->seq < inst->seq) {
         list.push_back(inst);
         return;
@@ -52,6 +53,7 @@ InstQueue::remove(DynInst *inst)
     VPR_ASSERT(it != list.end() && *it == inst,
                "IQ remove: entry not present");
     inst->inIq = false;
+    inst->inReadyQ = false;
     list.erase(it);
 }
 
@@ -60,6 +62,7 @@ InstQueue::removeAt(std::size_t i)
 {
     VPR_ASSERT(i < list.size(), "IQ removeAt: index out of range");
     list[i]->inIq = false;
+    list[i]->inReadyQ = false;
     list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
@@ -68,6 +71,7 @@ InstQueue::squashYoungerThan(InstSeqNum seq)
 {
     while (!list.empty() && list.back()->seq > seq) {
         list.back()->inIq = false;
+        list.back()->inReadyQ = false;
         list.pop_back();
     }
 }
@@ -75,11 +79,14 @@ InstQueue::squashYoungerThan(InstSeqNum seq)
 void
 InstQueue::clear()
 {
-    for (DynInst *inst : list)
+    for (DynInst *inst : list) {
         inst->inIq = false;
+        inst->inReadyQ = false;
+    }
     list.clear();
     for (auto &lists : waitLists)
         lists.clear();
+    readyEvents.clear();
 }
 
 unsigned
@@ -91,13 +98,17 @@ InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
     if (scanWakeup) {
         // Reference path: scan every queue entry for matching sources.
         for (DynInst *inst : list) {
+            bool touched = false;
             for (auto &s : inst->src) {
                 if (s.valid && !s.ready && s.cls == cls && s.tag == tag) {
                     s.tag = physReg;
                     s.ready = true;
+                    touched = true;
                     ++nWoken;
                 }
             }
+            if (touched)
+                maybePublishReady(inst);
         }
         woken += nWoken;
         return nWoken;
@@ -123,6 +134,7 @@ InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
         s.tag = physReg;
         s.ready = true;
         ++nWoken;
+        maybePublishReady(w.inst);
     }
     woken += nWoken;
     return nWoken;

@@ -18,6 +18,16 @@
  * full-queue scan is kept behind setScanWakeup() as a reference
  * implementation; a determinism test asserts both paths produce
  * byte-identical results.
+ *
+ * Selection is event-driven the same way: the queue *publishes* an
+ * instruction onto its ready list at the exact moment its last
+ * issue-relevant source operand wakes (or at insert, if it arrives
+ * ready). IssueStage drains the ready list each cycle instead of
+ * walking the whole queue; entries that fail structural checks are
+ * re-parked by the stage on per-resource stall lists. Stale ready
+ * entries (issued/squashed/slot-reused) are dropped lazily via the
+ * seq + inIq check; the DynInst::inReadyQ flag guarantees each
+ * resident instruction is published at most once.
  */
 
 #ifndef VPR_CORE_IQ_HH
@@ -56,7 +66,8 @@ class InstQueue
      * Insert @p inst keeping age order. Newly renamed instructions go to
      * the back; re-inserted (squashed-at-writeback) instructions find
      * their place by sequence number. Unready sources are recorded in
-     * the wakeup wait lists.
+     * the wakeup wait lists; an instruction whose issue operands are
+     * already ready is published on the ready list.
      */
     void insert(DynInst *inst);
 
@@ -74,8 +85,8 @@ class InstQueue
         return list[i];
     }
 
-    /** Remove the entry at age-order position @p i — the issue path,
-     *  where the caller already knows the position. */
+    /** Remove the entry at age-order position @p i — the legacy issue
+     *  scan, where the caller already knows the position. */
     void removeAt(std::size_t i);
 
     /** Remove every entry younger than @p seq (branch recovery). */
@@ -83,12 +94,14 @@ class InstQueue
 
     /**
      * Broadcast a completed value: sources of class @p cls waiting on
-     * @p tag become ready and capture @p physReg.
+     * @p tag become ready and capture @p physReg. An instruction whose
+     * last issue-relevant source wakes is published on the ready list.
      * @return number of source operands woken.
      */
     unsigned wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg);
 
-    /** Age-ordered entries, oldest first (selection scans this). */
+    /** Age-ordered entries, oldest first (the legacy selection scans
+     *  this). */
     const std::vector<DynInst *> &entries() const { return list; }
 
     void clear();
@@ -97,6 +110,25 @@ class InstQueue
      *  (reference path for the determinism test). Must be selected
      *  before the first insert. */
     void setScanWakeup(bool scan) { scanWakeup = scan; }
+
+    /** Publish ready instructions for the event-driven issue stage
+     *  (off when the legacy issue scan is selected, so the unconsumed
+     *  ready list cannot grow without bound). Must be selected before
+     *  the first insert. */
+    void setTrackReady(bool track) { trackReady = track; }
+
+    /**
+     * Move this cycle's newly published ready instructions into
+     * @p out (appended; publication order, not seq order — the issue
+     * stage sorts its merged candidate list). Entries stay owned by the
+     * scheduler (inReadyQ remains set) until they issue or vanish.
+     */
+    void
+    drainReadyEvents(std::vector<ReadyRef> &out)
+    {
+        out.insert(out.end(), readyEvents.begin(), readyEvents.end());
+        readyEvents.clear();
+    }
 
     /** Record this cycle's occupancy (called once per cycle). */
     void sampleOccupancy() { occupancy.sample(list.size()); }
@@ -117,11 +149,26 @@ class InstQueue
     /** Record every unready source of @p inst in the wait lists. */
     void addWaiters(DynInst *inst);
 
+    /** Publish @p inst on the ready list if it is issue-ready and not
+     *  already owned by the scheduler. */
+    void
+    maybePublishReady(DynInst *inst)
+    {
+        if (!trackReady || inst->inReadyQ || !inst->issueOperandsReady())
+            return;
+        inst->inReadyQ = true;
+        readyEvents.push_back({inst, inst->seq});
+    }
+
     std::size_t cap;
     std::vector<DynInst *> list;  ///< sorted by seq, oldest first
     /** Wait lists per register class, indexed by tag (grown on use). */
     std::vector<std::vector<Waiter>> waitLists[kNumRegClasses];
+    /** Instructions published since the last drain (event-driven
+     *  selection). */
+    std::vector<ReadyRef> readyEvents;
     bool scanWakeup = false;
+    bool trackReady = true;
 
     stats::StatGroup group{"iq"};
     stats::Distribution occupancy;

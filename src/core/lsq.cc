@@ -7,6 +7,18 @@
 namespace vpr
 {
 
+Addr
+Lsq::firstLine(const DynInst *m)
+{
+    return m->si.effAddr >> kLineShift;
+}
+
+Addr
+Lsq::lastLine(const DynInst *m)
+{
+    return (m->si.effAddr + m->si.memSize - 1) >> kLineShift;
+}
+
 void
 Lsq::insert(DynInst *inst)
 {
@@ -15,6 +27,116 @@ Lsq::insert(DynInst *inst)
     VPR_ASSERT(list.empty() || list.back()->seq < inst->seq,
                "LSQ insert out of program order");
     list.push_back(inst);
+    // A store enters with its address unknown; program order keeps the
+    // unknown list seq-sorted by construction.
+    if (inst->isStore())
+        unknownStores.push_back({inst, inst->seq});
+}
+
+void
+Lsq::eraseUnknown(InstSeqNum seq)
+{
+    auto it = std::lower_bound(
+        unknownStores.begin(), unknownStores.end(), seq,
+        [](const ReadyRef &r, InstSeqNum s) { return r.seq < s; });
+    if (it != unknownStores.end() && it->seq == seq)
+        unknownStores.erase(it);
+}
+
+void
+Lsq::flushKnown(Cycle now)
+{
+    // Address visibility cycles are handed in nondecreasing order
+    // (issue assigns now + 1 with a monotonic clock), so the pending
+    // list is a FIFO.
+    while (!pendingKnown.empty() && pendingKnown.front().second <= now) {
+        eraseUnknown(pendingKnown.front().first);
+        pendingKnown.pop_front();
+    }
+}
+
+void
+Lsq::eraseLineEntries(DynInst *store)
+{
+    if (!store->addrReady)
+        return;  // never indexed
+    for (Addr l = firstLine(store); l <= lastLine(store); ++l) {
+        auto it = lineTable.find(l);
+        if (it == lineTable.end())
+            continue;
+        auto &bucket = it->second;
+        bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                    [store](const ReadyRef &r) {
+                                        return r.inst == store;
+                                    }),
+                     bucket.end());
+        if (bucket.empty())
+            lineTable.erase(it);
+    }
+}
+
+void
+Lsq::releaseSubs(InstSeqNum seq, Cycle wake)
+{
+    auto it = holdSubs.find(seq);
+    if (it == holdSubs.end())
+        return;
+    for (const ReadyRef &r : it->second)
+        pendingRelease.push_back({r.inst, r.seq, wake});
+    holdSubs.erase(it);
+}
+
+void
+Lsq::onStoreAddrComputed(DynInst *inst)
+{
+    VPR_ASSERT(inst->isStore() && inst->addrReady,
+               "address-computed hook without a computed address");
+    for (Addr l = firstLine(inst); l <= lastLine(inst); ++l)
+        lineTable[l].push_back({inst, inst->seq});
+    // The address is visible from addrReadyCycle on; until then the
+    // store still counts as unknown (checked lazily against the cycle),
+    // and the unknown-list entry is flushed once the cycle passes. The
+    // flush relies on visibility cycles arriving in nondecreasing order
+    // (issue assigns now + 1 with a monotonic clock).
+    VPR_ASSERT(pendingKnown.empty() ||
+                   pendingKnown.back().second <= inst->addrReadyCycle,
+               "store address visibility cycles must be monotone");
+    pendingKnown.push_back({inst->seq, inst->addrReadyCycle});
+    releaseSubs(inst->seq, inst->addrReadyCycle);
+}
+
+void
+Lsq::subscribeHold(DynInst *load, const DynInst *blocker, LoadHold hold)
+{
+    VPR_ASSERT(blocker && blocker->isStore(),
+               "hold subscription without a blocking store");
+    VPR_ASSERT(hold == LoadHold::UnknownAddress ||
+                   hold == LoadHold::PartialOverlap,
+               "subscribing a load that is not held");
+    if (hold == LoadHold::UnknownAddress && blocker->addrReady) {
+        // The blocker computed its address earlier this cycle, so its
+        // release event already fired; park directly on the pending
+        // list, due when the address becomes visible.
+        pendingRelease.push_back(
+            {load, load->seq, blocker->addrReadyCycle});
+        return;
+    }
+    // UnknownAddress releases at address computation, PartialOverlap at
+    // the blocker's commit (remove) — both via the blocker's seq.
+    holdSubs[blocker->seq].push_back({load, load->seq});
+}
+
+void
+Lsq::takeReadyHolds(Cycle now, std::vector<ReadyRef> &out)
+{
+    std::size_t keep = 0;
+    for (const HoldRelease &r : pendingRelease) {
+        if (r.wake <= now)
+            out.push_back({r.inst, r.seq});
+        else
+            pendingRelease[keep++] = r;
+    }
+    pendingRelease.resize(keep);
 }
 
 void
@@ -23,20 +145,45 @@ Lsq::remove(DynInst *inst)
     auto it = std::find(list.begin(), list.end(), inst);
     VPR_ASSERT(it != list.end(), "LSQ remove: entry not present");
     list.erase(it);
+    if (inst->isStore()) {
+        eraseLineEntries(inst);
+        eraseUnknown(inst->seq);
+        // Commit ticks before issue, so loads held on this store may
+        // re-attempt this very cycle — as the legacy re-scan would.
+        releaseSubs(inst->seq, 0);
+    }
 }
 
 void
 Lsq::squashYoungerThan(InstSeqNum seq)
 {
-    while (!list.empty() && list.back()->seq > seq)
+    while (!list.empty() && list.back()->seq > seq) {
+        DynInst *inst = list.back();
+        if (inst->isStore()) {
+            eraseLineEntries(inst);
+            eraseUnknown(inst->seq);
+            // Subscribers are younger than their blocker: all squashed
+            // with it, so the subscriptions die outright.
+            holdSubs.erase(inst->seq);
+        }
         list.pop_back();
+    }
 }
 
-LoadHold
-Lsq::checkLoad(const DynInst *load, Cycle now) const
+void
+Lsq::clear()
 {
-    VPR_ASSERT(load->isLoad(), "checkLoad on non-load");
+    list.clear();
+    lineTable.clear();
+    unknownStores.clear();
+    pendingKnown.clear();
+    holdSubs.clear();
+    pendingRelease.clear();
+}
 
+LoadCheck
+Lsq::scanCheck(const DynInst *load, Cycle now) const
+{
     // Walk older entries from youngest to oldest so the *nearest*
     // matching store decides forwarding.
     for (auto it = list.rbegin(); it != list.rend(); ++it) {
@@ -46,7 +193,7 @@ Lsq::checkLoad(const DynInst *load, Cycle now) const
         if (!other->isStore())
             continue;
         if (!other->addrReady || other->addrReadyCycle > now)
-            return LoadHold::UnknownAddress;
+            return {LoadHold::UnknownAddress, other};
         if (!overlap(other->si.effAddr, other->si.memSize,
                      load->si.effAddr, load->si.memSize))
             continue;
@@ -54,11 +201,76 @@ Lsq::checkLoad(const DynInst *load, Cycle now) const
         if (other->si.effAddr <= load->si.effAddr &&
             other->si.effAddr + other->si.memSize >=
                 load->si.effAddr + load->si.memSize) {
-            return LoadHold::Forward;
+            return {LoadHold::Forward, other};
         }
-        return LoadHold::PartialOverlap;
+        return {LoadHold::PartialOverlap, other};
     }
-    return LoadHold::Ready;
+    return {LoadHold::Ready, nullptr};
+}
+
+LoadCheck
+Lsq::disambiguate(const DynInst *load, Cycle now)
+{
+    VPR_ASSERT(load->isLoad(), "checkLoad on non-load");
+    if (scanDisambig)
+        return scanCheck(load, now);
+
+    flushKnown(now);
+
+    // Youngest older store whose address is still unknown at `now` (the
+    // unknown-address watermark). Entries whose visibility cycle has
+    // not passed yet are still pending in the FIFO, hence the lazy
+    // cycle check.
+    const DynInst *unknown = nullptr;
+    InstSeqNum unknownSeq = 0;
+    for (auto it = unknownStores.rbegin(); it != unknownStores.rend();
+         ++it) {
+        if (it->seq >= load->seq)
+            continue;
+        const DynInst *st = it->inst;
+        if (st->addrReady && st->addrReadyCycle <= now)
+            continue;  // visible now; flush is still pending
+        unknown = st;
+        unknownSeq = it->seq;
+        break;
+    }
+
+    // Youngest older store with a visible overlapping address, found
+    // through the line table (an access touches at most two lines).
+    const DynInst *ovl = nullptr;
+    InstSeqNum ovlSeq = 0;
+    for (Addr l = firstLine(load); l <= lastLine(load); ++l) {
+        auto it = lineTable.find(l);
+        if (it == lineTable.end())
+            continue;
+        for (const ReadyRef &ref : it->second) {
+            if (ref.seq >= load->seq)
+                continue;
+            if (ovl && ref.seq <= ovlSeq)
+                continue;  // already have a younger candidate
+            const DynInst *st = ref.inst;
+            if (!st->addrReady || st->addrReadyCycle > now)
+                continue;  // counts as unknown, handled above
+            if (!overlap(st->si.effAddr, st->si.memSize,
+                         load->si.effAddr, load->si.memSize))
+                continue;
+            ovl = st;
+            ovlSeq = ref.seq;
+        }
+    }
+
+    // The *youngest* decisive store wins, exactly as the reverse scan
+    // encounters it first.
+    if (!unknown && !ovl)
+        return {LoadHold::Ready, nullptr};
+    if (unknown && (!ovl || unknownSeq > ovlSeq))
+        return {LoadHold::UnknownAddress, unknown};
+    if (ovl->si.effAddr <= load->si.effAddr &&
+        ovl->si.effAddr + ovl->si.memSize >=
+            load->si.effAddr + load->si.memSize) {
+        return {LoadHold::Forward, ovl};
+    }
+    return {LoadHold::PartialOverlap, ovl};
 }
 
 void

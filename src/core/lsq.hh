@@ -7,6 +7,22 @@
  * stores only once every older store's address is known; a load whose
  * address matches an older store forwards the store's data instead of
  * accessing the cache. Stores update the data cache at commit.
+ *
+ * Disambiguation is resolved through an address-indexed store table
+ * instead of scanning the queue: in-flight stores with computed
+ * addresses are hashed at disambiguation-line granularity (16 bytes,
+ * >= the largest access, so any overlapping store shares a line with
+ * the load), and stores whose addresses are still unknown sit on a
+ * seq-sorted watermark list. A load's check reduces to "youngest older
+ * store that is unknown or overlaps" — O(1) expected instead of
+ * O(queue). The legacy reverse scan survives behind setScanDisambig()
+ * as a reference path; a determinism test asserts both byte-identical.
+ *
+ * Holds are events, not polls: the issue stage subscribes a held load
+ * to its blocking store (subscribeHold), the blocker's address
+ * computation or commit releases the subscription, and takeReadyHolds()
+ * hands the re-attemptable loads back to the issue stage at exactly the
+ * cycle the legacy every-cycle re-scan would have unblocked them.
  */
 
 #ifndef VPR_CORE_LSQ_HH
@@ -14,6 +30,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
@@ -21,13 +39,12 @@
 namespace vpr
 {
 
-/** Why a load cannot begin its memory access yet. */
-enum class LoadHold : std::uint8_t
+/** A disambiguation verdict: the hold and the store that caused it
+ *  (null when Ready). */
+struct LoadCheck
 {
-    Ready,          ///< may access the cache
-    Forward,        ///< older matching store will forward its data
-    UnknownAddress, ///< an older store's address is not known yet
-    PartialOverlap  ///< overlaps an older store but cannot forward
+    LoadHold hold = LoadHold::Ready;
+    const DynInst *blocker = nullptr;
 };
 
 /** The load/store queue (a single age-ordered structure). */
@@ -53,17 +70,52 @@ class Lsq
     /** Insert a memory instruction at rename (program order). */
     void insert(DynInst *inst);
 
-    /** Remove the entry for @p inst (at commit). */
+    /** Remove the entry for @p inst (at commit). A removed store
+     *  releases the hold subscriptions parked on it, due this cycle
+     *  (commit ticks before issue). */
     void remove(DynInst *inst);
 
     /** Remove every entry younger than @p seq (branch recovery). */
     void squashYoungerThan(InstSeqNum seq);
 
     /**
-     * Disambiguation check for @p load at cycle @p now: scan older
-     * entries for stores with unknown or conflicting addresses.
+     * Disambiguation check for @p load at cycle @p now: find the
+     * youngest older store with an unknown or conflicting address.
+     * Table path by default; setScanDisambig(true) selects the legacy
+     * youngest-to-oldest queue scan (byte-identical results).
      */
-    LoadHold checkLoad(const DynInst *load, Cycle now) const;
+    LoadCheck disambiguate(const DynInst *load, Cycle now);
+
+    /** Hold-only convenience wrapper around disambiguate(). */
+    LoadHold
+    checkLoad(const DynInst *load, Cycle now)
+    {
+        return disambiguate(load, now).hold;
+    }
+
+    /**
+     * The store @p inst computed its effective address (issue stage,
+     * first execution): index it in the line table and release its
+     * unknown-address hold subscriptions at the address's visibility
+     * cycle (inst->addrReadyCycle, set by the caller).
+     */
+    void onStoreAddrComputed(DynInst *inst);
+
+    /**
+     * Park @p load until @p blocker resolves: an UnknownAddress hold
+     * releases when the blocker's address becomes visible, a
+     * PartialOverlap hold when the blocker leaves the queue at commit.
+     */
+    void subscribeHold(DynInst *load, const DynInst *blocker,
+                       LoadHold hold);
+
+    /** Append the held loads whose release is due at @p now to @p out
+     *  (the issue stage validates and sorts them). */
+    void takeReadyHolds(Cycle now, std::vector<ReadyRef> &out);
+
+    /** Use the legacy full-queue disambiguation scan (reference path
+     *  for the determinism test). */
+    void setScanDisambig(bool scan) { scanDisambig = scan; }
 
     /** Statistics. @{ */
     std::uint64_t forwards() const { return nForwards.value(); }
@@ -85,17 +137,68 @@ class Lsq
 
     const std::deque<DynInst *> &entries() const { return list; }
 
-    void clear() { list.clear(); }
+    void clear();
 
   private:
+    /** Disambiguation granularity: 16-byte lines, >= the largest
+     *  access size, so an overlapping store always shares at least one
+     *  line with the load and each access touches at most two lines. */
+    static constexpr unsigned kLineShift = 4;
+
+    /** A released hold waiting for its wake cycle. */
+    struct HoldRelease
+    {
+        DynInst *inst;
+        InstSeqNum seq;
+        Cycle wake;
+    };
+
     static bool
     overlap(Addr a, unsigned aSize, Addr b, unsigned bSize)
     {
         return a < b + bSize && b < a + aSize;
     }
 
+    /** First and last disambiguation lines touched by an access. */
+    static Addr firstLine(const DynInst *m);
+    static Addr lastLine(const DynInst *m);
+
+    /** Legacy reference path: reverse queue walk. */
+    LoadCheck scanCheck(const DynInst *load, Cycle now) const;
+
+    /** Erase @p seq from the unknown-address list if present. */
+    void eraseUnknown(InstSeqNum seq);
+
+    /** Drop the due entries of pendingKnown (stores whose addresses
+     *  became visible by @p now) from the unknown list. */
+    void flushKnown(Cycle now);
+
+    /** Remove a store's line-table entries (commit or squash). */
+    void eraseLineEntries(DynInst *store);
+
+    /** Move the subscribers of blocker @p seq to the pending-release
+     *  list with wake cycle @p wake. */
+    void releaseSubs(InstSeqNum seq, Cycle wake);
+
     std::size_t cap;
     std::deque<DynInst *> list;  ///< program order, front = oldest
+
+    /** Line address -> in-flight stores with computed addresses. */
+    std::unordered_map<Addr, std::vector<ReadyRef>> lineTable;
+    /** Stores whose addresses are not visible yet, seq-ascending (the
+     *  back is the unknown-address watermark). */
+    std::vector<ReadyRef> unknownStores;
+    /** FIFO of (store seq, visibility cycle): a computed address stays
+     *  "unknown" until its cycle passes, then the unknown-list entry is
+     *  flushed eagerly so queries never wade through stale entries. */
+    std::deque<std::pair<InstSeqNum, Cycle>> pendingKnown;
+
+    /** Blocking-store seq -> loads parked on it. */
+    std::unordered_map<InstSeqNum, std::vector<ReadyRef>> holdSubs;
+    /** Released holds waiting for their wake cycle. */
+    std::vector<HoldRelease> pendingRelease;
+
+    bool scanDisambig = false;
 
     stats::StatGroup group{"lsq"};
     stats::Distribution occupancy;

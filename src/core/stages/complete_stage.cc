@@ -1,9 +1,29 @@
 #include "core/stages/complete_stage.hh"
 
 #include "common/logging.hh"
+#include "isa/op_class.hh"
 
 namespace vpr
 {
+
+CompleteStage::CompleteStage(PipelineState &state,
+                             CompletionQueue &completionQueue,
+                             FetchRedirectPort &redirectPort,
+                             SquashCoordinator &squashCoordinator)
+    : s(state), completions(completionQueue), redirect(redirectPort),
+      squasher(squashCoordinator)
+{
+    group.add(&wbRejections);
+    issueToComplete.reserve(kNumOpClasses);
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        issueToComplete.push_back(stats::Distribution::evenBuckets(
+            std::string("issue_to_complete.") +
+                opClassName(static_cast<OpClass>(i)),
+            "cycles from issue to completion", 0, 64, 16));
+        group.add(&issueToComplete.back());
+    }
+    s.statsTree.add(&group);
+}
 
 void
 CompleteStage::tick()
@@ -33,6 +53,8 @@ CompleteStage::tick()
 
         inst->phase = InstPhase::Completed;
         inst->completeCycle = now;
+        issueToComplete[static_cast<std::size_t>(inst->si.op)].sample(
+            now - inst->issueCycle);
 
         if (inst->hasDest()) {
             VPR_ASSERT(inst->physReg != kNoReg,

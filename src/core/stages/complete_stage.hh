@@ -11,6 +11,8 @@
 #ifndef VPR_CORE_STAGES_COMPLETE_STAGE_HH
 #define VPR_CORE_STAGES_COMPLETE_STAGE_HH
 
+#include <vector>
+
 #include "common/stats.hh"
 #include "core/stages/latches.hh"
 #include "core/stages/pipeline_state.hh"
@@ -25,13 +27,7 @@ class CompleteStage : public Stage
   public:
     CompleteStage(PipelineState &state, CompletionQueue &completionQueue,
                   FetchRedirectPort &redirectPort,
-                  SquashCoordinator &squashCoordinator)
-        : s(state), completions(completionQueue), redirect(redirectPort),
-          squasher(squashCoordinator)
-    {
-        group.add(&wbRejections);
-        s.statsTree.add(&group);
-    }
+                  SquashCoordinator &squashCoordinator);
 
     const char *name() const override { return "complete"; }
 
@@ -52,6 +48,9 @@ class CompleteStage : public Stage
     stats::StatGroup group{"complete"};
     stats::Scalar wbRejections{"wb_rejections",
                                "write-back allocation denials (VP)"};
+    /** Issue-to-completion latency per op class (the final, successful
+     *  execution of write-back-squashed instructions). */
+    std::vector<stats::Distribution> issueToComplete;
 };
 
 } // namespace vpr

@@ -1,5 +1,7 @@
 #include "core/stages/issue_stage.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "isa/op_class.hh"
 
@@ -24,20 +26,32 @@ opClassRows()
 IssueStage::IssueStage(PipelineState &state,
                        CompletionQueue &completionQueue)
     : s(state), completions(completionQueue),
+      scanIssue(state.cfg.iqScanIssue),
       byClass("issued_by_class",
               "issues per op class, split first execution vs re-execution",
               opClassRows(), {"first", "reexec"})
 {
     group.add(&issued);
     group.add(&byClass);
+    fetchToIssue.reserve(kNumOpClasses);
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        // Queueing delay dominates (an instruction can sit behind a
+        // whole 128-entry window), so the range is wider than the
+        // execution-latency distribution's.
+        fetchToIssue.push_back(stats::Distribution::evenBuckets(
+            std::string("fetch_to_issue.") +
+                opClassName(static_cast<OpClass>(i)),
+            "cycles from fetch to first issue", 0, 256, 16));
+        group.add(&fetchToIssue.back());
+    }
     s.statsTree.add(&group);
 }
 
-bool
+IssueStage::Attempt
 IssueStage::tryIssueOne(DynInst *inst)
 {
     if (!inst->issueOperandsReady())
-        return false;
+        return {Outcome::Resource};
 
     OpClass op = inst->si.op;
     const Cycle now = s.curCycle;
@@ -47,20 +61,27 @@ IssueStage::tryIssueOne(DynInst *inst)
     // it only needs to traverse the execution pipeline again.
     const bool reExecution = inst->executions > 0;
 
-    // Memory disambiguation (PA-8000 style) for loads.
+    // Memory disambiguation (PA-8000 style) for loads. Hold statistics
+    // count episodes (transitions into a blocking state), so the
+    // event-driven path — which re-attempts a held load only when its
+    // blocker resolves — and the legacy every-cycle scan agree.
     LoadHold hold = LoadHold::Ready;
     if (inst->isLoad() && !reExecution) {
-        hold = s.lsq.checkLoad(inst, now);
+        LoadCheck chk = s.lsq.disambiguate(inst, now);
+        hold = chk.hold;
         if (hold == LoadHold::UnknownAddress ||
             hold == LoadHold::PartialOverlap) {
-            s.lsq.recordHold(hold);
-            return false;
+            if (inst->lastHold != hold) {
+                s.lsq.recordHold(hold);
+                inst->lastHold = hold;
+            }
+            return {Outcome::Hold, hold, chk.blocker};
         }
     }
 
     // Functional unit available?
     if (s.fus.available(fuTypeFor(op), now) == 0)
-        return false;
+        return {Outcome::NoFu};
 
     // Register-file read ports. A store reads only its address operand
     // at issue; the data register is picked up when it completes.
@@ -77,21 +98,21 @@ IssueStage::tryIssueOne(DynInst *inst)
             ++nFpReads;
     }
     if (!s.regPorts.canClaimReads(nIntReads, nFpReads))
-        return false;
+        return {Outcome::Resource};
 
     // Cache port and MSHR space for loads that really access the cache.
     bool needsCache =
         inst->isLoad() && hold != LoadHold::Forward && !reExecution;
     if (needsCache) {
         if (s.cachePortSched.used(now + 1) >= s.cfg.cachePorts)
-            return false;
+            return {Outcome::Resource};
         if (s.cache.wouldBlock(inst->si.effAddr, now + 1))
-            return false;
+            return {Outcome::Resource};
     }
 
     // The renamer's issue gate (VP issue-allocation policy).
     if (!s.renameMgr->tryIssue(*inst, now))
-        return false;
+        return {Outcome::Resource};
 
     // All checks passed: commit the side effects.
     s.regPorts.tryClaimReads(nIntReads, nFpReads);
@@ -123,16 +144,21 @@ IssueStage::tryIssueOne(DynInst *inst)
         raw = now + 1;
         inst->addrReady = true;
         inst->addrReadyCycle = now + 1;
+        if (!reExecution)
+            s.lsq.onStoreAddrComputed(inst);
         if (!inst->operandsReady()) {
             inst->phase = InstPhase::Issued;
             inst->issueCycle = now;
+            if (!reExecution)
+                fetchToIssue[static_cast<std::size_t>(op)].sample(
+                    now - inst->fetchCycle);
             ++inst->executions;
             ++issued;
             byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
             completions.parkStore(inst, inst->seq);
             bool fuOkStore = s.fus.tryIssue(op, now, raw);
             VPR_ASSERT(fuOkStore, "FU vanished after availability check");
-            return true;
+            return {Outcome::Issued};
         }
     } else {
         raw = now + opLatency(op);
@@ -152,40 +178,122 @@ IssueStage::tryIssueOne(DynInst *inst)
 
     inst->phase = InstPhase::Issued;
     inst->issueCycle = now;
+    if (!reExecution)
+        fetchToIssue[static_cast<std::size_t>(op)].sample(
+            now - inst->fetchCycle);
     ++inst->executions;
     ++issued;
     byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
     completions.schedule(completion, inst->seq, inst);
-    return true;
+    return {Outcome::Issued};
 }
 
 void
-IssueStage::tick()
+IssueStage::scanTick()
 {
-    // Oldest-first selection directly over the age-ordered list — no
-    // per-cycle snapshot copy. Issue is the only mutation during the
-    // scan (nothing is inserted or squashed from inside tryIssueOne),
-    // so removing the issued entry and keeping the index in place walks
-    // every remaining entry exactly once. Two passes: first executions
-    // have priority; re-executions fill the remaining slots ("resources
-    // that otherwise would be unused", paper §4.2.1).
-    unsigned issued = 0;
-    for (int pass = 0; pass < 2 && issued < s.cfg.issueWidth; ++pass) {
+    // Reference path: oldest-first selection directly over the
+    // age-ordered list — no per-cycle snapshot copy. Issue is the only
+    // mutation during the scan (nothing is inserted or squashed from
+    // inside tryIssueOne), so removing the issued entry and keeping the
+    // index in place walks every remaining entry exactly once. Two
+    // passes: first executions have priority; re-executions fill the
+    // remaining slots ("resources that otherwise would be unused",
+    // paper §4.2.1).
+    unsigned nIssued = 0;
+    for (int pass = 0; pass < 2 && nIssued < s.cfg.issueWidth; ++pass) {
         std::size_t i = 0;
-        while (i < s.iq.size() && issued < s.cfg.issueWidth) {
+        while (i < s.iq.size() && nIssued < s.cfg.issueWidth) {
             DynInst *inst = s.iq.at(i);
             if ((inst->executions > 0) != (pass == 1) ||
                 inst->phase != InstPhase::Renamed) {
                 ++i;
                 continue;
             }
-            if (tryIssueOne(inst)) {
+            if (tryIssueOne(inst).outcome == Outcome::Issued) {
                 s.iq.removeAt(i);
-                ++issued;
+                ++nIssued;
             } else {
                 ++i;
             }
         }
+    }
+}
+
+void
+IssueStage::tick()
+{
+    if (scanIssue) {
+        scanTick();
+        return;
+    }
+
+    const Cycle now = s.curCycle;
+
+    // Merge this cycle's candidates: newly published ready
+    // instructions, last cycle's per-cycle-resource failures, FU-stall
+    // lists whose unit class has capacity again (availability only
+    // shrinks within a tick, so a class gated here would fail every
+    // scan attempt this cycle too), and released LSQ holds.
+    cand.clear();
+    s.iq.drainReadyEvents(cand);
+    cand.insert(cand.end(), retryQ.begin(), retryQ.end());
+    retryQ.clear();
+    for (std::size_t t = 0; t < kNumFUTypes; ++t) {
+        auto &q = fuStallQ[t];
+        if (q.empty() ||
+            s.fus.available(static_cast<FUType>(t), now) == 0)
+            continue;
+        cand.insert(cand.end(), q.begin(), q.end());
+        q.clear();
+    }
+    s.lsq.takeReadyHolds(now, cand);
+    std::sort(cand.begin(), cand.end(),
+              [](const ReadyRef &a, const ReadyRef &b) {
+                  return a.seq < b.seq;
+              });
+
+    // Oldest-first over the candidates, same two-pass priority as the
+    // scan. Failures are re-parked by reason; entries the width cutoff
+    // left unattempted stay ready for next cycle.
+    unsigned nIssued = 0;
+    for (int pass = 0; pass < 2 && nIssued < s.cfg.issueWidth; ++pass) {
+        for (ReadyRef &e : cand) {
+            if (nIssued >= s.cfg.issueWidth)
+                break;
+            DynInst *inst = e.inst;
+            if (!inst)
+                continue;
+            if (!inst->inIq || inst->seq != e.seq ||
+                inst->phase != InstPhase::Renamed) {
+                e.inst = nullptr;  // stale: issued, squashed, or reused
+                continue;
+            }
+            if ((inst->executions > 0) != (pass == 1))
+                continue;
+            Attempt a = tryIssueOne(inst);
+            e.inst = nullptr;
+            switch (a.outcome) {
+              case Outcome::Issued:
+                s.iq.remove(inst);
+                ++nIssued;
+                break;
+              case Outcome::Hold:
+                s.lsq.subscribeHold(inst, a.blocker, a.hold);
+                break;
+              case Outcome::NoFu:
+                fuStallQ[static_cast<std::size_t>(
+                             fuTypeFor(inst->si.op))]
+                    .push_back({inst, inst->seq});
+                break;
+              case Outcome::Resource:
+                retryQ.push_back({inst, inst->seq});
+                break;
+            }
+        }
+    }
+    for (const ReadyRef &e : cand) {
+        if (e.inst && e.inst->inIq && e.inst->seq == e.seq)
+            retryQ.push_back(e);
     }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "core/iq.hh"
 
 namespace vpr
@@ -205,6 +208,178 @@ TEST(InstQueueWaitList, ReinsertionDoesNotDoubleWake)
     iq.insert(&a);  // re-inserted, still waiting on tag 17
     EXPECT_EQ(iq.wakeup(RegClass::Int, 17, 6), 1u);
     EXPECT_TRUE(a.src[0].ready);
+}
+
+// --- ready-list publication -----------------------------------------------
+
+/** Drain helper: newly published entries since the last call. */
+std::vector<ReadyRef>
+drain(InstQueue &iq)
+{
+    std::vector<ReadyRef> out;
+    iq.drainReadyEvents(out);
+    return out;
+}
+
+TEST(InstQueueReady, ReadyAtInsertIsPublishedImmediately)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1);  // no sources: issue-ready on arrival
+    iq.insert(&a);
+    auto out = drain(iq);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, &a);
+    EXPECT_EQ(out[0].seq, 1u);
+    EXPECT_TRUE(a.inReadyQ);
+    // Published exactly once.
+    EXPECT_TRUE(drain(iq).empty());
+}
+
+TEST(InstQueueReady, PublishedWhenLastSourceWakes)
+{
+    InstQueue iq(8);
+    DynInst a = alu(1);
+    a.src[0] = {10, RegClass::Int, true, false};
+    a.src[1] = {11, RegClass::Float, true, false};
+    iq.insert(&a);
+    EXPECT_TRUE(drain(iq).empty());
+    iq.wakeup(RegClass::Int, 10, 70);
+    EXPECT_TRUE(drain(iq).empty());  // one source still outstanding
+    iq.wakeup(RegClass::Float, 11, 71);
+    auto out = drain(iq);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, &a);
+}
+
+TEST(InstQueueReady, StorePublishesOnAddressOperandOnly)
+{
+    // A store issues on its address operand (src[1]); the data operand
+    // (src[0]) gates completion, not readiness for issue.
+    InstQueue iq(8);
+    DynInst st;
+    st.si = StaticInst::store(RegId::intReg(3), RegId::intReg(2), 0x100);
+    st.seq = 1;
+    st.src[0] = {20, RegClass::Int, true, false};  // data
+    st.src[1] = {21, RegClass::Int, true, false};  // address base
+    iq.insert(&st);
+    EXPECT_TRUE(drain(iq).empty());
+    iq.wakeup(RegClass::Int, 20, 70);  // data wakes: still not ready
+    EXPECT_TRUE(drain(iq).empty());
+    iq.wakeup(RegClass::Int, 21, 71);  // address wakes: publish
+    auto out = drain(iq);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, &st);
+}
+
+TEST(InstQueueReady, ReinsertionAfterRemoveRepublishes)
+{
+    // Write-back rejection path: the instruction issued (leaving the
+    // queue), got denied a register, and re-enters ready.
+    InstQueue iq(8);
+    DynInst a = alu(1);
+    iq.insert(&a);
+    ASSERT_EQ(drain(iq).size(), 1u);
+    iq.remove(&a);
+    EXPECT_FALSE(a.inReadyQ);
+    iq.insert(&a);
+    auto out = drain(iq);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, &a);
+}
+
+TEST(InstQueueReady, ScanIssueModeDoesNotPublish)
+{
+    InstQueue iq(8);
+    iq.setTrackReady(false);
+    DynInst a = alu(1);
+    iq.insert(&a);
+    EXPECT_TRUE(drain(iq).empty());
+    EXPECT_FALSE(a.inReadyQ);
+}
+
+TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
+{
+    // Random inserts/wakeups/removes/squashes; the set of instructions
+    // ever published (and still valid) must equal exactly the resident
+    // issue-ready instructions a full-queue scan would select from —
+    // no duplicates, no misses.
+    InstQueue iq(64);
+    std::vector<DynInst> pool(1024);
+    std::vector<ReadyRef> published;
+
+    std::uint64_t rng = 0x853c49e6748fea9bull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    std::size_t created = 0;
+    InstSeqNum seq = 0;
+    for (int step = 0; step < 4000; ++step) {
+        switch (next() % 4) {
+          case 0:
+          case 1: {  // insert (sometimes a store, sometimes ready)
+            if (created >= pool.size() || iq.full())
+                break;
+            DynInst d;
+            if ((next() & 3) == 0) {
+                d.si = StaticInst::store(RegId::intReg(3),
+                                         RegId::intReg(2), 0x100);
+            } else {
+                d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                                       RegId::intReg(3));
+            }
+            d.seq = ++seq;
+            for (int si = 0; si < 2; ++si) {
+                d.src[si].valid = (next() & 3) != 0;
+                d.src[si].cls =
+                    (next() & 1) ? RegClass::Int : RegClass::Float;
+                d.src[si].tag = static_cast<std::uint16_t>(next() % 48);
+                d.src[si].ready = (next() & 3) == 0;
+            }
+            pool[created] = d;
+            iq.insert(&pool[created]);
+            ++created;
+            break;
+          }
+          case 2: {  // remove a random resident entry (issue)
+            if (iq.empty())
+                break;
+            iq.removeAt(next() % iq.size());
+            break;
+          }
+          case 3: {  // broadcast or squash
+            if ((next() & 7) == 0) {
+                iq.squashYoungerThan(seq > 0 ? next() % seq : 0);
+            } else {
+                iq.wakeup((next() & 1) ? RegClass::Int : RegClass::Float,
+                          static_cast<std::uint16_t>(next() % 48),
+                          static_cast<std::uint16_t>(64 + next() % 32));
+            }
+            break;
+          }
+        }
+        if ((next() & 15) == 0)
+            iq.drainReadyEvents(published);
+    }
+    iq.drainReadyEvents(published);
+
+    // Valid publications, deduplicated by instruction.
+    std::set<const DynInst *> readySet;
+    for (const ReadyRef &e : published) {
+        if (!e.inst->inIq || e.inst->seq != e.seq)
+            continue;  // stale: issued, squashed, or slot reused
+        EXPECT_TRUE(e.inst->issueOperandsReady());
+        EXPECT_TRUE(readySet.insert(e.inst).second)
+            << "duplicate publication of sn:" << e.seq;
+    }
+    // Exactly the entries a full scan would find ready.
+    for (const DynInst *inst : iq.entries()) {
+        EXPECT_EQ(readySet.count(inst) == 1, inst->issueOperandsReady())
+            << "sn:" << inst->seq;
+    }
 }
 
 TEST(InstQueueWaitList, MatchesScanReferenceOnRandomStimulus)

@@ -69,6 +69,60 @@ TEST(Determinism, WorkloadSeedChangesRandomBenchmarks)
     EXPECT_NE(a.cycles(), b.cycles());
 }
 
+/** Every exported metric of @p b must match @p a textually. */
+void
+expectIdenticalMetrics(const SimResults &a, const SimResults &b,
+                       const std::string &label)
+{
+    ASSERT_TRUE(a.metrics.sameSchema(b.metrics)) << label;
+    for (std::size_t i = 0; i < a.metrics.all().size(); ++i) {
+        const Metric &ma = a.metrics.all()[i];
+        const Metric &mb = b.metrics.all()[i];
+        EXPECT_EQ(ma.text(), mb.text()) << label << ": " << ma.name;
+    }
+}
+
+TEST(Determinism, EventSchedulerMatchesLegacyScansByteForByte)
+{
+    // The event-driven scheduler core — IQ ready-list issue and the
+    // address-indexed LSQ disambiguation table — is a pure mechanism
+    // change: every schedule, and therefore every exported metric
+    // (latency distributions included), must be byte-identical to the
+    // legacy full-queue scans, for every rename scheme (the VP
+    // write-back squash re-inserts issued instructions, the hardest
+    // path for the ready list).
+    struct Mode
+    {
+        const char *name;
+        bool scanIssue, scanDisambig, scanWakeup;
+    };
+    const Mode modes[] = {
+        {"scan-issue", true, false, false},
+        {"scan-disambig", false, true, false},
+        {"all-scans", true, true, true},
+    };
+    for (RenameScheme scheme : {RenameScheme::Conventional,
+                                RenameScheme::VPAllocAtWriteback,
+                                RenameScheme::VPAllocAtIssue,
+                                RenameScheme::ConventionalEarlyRelease}) {
+        SimConfig c = quick();
+        c.setScheme(scheme);
+        if (scheme == RenameScheme::ConventionalEarlyRelease)
+            c.core.fetch.wrongPath = WrongPathMode::Stall;
+        auto event = runOne("vortex", c);
+        for (const Mode &m : modes) {
+            SimConfig s = c;
+            s.core.iqScanIssue = m.scanIssue;
+            s.core.lsqScanDisambig = m.scanDisambig;
+            s.core.iqScanWakeup = m.scanWakeup;
+            auto scan = runOne("vortex", s);
+            expectIdenticalMetrics(
+                event, scan,
+                std::string(renameSchemeName(scheme)) + " vs " + m.name);
+        }
+    }
+}
+
 TEST(Determinism, WaitListWakeupMatchesScanByteForByte)
 {
     // The per-tag wakeup wait lists are a pure mechanism change: every
