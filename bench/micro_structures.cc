@@ -15,6 +15,8 @@
 #include "core/core.hh"
 #include "core/iq.hh"
 #include "core/lsq.hh"
+#include "core/rob.hh"
+#include "core/stages/latches.hh"
 #include "memory/cache.hh"
 #include "rename/conventional.hh"
 #include "rename/virtual_physical.hh"
@@ -44,8 +46,17 @@ makeAlu(InstSeqNum seq)
     d.si = StaticInst::alu(RegId::intReg(seq % 30),
                            RegId::intReg((seq + 1) % 32),
                            RegId::intReg((seq + 2) % 32));
-    d.seq = seq;
     return d;
+}
+
+/** Bind @p d to slot @p sl of @p pool (freshly reset) and stamp @p seq
+ *  — what Rob::allocate() does in the real pipeline. */
+void
+bindAt(InstHotPool &pool, DynInst &d, HotIdx sl, InstSeqNum seq)
+{
+    pool.reset(sl);
+    d.bindHot(&pool, sl);
+    d.setSeq(seq);
 }
 
 /** Rename+complete+commit round trip, conventional scheme. */
@@ -55,6 +66,7 @@ BM_ConventionalRenameRoundTrip(benchmark::State &state)
     ConventionalRename rn(renameCfg());
     InstSeqNum seq = 0;
     Cycle now = 0;
+    InstHotPool pool(16);
     std::vector<DynInst> ring(16);
     std::size_t head = 0, tail = 0, live = 0;
     for (auto _ : state) {
@@ -63,6 +75,7 @@ BM_ConventionalRenameRoundTrip(benchmark::State &state)
         if (live < 8) {
             DynInst &d = ring[tail];
             d = makeAlu(++seq);
+            bindAt(pool, d, static_cast<HotIdx>(tail), seq);
             rn.renameInst(d, now);
             rn.complete(d, now);
             tail = (tail + 1) % ring.size();
@@ -85,6 +98,7 @@ BM_VirtualPhysicalRenameRoundTrip(benchmark::State &state)
     VirtualPhysicalRename rn(renameCfg(), false);
     InstSeqNum seq = 0;
     Cycle now = 0;
+    InstHotPool pool(16);
     std::vector<DynInst> ring(16);
     std::size_t head = 0, tail = 0, live = 0;
     for (auto _ : state) {
@@ -93,6 +107,7 @@ BM_VirtualPhysicalRenameRoundTrip(benchmark::State &state)
         if (live < 8) {
             DynInst &d = ring[tail];
             d = makeAlu(++seq);
+            bindAt(pool, d, static_cast<HotIdx>(tail), seq);
             rn.renameInst(d, now);
             rn.complete(d, now);
             tail = (tail + 1) % ring.size();
@@ -112,11 +127,13 @@ BENCHMARK(BM_VirtualPhysicalRenameRoundTrip);
 void
 BM_IqWakeup(benchmark::State &state)
 {
-    InstQueue iq(128);
+    InstHotPool pool(128);
+    InstQueue iq(128, pool);
     iq.setTrackReady(false);  // no stage drains the ready list here
     std::vector<DynInst> insts(128);
     for (std::size_t i = 0; i < insts.size(); ++i) {
         insts[i] = makeAlu(i + 1);
+        bindAt(pool, insts[i], static_cast<HotIdx>(i), i + 1);
         insts[i].src[0].valid = true;
         insts[i].src[0].cls = RegClass::Int;
         insts[i].src[0].tag = static_cast<std::uint16_t>(i % 64);
@@ -138,11 +155,13 @@ BENCHMARK(BM_IqWakeup);
 void
 BM_IqRemoveReinsert(benchmark::State &state)
 {
-    InstQueue iq(128);
+    InstHotPool pool(128);
+    InstQueue iq(128, pool);
     iq.setTrackReady(false);  // no stage drains the ready list here
     std::vector<DynInst> insts(128);
     for (std::size_t i = 0; i < insts.size(); ++i) {
         insts[i] = makeAlu(i + 1);
+        bindAt(pool, insts[i], static_cast<HotIdx>(i), i + 1);
         iq.insert(&insts[i]);
     }
     for (auto _ : state) {
@@ -160,7 +179,7 @@ BENCHMARK(BM_IqRemoveReinsert);
 class LsqDisambigFixture
 {
   public:
-    explicit LsqDisambigFixture(bool scanDisambig) : lsq(128)
+    explicit LsqDisambigFixture(bool scanDisambig) : pool(128), lsq(128)
     {
         lsq.setScanDisambig(scanDisambig);
         insts.reserve(97);
@@ -174,8 +193,8 @@ class LsqDisambigFixture
                 d.si = StaticInst::load(RegId::intReg(1),
                                         RegId::intReg(2), addr);
             }
-            d.seq = sn;
             insts.push_back(d);
+            bindAt(pool, insts.back(), static_cast<HotIdx>(sn - 1), sn);
             lsq.insert(&insts.back());
             if (d.si.isStore()) {
                 insts.back().addrReady = true;
@@ -186,14 +205,15 @@ class LsqDisambigFixture
         DynInst probe;
         probe.si = StaticInst::load(RegId::intReg(1), RegId::intReg(2),
                                     0x4000);  // no conflict: full walk
-        probe.seq = 97;
         insts.push_back(probe);
+        bindAt(pool, insts.back(), 96, 97);
         lsq.insert(&insts.back());
     }
 
     LoadCheck check() { return lsq.disambiguate(&insts.back(), 200); }
 
   private:
+    InstHotPool pool;
     Lsq lsq;
     std::vector<DynInst> insts;
 };
@@ -217,6 +237,83 @@ BM_LsqDisambigTable(benchmark::State &state)
         benchmark::DoNotOptimize(f.check());
 }
 BENCHMARK(BM_LsqDisambigTable);
+
+/** Completion-queue churn: the issue→complete latch's per-cycle
+ *  pattern — a burst of schedules at mixed FU/cache latencies, then a
+ *  drain of everything due this cycle. The two rows compare the legacy
+ *  binary heap (O(log n) sift per schedule/pop) against the
+ *  cycle-indexed calendar ring (O(1) append/drain). */
+void
+completionQueueChurn(benchmark::State &state, bool useCalendar)
+{
+    InstHotPool pool(64);
+    std::vector<DynInst> insts(64);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        insts[i] = makeAlu(i + 1);
+        bindAt(pool, insts[i], static_cast<HotIdx>(i), i + 1);
+    }
+    CompletionQueue cq(useCalendar, 128);
+    static const Cycle lat[8] = {1, 1, 1, 2, 2, 4, 12, 52};
+    Cycle now = 0;
+    InstSeqNum seq = 0;
+    for (auto _ : state) {
+        ++now;
+        for (unsigned i = 0; i < 8; ++i) {
+            DynInst *inst = &insts[seq % insts.size()];
+            cq.schedule(now + lat[i], ++seq, inst);
+        }
+        while (cq.hasDue(now))
+            benchmark::DoNotOptimize(cq.popDue());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(seq));
+}
+
+void
+BM_CompletionQueueHeap(benchmark::State &state)
+{
+    completionQueueChurn(state, false);
+}
+BENCHMARK(BM_CompletionQueueHeap);
+
+void
+BM_CompletionQueueCalendar(benchmark::State &state)
+{
+    completionQueueChurn(state, true);
+}
+BENCHMARK(BM_CompletionQueueCalendar);
+
+/** The commit stage's head walk: check the head's phase through the
+ *  packed hot-state arrays, retire a commit-width burst, refill. Guards
+ *  the data-oriented split — the walk must not touch the DynInsts. */
+void
+BM_RobCommitWalk(benchmark::State &state)
+{
+    InstHotPool pool(128);
+    Rob rob(128, pool);
+    InstSeqNum seq = 0;
+    auto fill = [&](DynInst *d) {
+        d->si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                                RegId::intReg(3));
+        d->setSeq(++seq);
+        d->setPhase(InstPhase::Completed);
+    };
+    while (!rob.full())
+        fill(rob.allocate());
+    const InstHotPool &hot = rob.hotPool();
+    for (auto _ : state) {
+        unsigned committed = 0;
+        while (committed < 8 && !rob.empty() &&
+               hot.phaseOf(rob.headSlot()) == InstPhase::Completed) {
+            rob.commitHead();
+            ++committed;
+        }
+        while (!rob.full())
+            fill(rob.allocate());
+        benchmark::DoNotOptimize(committed);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(seq));
+}
+BENCHMARK(BM_RobCommitWalk);
 
 /** Non-blocking cache: streaming accesses (25% miss). */
 void
@@ -266,6 +363,7 @@ simulatorEndToEnd(benchmark::State &state, const char *kernel,
         config.core.iqScanWakeup = legacyScans;
         config.core.iqScanIssue = legacyScans;
         config.core.lsqScanDisambig = legacyScans;
+        config.core.cqCalendar = !legacyScans;
         Simulator sim(kernel, config);
         benchmark::DoNotOptimize(sim.run().ipc());
     }

@@ -106,6 +106,17 @@ class CircularBuffer
         count = 0;
     }
 
+    /** Physical storage slot of logical position @p logical — stable for
+     *  an element's whole residency (the ROB uses it as the hot-state
+     *  handle of the entry). */
+    std::size_t
+    physIndexOf(std::size_t logical) const
+    {
+        VPR_ASSERT(logical < count, "index ", logical, " out of range ",
+                   count);
+        return physIndex(logical);
+    }
+
   private:
     std::size_t
     physIndex(std::size_t logical) const

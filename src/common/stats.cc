@@ -72,26 +72,6 @@ Distribution::stddev() const
 }
 
 void
-Distribution::sample(std::uint64_t v)
-{
-    if (n == 0 || v < minSeen)
-        minSeen = v;
-    if (n == 0 || v > maxSeen)
-        maxSeen = v;
-    ++n;
-    const double dv = static_cast<double>(v);
-    sum += dv;
-    sumSq += dv * dv;
-    if (v < lo) {
-        ++under;
-    } else if (v > hi) {
-        ++over;
-    } else {
-        ++buckets[(v - lo) / bsize];
-    }
-}
-
-void
 Distribution::reset()
 {
     under = over = n = 0;

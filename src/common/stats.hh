@@ -168,7 +168,28 @@ class Distribution : public StatBase
                                     std::uint64_t min, std::uint64_t max,
                                     std::size_t numBuckets);
 
-    void sample(std::uint64_t v);
+    /** Record one sample. Inline: the cycle loop samples every
+     *  structure occupancy each cycle plus one per pipeline event, so
+     *  this runs tens of millions of times per simulation. */
+    void
+    sample(std::uint64_t v)
+    {
+        if (n == 0 || v < minSeen)
+            minSeen = v;
+        if (n == 0 || v > maxSeen)
+            maxSeen = v;
+        ++n;
+        const double dv = static_cast<double>(v);
+        sum += dv;
+        sumSq += dv * dv;
+        if (v < lo) {
+            ++under;
+        } else if (v > hi) {
+            ++over;
+        } else {
+            ++buckets[(v - lo) / bsize];
+        }
+    }
 
     std::uint64_t bucketCount(std::size_t i) const { return buckets.at(i); }
     std::size_t numBuckets() const { return buckets.size(); }

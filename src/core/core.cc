@@ -51,6 +51,12 @@ CoreConfig::visitParams(ParamVisitor &v)
                 "instead of the address-indexed store table (schedules "
                 "are byte-identical)");
     v.popGroup();
+    v.pushGroup("cq");
+    v.boolParam("calendar", cqCalendar,
+                "use the cycle-indexed completion calendar instead of "
+                "the legacy binary-heap event queue (schedules are "
+                "byte-identical)");
+    v.popGroup();
     v.boolParam("invariant_checks", invariantChecks,
                 "run the renamer's invariant self-check every 64 cycles");
     v.uintParam("deadlock_threshold", deadlockThreshold,
@@ -71,6 +77,13 @@ CoreConfig::visitParams(ParamVisitor &v)
 
 Core::Core(TraceStream &stream, const CoreConfig &config)
     : state(stream, config),
+      // Calendar horizon: the longest ordinary completion latency is a
+      // cache miss (hit + miss penalty); pad for write-port slip and
+      // MSHR queueing, and the constructor rounds up to a power of two.
+      // Anything beyond still works via the overflow list.
+      completions(state.cfg.cqCalendar,
+                  state.cfg.cache.hitLatency + state.cfg.cache.missPenalty +
+                      64),
       fetchBuffer(state.fetch),
       fetchRedirect(state.fetch),
       commit(state),

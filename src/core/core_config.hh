@@ -46,6 +46,9 @@ struct CoreConfig
     /** Use the legacy reverse-scan LSQ disambiguation instead of the
      *  address-indexed store table (reference path; byte-identical). */
     bool lsqScanDisambig = false;
+    /** Use the cycle-indexed completion calendar instead of the legacy
+     *  binary heap (reference path; schedules are byte-identical). */
+    bool cqCalendar = true;
     /** Run the renamer's invariant self-check every 64 cycles. */
     bool invariantChecks = false;
     /** Panic if no instruction commits for this many cycles. */

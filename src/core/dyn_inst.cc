@@ -27,8 +27,11 @@ std::string
 DynInst::toString() const
 {
     std::ostringstream os;
-    os << "[sn:" << seq << " " << phaseName(phase)
-       << (wrongPath ? " WP" : "") << "] " << si.disassemble();
+    if (hot)
+        os << "[sn:" << seq() << " " << phaseName(phase())
+           << (wrongPath ? " WP" : "") << "] " << si.disassemble();
+    else
+        os << "[unbound] " << si.disassemble();
     return os.str();
 }
 

@@ -8,6 +8,15 @@
  * entry (logical destination, completed bit, previous virtual-physical
  * mapping) are all carried here; the IQ and ROB reference DynInsts
  * rather than duplicating the fields.
+ *
+ * DynInst itself keeps only the *cold* rename/ISA state. The hot
+ * scalars the cycle loop hammers — phase, sequence number, scheduler
+ * residency flags, the pipeline cycle stamps, the last hold verdict —
+ * live in the packed InstHotPool (inst_hot.hh), indexed by ROB slot;
+ * the accessors below forward there so call sites stay readable.
+ * Rob::allocate() binds an instruction to its slot; a DynInst is never
+ * meaningfully copied once bound (the binding identifies a storage
+ * slot, not a value).
  */
 
 #ifndef VPR_CORE_DYN_INST_HH
@@ -17,31 +26,11 @@
 #include <string>
 
 #include "common/types.hh"
+#include "core/inst_hot.hh"
 #include "isa/static_inst.hh"
 
 namespace vpr
 {
-
-/** Lifecycle phase of a dynamic instruction. */
-enum class InstPhase : std::uint8_t
-{
-    Renamed,    ///< dispatched to IQ/ROB, waiting for operands
-    Issued,     ///< executing on a functional unit
-    Completed,  ///< result produced (and register allocated, if any)
-    Committed,  ///< retired
-    Squashed    ///< removed by branch recovery (slot may be reused)
-};
-
-/** Why a load cannot begin its memory access yet (LSQ disambiguation).
- *  Lives here rather than in lsq.hh because each load carries its most
- *  recent hold state (DynInst::lastHold). */
-enum class LoadHold : std::uint8_t
-{
-    Ready,          ///< may access the cache
-    Forward,        ///< older matching store will forward its data
-    UnknownAddress, ///< an older store's address is not known yet
-    PartialOverlap  ///< overlaps an older store but cannot forward
-};
 
 /** One renamed source operand (Src/R fields of Figure 2). */
 struct SrcOperand
@@ -52,12 +41,49 @@ struct SrcOperand
     bool ready = false;         ///< R bit: value readable at issue
 };
 
-/** An in-flight instruction. */
+struct ReadyRef;
+
+/** An in-flight instruction (the cold half; hot state in InstHotPool). */
 struct DynInst
 {
     StaticInst si;
-    InstSeqNum seq = 0;
     bool wrongPath = false;     ///< fetched past a mispredicted branch
+
+    // --- hot-state binding ----------------------------------------------
+    /** The packed hot-state row of this instruction: pool + ROB slot.
+     *  Bound by Rob::allocate() (tests bind explicitly). */
+    InstHotPool *hot = nullptr;
+    HotIdx slot = kNoHotIdx;
+
+    void
+    bindHot(InstHotPool *pool, HotIdx idx)
+    {
+        hot = pool;
+        slot = idx;
+    }
+
+    /** Hot-state accessors: forward to the pool row. @{ */
+    InstSeqNum seq() const { return hot->seqOf(slot); }
+    void setSeq(InstSeqNum s) { hot->setSeq(slot, s); }
+    InstPhase phase() const { return hot->phaseOf(slot); }
+    void setPhase(InstPhase p) { hot->setPhase(slot, p); }
+    bool inIq() const { return hot->isInIq(slot); }
+    void setInIq(bool b) { hot->setInIq(slot, b); }
+    bool inReadyQ() const { return hot->isInReadyQ(slot); }
+    void setInReadyQ(bool b) { hot->setInReadyQ(slot, b); }
+    LoadHold lastHold() const { return hot->lastHoldOf(slot); }
+    void setLastHold(LoadHold h) { hot->setLastHold(slot, h); }
+    Cycle fetchCycle() const { return hot->fetchCycleOf(slot); }
+    void setFetchCycle(Cycle c) { hot->setFetchCycle(slot, c); }
+    Cycle renameCycle() const { return hot->renameCycleOf(slot); }
+    void setRenameCycle(Cycle c) { hot->setRenameCycle(slot, c); }
+    Cycle issueCycle() const { return hot->issueCycleOf(slot); }
+    void setIssueCycle(Cycle c) { hot->setIssueCycle(slot, c); }
+    Cycle completeCycle() const { return hot->completeCycleOf(slot); }
+    void setCompleteCycle(Cycle c) { hot->setCompleteCycle(slot, c); }
+    Cycle commitCycle() const { return hot->commitCycleOf(slot); }
+    void setCommitCycle(Cycle c) { hot->setCommitCycle(slot, c); }
+    /** @} */
 
     // --- rename state -------------------------------------------------
     SrcOperand src[kMaxSrcRegs];
@@ -74,35 +100,14 @@ struct DynInst
      *  instruction commits, restored if it squashes. */
     std::uint16_t prevTag = kNoReg;
 
-    // --- pipeline state -----------------------------------------------
-    InstPhase phase = InstPhase::Renamed;
-    /** Maintained by InstQueue: true while this instruction is resident
-     *  in the IQ (validates per-tag wakeup wait-list entries). */
-    bool inIq = false;
-    /** Maintained by InstQueue/IssueStage: true while the instruction is
-     *  owned by the event-driven issue scheduler (published on the ready
-     *  list or parked on a stall list / LSQ hold subscription). Guards
-     *  against publishing the same instruction twice. */
-    bool inReadyQ = false;
+    // --- pipeline state (cold remainder) --------------------------------
     bool mispredictedBranch = false;
     unsigned executions = 0;    ///< times issued (re-execution counter)
-
-    Cycle fetchCycle = kNoCycle;
-    Cycle renameCycle = kNoCycle;
-    Cycle issueCycle = kNoCycle;
-    Cycle completeCycle = kNoCycle;
-    Cycle commitCycle = kNoCycle;
 
     // --- memory state (LSQ) -------------------------------------------
     bool addrReady = false;     ///< effective address computed
     Cycle addrReadyCycle = kNoCycle;
     bool storeForwarded = false; ///< load got data from an older store
-    /** Most recent disambiguation outcome of this load. Hold statistics
-     *  count *episodes* (transitions into a blocking state), so the
-     *  event-driven scheduler — which re-checks a held load only when
-     *  the blocking store resolves — and the legacy every-cycle scan
-     *  account identically. */
-    LoadHold lastHold = LoadHold::Ready;
 
     bool hasDest() const { return si.hasDest(); }
     RegClass destClass() const { return si.dest.regClass(); }
@@ -135,19 +140,40 @@ struct DynInst
         return operandsReady();
     }
 
+    /** A scheduler record of this instruction (defined below). */
+    inline ReadyRef ref();
+
     /** Debug rendering: seq, phase and disassembly. */
     std::string toString() const;
 };
 
-/** A published/parked scheduler entry (IQ ready list, issue-stage stall
- *  lists, LSQ hold subscriptions): @p inst is valid while the
- *  instruction is still resident with the recorded sequence number —
- *  the same lazy-staleness idiom as the wakeup wait lists. */
+/**
+ * A published/parked scheduler entry (IQ ready list, issue-stage stall
+ * lists, LSQ hold subscriptions, parked stores): @p inst is valid while
+ * the instruction is still resident with the recorded sequence number.
+ * The record carries the hot-pool slot so the lazy-staleness check
+ * reads only the packed arrays — a stale entry never touches the
+ * DynInst. The explicit constructor forces every construction site to
+ * supply the slot (no silent aggregate zero-init).
+ */
 struct ReadyRef
 {
-    DynInst *inst;
-    InstSeqNum seq;
+    DynInst *inst = nullptr;
+    InstSeqNum seq = 0;
+    HotIdx slot = kNoHotIdx;
+
+    ReadyRef() = default;
+    ReadyRef(DynInst *i, InstSeqNum s, HotIdx sl)
+        : inst(i), seq(s), slot(sl)
+    {
+    }
 };
+
+inline ReadyRef
+DynInst::ref()
+{
+    return ReadyRef(this, seq(), slot);
+}
 
 } // namespace vpr
 

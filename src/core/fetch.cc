@@ -36,6 +36,7 @@ FetchConfig::visitParams(ParamVisitor &v)
 
 FetchUnit::FetchUnit(TraceStream &stream, const FetchConfig &config)
     : trace(stream), cfg(config), bht(config.bhtEntries),
+      buffer(config.bufferCapacity == 0 ? 1 : config.bufferCapacity),
       wpRng(config.wrongPathSeed)
 {
     VPR_ASSERT(cfg.fetchWidth >= 1, "fetch width must be >= 1");
@@ -99,7 +100,7 @@ FetchUnit::tick(Cycle now)
         return;
 
     for (unsigned i = 0; i < cfg.fetchWidth; ++i) {
-        if (buffer.size() >= cfg.bufferCapacity)
+        if (buffer.full())
             break;
 
         if (waiting) {
@@ -109,7 +110,7 @@ FetchUnit::tick(Cycle now)
             fi.si = synthesizeWrongPath();
             fi.wrongPath = true;
             fi.fetchCycle = now;
-            buffer.push_back(fi);
+            buffer.pushBack(fi);
             ++nWrongPath;
             continue;
         }
@@ -134,18 +135,18 @@ FetchUnit::tick(Cycle now)
                 ++nMispredicts;
                 fi.mispredictedBranch = true;
                 waiting = true;
-                buffer.push_back(fi);
+                buffer.pushBack(fi);
                 // The group ends; wrong-path fetch starts next cycle.
                 break;
             }
-            buffer.push_back(fi);
+            buffer.pushBack(fi);
             if (rec->taken) {
                 // Predicted-taken branch ends the fetch group.
                 break;
             }
             continue;
         }
-        buffer.push_back(fi);
+        buffer.pushBack(fi);
     }
 }
 
@@ -154,7 +155,7 @@ FetchUnit::pop()
 {
     VPR_ASSERT(!buffer.empty(), "pop from empty fetch buffer");
     FetchedInst fi = buffer.front();
-    buffer.pop_front();
+    buffer.popFront();
     return fi;
 }
 
@@ -165,8 +166,9 @@ FetchUnit::resolveBranch(Cycle now)
     waiting = false;
     stallUntil = now + cfg.redirectDelay;
     // Everything left in the buffer is wrong-path by construction.
-    for ([[maybe_unused]] const auto &fi : buffer)
-        VPR_ASSERT(fi.wrongPath, "real instruction behind a mispredict");
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+        VPR_ASSERT(buffer.at(i).wrongPath,
+                   "real instruction behind a mispredict");
     buffer.clear();
 }
 

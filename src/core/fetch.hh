@@ -22,9 +22,8 @@
 #ifndef VPR_CORE_FETCH_HH
 #define VPR_CORE_FETCH_HH
 
-#include <deque>
-
 #include "branch/bht.hh"
+#include "common/circular_buffer.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "trace/stream.hh"
@@ -123,7 +122,9 @@ class FetchUnit
     TraceStream &trace;
     FetchConfig cfg;
     BhtPredictor bht;
-    std::deque<FetchedInst> buffer;
+    /** Bounded FIFO between fetch and rename — a fixed ring, not a
+     *  deque: fetch pushes and rename pops every cycle of the run. */
+    CircularBuffer<FetchedInst> buffer;
 
     bool waiting = false;     ///< unresolved mispredicted branch
     Cycle stallUntil = 0;     ///< no fetch before this cycle

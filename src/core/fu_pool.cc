@@ -42,6 +42,8 @@ FuPoolConfig::count(FUType t) const
 
 FuPool::FuPool(const FuPoolConfig &config) : cfg(config)
 {
+    for (std::size_t i = 0; i < kNumFUTypes; ++i)
+        counts[i] = cfg.count(static_cast<FUType>(i));
 }
 
 void
@@ -54,21 +56,6 @@ FuPool::beginCycle(Cycle now)
                                [now](Cycle c) { return c <= now; }),
                 v.end());
     }
-}
-
-unsigned
-FuPool::available(FUType t, Cycle now) const
-{
-    std::size_t i = static_cast<std::size_t>(t);
-    if (t == FUType::None)
-        return ~0u;
-    unsigned busy = 0;
-    for (Cycle c : busyUntil[i])
-        if (c > now)
-            ++busy;
-    unsigned total = cfg.count(t);
-    unsigned inUse = busy + usedThisCycle[i];
-    return inUse >= total ? 0 : total - inUse;
 }
 
 bool

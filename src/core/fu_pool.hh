@@ -47,8 +47,22 @@ class FuPool
     /** Start a new cycle: clears the per-cycle issue counters. */
     void beginCycle(Cycle now);
 
-    /** Units of @p t that could still accept an op this cycle. */
-    unsigned available(FUType t, Cycle now) const;
+    /** Units of @p t that could still accept an op this cycle. Inline
+     *  with the per-type count cached at construction: the issue stage
+     *  probes availability for every candidate every cycle. */
+    unsigned
+    available(FUType t, Cycle now) const
+    {
+        if (t == FUType::None)
+            return ~0u;
+        std::size_t i = static_cast<std::size_t>(t);
+        unsigned busy = 0;
+        for (Cycle c : busyUntil[i])
+            if (c > now)
+                ++busy;
+        unsigned inUse = busy + usedThisCycle[i];
+        return inUse >= counts[i] ? 0 : counts[i] - inUse;
+    }
 
     /**
      * Try to issue an op of class @p op at cycle @p now finishing at
@@ -71,6 +85,8 @@ class FuPool
 
   private:
     FuPoolConfig cfg;
+    /** cfg.count(t) per type, cached at construction (hot-path read). */
+    std::array<unsigned, kNumFUTypes> counts{};
     /** Per-type ops accepted this cycle. */
     std::array<unsigned, kNumFUTypes> usedThisCycle{};
     /** Busy-until cycles of unpipelined ops, per type. */

@@ -20,7 +20,7 @@ InstQueue::addWaiters(DynInst *inst)
         if (s.tag >= lists.size())
             lists.resize(s.tag + 1);
         lists[s.tag].push_back(
-            {inst, inst->seq, static_cast<std::uint8_t>(i)});
+            {inst, inst->seq(), inst->slot, static_cast<std::uint8_t>(i)});
     }
 }
 
@@ -28,19 +28,19 @@ void
 InstQueue::insert(DynInst *inst)
 {
     VPR_ASSERT(!full(), "insert into full IQ");
-    inst->inIq = true;
+    inst->setInIq(true);
     addWaiters(inst);
     maybePublishReady(inst);
-    if (list.empty() || list.back()->seq < inst->seq) {
+    if (list.empty() || list.back()->seq() < inst->seq()) {
         list.push_back(inst);
         return;
     }
     // Re-insertion after a write-back allocation squash: keep age order.
     auto it = std::lower_bound(
         list.begin(), list.end(), inst,
-        [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
-    VPR_ASSERT(it == list.end() || (*it)->seq != inst->seq,
-               "duplicate IQ entry sn:", inst->seq);
+        [](const DynInst *a, const DynInst *b) { return a->seq() < b->seq(); });
+    VPR_ASSERT(it == list.end() || (*it)->seq() != inst->seq(),
+               "duplicate IQ entry sn:", inst->seq());
     list.insert(it, inst);
 }
 
@@ -49,11 +49,11 @@ InstQueue::remove(DynInst *inst)
 {
     auto it = std::lower_bound(
         list.begin(), list.end(), inst,
-        [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
+        [](const DynInst *a, const DynInst *b) { return a->seq() < b->seq(); });
     VPR_ASSERT(it != list.end() && *it == inst,
                "IQ remove: entry not present");
-    inst->inIq = false;
-    inst->inReadyQ = false;
+    inst->setInIq(false);
+    inst->setInReadyQ(false);
     list.erase(it);
 }
 
@@ -61,17 +61,17 @@ void
 InstQueue::removeAt(std::size_t i)
 {
     VPR_ASSERT(i < list.size(), "IQ removeAt: index out of range");
-    list[i]->inIq = false;
-    list[i]->inReadyQ = false;
+    list[i]->setInIq(false);
+    list[i]->setInReadyQ(false);
     list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void
 InstQueue::squashYoungerThan(InstSeqNum seq)
 {
-    while (!list.empty() && list.back()->seq > seq) {
-        list.back()->inIq = false;
-        list.back()->inReadyQ = false;
+    while (!list.empty() && list.back()->seq() > seq) {
+        list.back()->setInIq(false);
+        list.back()->setInReadyQ(false);
         list.pop_back();
     }
 }
@@ -80,8 +80,8 @@ void
 InstQueue::clear()
 {
     for (DynInst *inst : list) {
-        inst->inIq = false;
-        inst->inReadyQ = false;
+        inst->setInIq(false);
+        inst->setInReadyQ(false);
     }
     list.clear();
     for (auto &lists : waitLists)
@@ -122,11 +122,17 @@ InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
     // entries (instruction issued, squashed, or its slot reused — the
     // seq/residency check catches all three) are simply dropped. A tag
     // is broadcast at most once per allocation, so the list drains
-    // exactly when the old scan would have found its waiters.
-    std::vector<Waiter> waiters = std::move(lists[tag]);
-    lists[tag].clear();
-    for (const Waiter &w : waiters) {
-        if (!w.inst->inIq || w.inst->seq != w.seq)
+    // exactly when the old scan would have found its waiters. The
+    // staleness check reads only the packed hot arrays via the recorded
+    // slot; a stale waiter never touches its DynInst.
+    // Swap the tag's list into a persistent scratch buffer instead of
+    // moving it out: the tag keeps the scratch's old storage, so the
+    // wait-list capacities recycle between broadcasts and the steady
+    // state allocates nothing.
+    wakeScratch.clear();
+    wakeScratch.swap(lists[tag]);
+    for (const Waiter &w : wakeScratch) {
+        if (!hot.live(w.slot, w.seq) || !hot.isInIq(w.slot))
             continue;
         SrcOperand &s = w.inst->src[w.srcIdx];
         if (!s.valid || s.ready || s.cls != cls || s.tag != tag)

@@ -47,8 +47,8 @@ namespace vpr
 class InstQueue
 {
   public:
-    explicit InstQueue(std::size_t capacity)
-        : cap(capacity),
+    InstQueue(std::size_t capacity, InstHotPool &hotPool)
+        : cap(capacity), hot(hotPool),
           occupancy(stats::Distribution::evenBuckets(
               "occupancy", "entries occupied per cycle", 0, capacity, 16))
     {
@@ -143,6 +143,7 @@ class InstQueue
     {
         DynInst *inst;
         InstSeqNum seq;
+        HotIdx slot;
         std::uint8_t srcIdx;
     };
 
@@ -154,19 +155,23 @@ class InstQueue
     void
     maybePublishReady(DynInst *inst)
     {
-        if (!trackReady || inst->inReadyQ || !inst->issueOperandsReady())
+        if (!trackReady || inst->inReadyQ() || !inst->issueOperandsReady())
             return;
-        inst->inReadyQ = true;
-        readyEvents.push_back({inst, inst->seq});
+        inst->setInReadyQ(true);
+        readyEvents.push_back(inst->ref());
     }
 
     std::size_t cap;
+    InstHotPool &hot;
     std::vector<DynInst *> list;  ///< sorted by seq, oldest first
     /** Wait lists per register class, indexed by tag (grown on use). */
     std::vector<std::vector<Waiter>> waitLists[kNumRegClasses];
     /** Instructions published since the last drain (event-driven
      *  selection). */
     std::vector<ReadyRef> readyEvents;
+    /** Reused storage for wakeup(): holds the tag's waiters while they
+     *  are processed, then trades its buffer back to the wait list. */
+    std::vector<Waiter> wakeScratch;
     bool scanWakeup = false;
     bool trackReady = true;
 

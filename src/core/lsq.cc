@@ -24,13 +24,13 @@ Lsq::insert(DynInst *inst)
 {
     VPR_ASSERT(!full(), "insert into full LSQ");
     VPR_ASSERT(inst->isMem(), "non-memory instruction in LSQ");
-    VPR_ASSERT(list.empty() || list.back()->seq < inst->seq,
+    VPR_ASSERT(list.empty() || list.back()->seq() < inst->seq(),
                "LSQ insert out of program order");
     list.push_back(inst);
     // A store enters with its address unknown; program order keeps the
     // unknown list seq-sorted by construction.
     if (inst->isStore())
-        unknownStores.push_back({inst, inst->seq});
+        unknownStores.push_back(inst->ref());
 }
 
 void
@@ -82,7 +82,7 @@ Lsq::releaseSubs(InstSeqNum seq, Cycle wake)
     if (it == holdSubs.end())
         return;
     for (const ReadyRef &r : it->second)
-        pendingRelease.push_back({r.inst, r.seq, wake});
+        pendingRelease.push_back({r.inst, r.seq, r.slot, wake});
     holdSubs.erase(it);
 }
 
@@ -92,7 +92,7 @@ Lsq::onStoreAddrComputed(DynInst *inst)
     VPR_ASSERT(inst->isStore() && inst->addrReady,
                "address-computed hook without a computed address");
     for (Addr l = firstLine(inst); l <= lastLine(inst); ++l)
-        lineTable[l].push_back({inst, inst->seq});
+        lineTable[l].push_back(inst->ref());
     // The address is visible from addrReadyCycle on; until then the
     // store still counts as unknown (checked lazily against the cycle),
     // and the unknown-list entry is flushed once the cycle passes. The
@@ -101,8 +101,8 @@ Lsq::onStoreAddrComputed(DynInst *inst)
     VPR_ASSERT(pendingKnown.empty() ||
                    pendingKnown.back().second <= inst->addrReadyCycle,
                "store address visibility cycles must be monotone");
-    pendingKnown.push_back({inst->seq, inst->addrReadyCycle});
-    releaseSubs(inst->seq, inst->addrReadyCycle);
+    pendingKnown.push_back({inst->seq(), inst->addrReadyCycle});
+    releaseSubs(inst->seq(), inst->addrReadyCycle);
 }
 
 void
@@ -118,12 +118,12 @@ Lsq::subscribeHold(DynInst *load, const DynInst *blocker, LoadHold hold)
         // release event already fired; park directly on the pending
         // list, due when the address becomes visible.
         pendingRelease.push_back(
-            {load, load->seq, blocker->addrReadyCycle});
+            {load, load->seq(), load->slot, blocker->addrReadyCycle});
         return;
     }
     // UnknownAddress releases at address computation, PartialOverlap at
     // the blocker's commit (remove) — both via the blocker's seq.
-    holdSubs[blocker->seq].push_back({load, load->seq});
+    holdSubs[blocker->seq()].push_back(load->ref());
 }
 
 void
@@ -132,7 +132,7 @@ Lsq::takeReadyHolds(Cycle now, std::vector<ReadyRef> &out)
     std::size_t keep = 0;
     for (const HoldRelease &r : pendingRelease) {
         if (r.wake <= now)
-            out.push_back({r.inst, r.seq});
+            out.emplace_back(r.inst, r.seq, r.slot);
         else
             pendingRelease[keep++] = r;
     }
@@ -147,24 +147,24 @@ Lsq::remove(DynInst *inst)
     list.erase(it);
     if (inst->isStore()) {
         eraseLineEntries(inst);
-        eraseUnknown(inst->seq);
+        eraseUnknown(inst->seq());
         // Commit ticks before issue, so loads held on this store may
         // re-attempt this very cycle — as the legacy re-scan would.
-        releaseSubs(inst->seq, 0);
+        releaseSubs(inst->seq(), 0);
     }
 }
 
 void
 Lsq::squashYoungerThan(InstSeqNum seq)
 {
-    while (!list.empty() && list.back()->seq > seq) {
+    while (!list.empty() && list.back()->seq() > seq) {
         DynInst *inst = list.back();
         if (inst->isStore()) {
             eraseLineEntries(inst);
-            eraseUnknown(inst->seq);
+            eraseUnknown(inst->seq());
             // Subscribers are younger than their blocker: all squashed
             // with it, so the subscriptions die outright.
-            holdSubs.erase(inst->seq);
+            holdSubs.erase(inst->seq());
         }
         list.pop_back();
     }
@@ -188,7 +188,7 @@ Lsq::scanCheck(const DynInst *load, Cycle now) const
     // matching store decides forwarding.
     for (auto it = list.rbegin(); it != list.rend(); ++it) {
         const DynInst *other = *it;
-        if (other->seq >= load->seq)
+        if (other->seq() >= load->seq())
             continue;
         if (!other->isStore())
             continue;
@@ -225,7 +225,7 @@ Lsq::disambiguate(const DynInst *load, Cycle now)
     InstSeqNum unknownSeq = 0;
     for (auto it = unknownStores.rbegin(); it != unknownStores.rend();
          ++it) {
-        if (it->seq >= load->seq)
+        if (it->seq >= load->seq())
             continue;
         const DynInst *st = it->inst;
         if (st->addrReady && st->addrReadyCycle <= now)
@@ -244,7 +244,7 @@ Lsq::disambiguate(const DynInst *load, Cycle now)
         if (it == lineTable.end())
             continue;
         for (const ReadyRef &ref : it->second) {
-            if (ref.seq >= load->seq)
+            if (ref.seq >= load->seq())
                 continue;
             if (ovl && ref.seq <= ovlSeq)
                 continue;  // already have a younger candidate

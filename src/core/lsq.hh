@@ -145,11 +145,14 @@ class Lsq
      *  line with the load and each access touches at most two lines. */
     static constexpr unsigned kLineShift = 4;
 
-    /** A released hold waiting for its wake cycle. */
+    /** A released hold waiting for its wake cycle. Carries the hot-pool
+     *  slot so the issue stage's validity check stays in the packed
+     *  arrays. */
     struct HoldRelease
     {
         DynInst *inst;
         InstSeqNum seq;
+        HotIdx slot;
         Cycle wake;
     };
 

@@ -11,9 +11,11 @@ CommitStage::tick()
     const Cycle now = s.curCycle;
 
     for (unsigned k = 0; k < s.cfg.commitWidth && !s.rob.empty(); ++k) {
-        DynInst &head = s.rob.head();
-        if (head.phase != InstPhase::Completed)
+        // Peek the head's phase through the packed hot arrays; the
+        // DynInst itself is only touched once the head can retire.
+        if (s.hot.phaseOf(s.rob.headSlot()) != InstPhase::Completed)
             break;
+        DynInst &head = s.rob.head();
         VPR_ASSERT(!head.wrongPath, "committing a wrong-path instruction");
 
         if (head.isStore()) {
@@ -34,8 +36,8 @@ CommitStage::tick()
         }
 
         s.renameMgr->commitInst(head, now);
-        head.phase = InstPhase::Committed;
-        head.commitCycle = now;
+        head.setPhase(InstPhase::Committed);
+        head.setCommitCycle(now);
         ++committed;
         ++nCommittedTotal;
         committedExecutions += head.executions;

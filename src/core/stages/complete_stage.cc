@@ -35,26 +35,27 @@ CompleteStage::tick()
         VPR_ASSERT(ev.when == now, "completion event missed: when=",
                    ev.when, " now=", now);
 
-        DynInst *inst = ev.inst;
         // Stale events: the instruction was squashed (slot possibly
-        // reused by a younger instruction).
-        if (inst->seq != ev.seq || inst->phase != InstPhase::Issued)
+        // reused by a younger instruction). The check reads only the
+        // packed hot arrays via the recorded slot.
+        if (!s.hot.liveInPhase(ev.slot, ev.seq, InstPhase::Issued))
             continue;
+        DynInst *inst = ev.inst;
 
         CompleteResult res = s.renameMgr->complete(*inst, now);
         if (!res.ok) {
             // VP write-back allocation denied a register: squash back
             // to the instruction queue and re-execute (paper §3.3).
             ++wbRejections;
-            inst->phase = InstPhase::Renamed;
+            inst->setPhase(InstPhase::Renamed);
             s.iq.insert(inst);
             continue;
         }
 
-        inst->phase = InstPhase::Completed;
-        inst->completeCycle = now;
+        inst->setPhase(InstPhase::Completed);
+        inst->setCompleteCycle(now);
         issueToComplete[static_cast<std::size_t>(inst->si.op)].sample(
-            now - inst->issueCycle);
+            now - inst->issueCycle());
 
         if (inst->hasDest()) {
             VPR_ASSERT(inst->physReg != kNoReg,
@@ -62,10 +63,10 @@ CompleteStage::tick()
             s.iq.wakeup(inst->destClass(), inst->wakeupTag,
                         inst->physReg);
             // Issued stores parked on their data operand listen too.
-            for (auto &[store, seq] : completions.parkedStores()) {
-                if (store->seq != seq)
+            for (auto &ref : completions.parkedStores()) {
+                if (!s.hot.live(ref.slot, ref.seq))
                     continue;
-                auto &src = store->src[0];
+                auto &src = ref.inst->src[0];
                 if (src.valid && !src.ready &&
                     src.cls == inst->destClass() &&
                     src.tag == inst->wakeupTag) {
@@ -77,7 +78,7 @@ CompleteStage::tick()
 
         if (inst->mispredictedBranch) {
             // Branch resolution: recovery walk + fetch redirect.
-            squasher.squashYoungerThan(inst->seq);
+            squasher.squashYoungerThan(inst->seq());
             redirect.redirect(now);
         }
     }
@@ -86,16 +87,17 @@ CompleteStage::tick()
     // complete now that both address and data are known.
     auto &parked = completions.parkedStores();
     std::size_t keep = 0;
-    for (auto &[inst, seq] : parked) {
-        if (inst->seq != seq || inst->phase != InstPhase::Issued)
+    for (auto &ref : parked) {
+        if (!s.hot.liveInPhase(ref.slot, ref.seq, InstPhase::Issued))
             continue;  // squashed
+        DynInst *inst = ref.inst;
         if (inst->operandsReady()) {
             Cycle when = now + 1 > inst->addrReadyCycle
                 ? now + 1
                 : inst->addrReadyCycle;
-            completions.schedule(when, seq, inst);
+            completions.schedule(when, ref.seq, inst);
         } else {
-            parked[keep++] = {inst, seq};
+            parked[keep++] = ref;
         }
     }
     parked.resize(keep);

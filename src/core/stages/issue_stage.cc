@@ -71,9 +71,9 @@ IssueStage::tryIssueOne(DynInst *inst)
         hold = chk.hold;
         if (hold == LoadHold::UnknownAddress ||
             hold == LoadHold::PartialOverlap) {
-            if (inst->lastHold != hold) {
+            if (inst->lastHold() != hold) {
                 s.lsq.recordHold(hold);
-                inst->lastHold = hold;
+                inst->setLastHold(hold);
             }
             return {Outcome::Hold, hold, chk.blocker};
         }
@@ -147,15 +147,15 @@ IssueStage::tryIssueOne(DynInst *inst)
         if (!reExecution)
             s.lsq.onStoreAddrComputed(inst);
         if (!inst->operandsReady()) {
-            inst->phase = InstPhase::Issued;
-            inst->issueCycle = now;
+            inst->setPhase(InstPhase::Issued);
+            inst->setIssueCycle(now);
             if (!reExecution)
                 fetchToIssue[static_cast<std::size_t>(op)].sample(
-                    now - inst->fetchCycle);
+                    now - inst->fetchCycle());
             ++inst->executions;
             ++issued;
             byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
-            completions.parkStore(inst, inst->seq);
+            completions.parkStore(inst, inst->seq());
             bool fuOkStore = s.fus.tryIssue(op, now, raw);
             VPR_ASSERT(fuOkStore, "FU vanished after availability check");
             return {Outcome::Issued};
@@ -176,15 +176,15 @@ IssueStage::tryIssueOne(DynInst *inst)
     bool fuOk = s.fus.tryIssue(op, now, completion);
     VPR_ASSERT(fuOk, "FU vanished after availability check");
 
-    inst->phase = InstPhase::Issued;
-    inst->issueCycle = now;
+    inst->setPhase(InstPhase::Issued);
+    inst->setIssueCycle(now);
     if (!reExecution)
         fetchToIssue[static_cast<std::size_t>(op)].sample(
-            now - inst->fetchCycle);
+            now - inst->fetchCycle());
     ++inst->executions;
     ++issued;
     byClass.inc(static_cast<std::size_t>(op), reExecution ? 1 : 0);
-    completions.schedule(completion, inst->seq, inst);
+    completions.schedule(completion, inst->seq(), inst);
     return {Outcome::Issued};
 }
 
@@ -205,7 +205,7 @@ IssueStage::scanTick()
         while (i < s.iq.size() && nIssued < s.cfg.issueWidth) {
             DynInst *inst = s.iq.at(i);
             if ((inst->executions > 0) != (pass == 1) ||
-                inst->phase != InstPhase::Renamed) {
+                inst->phase() != InstPhase::Renamed) {
                 ++i;
                 continue;
             }
@@ -263,8 +263,11 @@ IssueStage::tick()
             DynInst *inst = e.inst;
             if (!inst)
                 continue;
-            if (!inst->inIq || inst->seq != e.seq ||
-                inst->phase != InstPhase::Renamed) {
+            // Staleness (issued, squashed, or slot reused): decided
+            // entirely inside the packed hot arrays via the recorded
+            // slot — a stale entry never touches its DynInst.
+            if (!s.hot.liveInPhase(e.slot, e.seq, InstPhase::Renamed) ||
+                !s.hot.isInIq(e.slot)) {
                 e.inst = nullptr;  // stale: issued, squashed, or reused
                 continue;
             }
@@ -283,16 +286,16 @@ IssueStage::tick()
               case Outcome::NoFu:
                 fuStallQ[static_cast<std::size_t>(
                              fuTypeFor(inst->si.op))]
-                    .push_back({inst, inst->seq});
+                    .push_back(inst->ref());
                 break;
               case Outcome::Resource:
-                retryQ.push_back({inst, inst->seq});
+                retryQ.push_back(inst->ref());
                 break;
             }
         }
     }
     for (const ReadyRef &e : cand) {
-        if (e.inst && e.inst->inIq && e.inst->seq == e.seq)
+        if (e.inst && s.hot.live(e.slot, e.seq) && s.hot.isInIq(e.slot))
             retryQ.push_back(e);
     }
 }

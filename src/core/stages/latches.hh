@@ -15,22 +15,27 @@
 #ifndef VPR_CORE_STAGES_LATCHES_HH
 #define VPR_CORE_STAGES_LATCHES_HH
 
+#include <algorithm>
 #include <queue>
-#include <utility>
 #include <vector>
 
+#include "common/intmath.hh"
+#include "common/logging.hh"
 #include "core/dyn_inst.hh"
 #include "core/fetch.hh"
 
 namespace vpr
 {
 
-/** A scheduled "instruction finishes execution" event. */
+/** A scheduled "instruction finishes execution" event. Carries the
+ *  hot-pool slot so the complete stage's staleness check reads only the
+ *  packed arrays. */
 struct CompletionEvent
 {
     Cycle when;
     InstSeqNum seq;
     DynInst *inst;
+    HotIdx slot;
 
     bool
     operator>(const CompletionEvent &o) const
@@ -45,43 +50,112 @@ struct CompletionEvent
  * squashed instructions are filtered lazily at pop time (the ROB slot
  * may have been reused, so the (seq, phase) pair is re-checked), which
  * keeps recovery O(squashed instructions).
+ *
+ * The default mechanism is a cycle-indexed calendar (timing wheel): a
+ * power-of-two ring of per-cycle buckets spanning the maximum FU/cache
+ * latency, plus an overflow list for the rare event beyond the horizon
+ * (unbounded write-port slip, MSHR queueing). schedule() is an append
+ * and popDue() drains one bucket — O(1) each, no heap sifts over
+ * 32-byte events. Within a cycle, events drain in ascending sequence
+ * number, which is exactly the (when, seq) order of the legacy
+ * std::priority_queue; the heap survives behind `core.cq.calendar`
+ * (constructor flag) as a reference path, and the determinism test
+ * asserts every exported metric byte-identical between the two.
  */
 class CompletionQueue
 {
   public:
+    /**
+     * @param useCalendar  select the calendar ring (default) or the
+     *                     legacy binary heap.
+     * @param horizonHint  minimum ring span in cycles; rounded up to a
+     *                     power of two. Events scheduled further out
+     *                     than the ring spans go to the overflow list
+     *                     and migrate in as the wheel turns.
+     */
+    explicit CompletionQueue(bool useCalendar = true,
+                             Cycle horizonHint = 128)
+        : calendar(useCalendar),
+          horizon(Cycle{1} << ceilLog2(horizonHint < 2 ? 2 : horizonHint)),
+          buckets(useCalendar ? static_cast<std::size_t>(horizon) : 0)
+    {
+    }
+
     /** Schedule @p inst to complete at @p when. */
     void
     schedule(Cycle when, InstSeqNum seq, DynInst *inst)
     {
-        events.push({when, seq, inst});
+        if (!calendar) {
+            events.push({when, seq, inst, inst->slot});
+            return;
+        }
+        VPR_ASSERT(when >= base, "scheduling into the drained past: when=",
+                   when, " base=", base);
+        ++nEvents;
+        if (when >= base + horizon) {
+            overflow.push_back({when, seq, inst, inst->slot});
+            overflowMin = std::min(overflowMin, when);
+            return;
+        }
+        buckets[static_cast<std::size_t>(when & (horizon - 1))].push_back(
+            {when, seq, inst, inst->slot});
+        if (when == base)
+            curSorted = false;
     }
 
-    /** Is an event due at or before @p now? */
+    /** Is an event due at or before @p now? (Advances the wheel past
+     *  drained buckets; the wheel never skips a non-empty one.) */
     bool
-    hasDue(Cycle now) const
+    hasDue(Cycle now)
     {
-        return !events.empty() && events.top().when <= now;
+        if (!calendar)
+            return !events.empty() && events.top().when <= now;
+        advanceTo(now);
+        return base <= now &&
+               drainIdx < buckets[curBucket()].size();
     }
 
     /** Pop the next due event (caller must check hasDue). */
     CompletionEvent
     popDue()
     {
-        CompletionEvent ev = events.top();
-        events.pop();
+        if (!calendar) {
+            CompletionEvent ev = events.top();
+            events.pop();
+            return ev;
+        }
+        auto &b = buckets[curBucket()];
+        VPR_ASSERT(drainIdx < b.size(), "popDue without a due event");
+        if (!curSorted) {
+            std::sort(b.begin() + static_cast<std::ptrdiff_t>(drainIdx),
+                      b.end(),
+                      [](const CompletionEvent &a,
+                         const CompletionEvent &o) { return a.seq < o.seq; });
+            curSorted = true;
+        }
+        CompletionEvent ev = b[drainIdx++];
+        --nEvents;
+        if (drainIdx == b.size()) {
+            b.clear();
+            drainIdx = 0;
+        }
         return ev;
     }
 
-    std::size_t pendingEvents() const { return events.size(); }
+    std::size_t
+    pendingEvents() const
+    {
+        return calendar ? nEvents : events.size();
+    }
 
     /** Park an issued store until its data operand is produced. */
     void
     parkStore(DynInst *inst, InstSeqNum seq)
     {
-        storesAwaitingData.emplace_back(inst, seq);
+        storesAwaitingData.emplace_back(inst, seq, inst->slot);
     }
 
-    std::vector<std::pair<DynInst *, InstSeqNum>> &
+    std::vector<ReadyRef> &
     parkedStores()
     {
         return storesAwaitingData;
@@ -95,35 +169,128 @@ class CompletionQueue
     {
         std::size_t keep = 0;
         for (auto &entry : storesAwaitingData)
-            if (entry.second <= youngestKept)
+            if (entry.seq <= youngestKept)
                 storesAwaitingData[keep++] = entry;
         storesAwaitingData.resize(keep);
     }
 
-    /** True if any event or parked store references @p seq (tests). */
+    /** True if any event or parked store references @p seq (tests).
+     *  Calendar: walk the live bucket remainders and the overflow list.
+     *  Heap: linear scan of the underlying container (no copy-and-pop). */
     bool
     pendingFor(InstSeqNum seq) const
     {
-        auto copy = events;
-        while (!copy.empty()) {
-            if (copy.top().seq == seq)
-                return true;
-            copy.pop();
+        if (calendar) {
+            for (std::size_t i = 0; i < buckets.size(); ++i) {
+                std::size_t from = i == curBucket() ? drainIdx : 0;
+                const auto &b = buckets[i];
+                for (std::size_t j = from; j < b.size(); ++j)
+                    if (b[j].seq == seq)
+                        return true;
+            }
+            for (const auto &ev : overflow)
+                if (ev.seq == seq)
+                    return true;
+        } else {
+            for (const auto &ev : heapContainer(events))
+                if (ev.seq == seq)
+                    return true;
         }
-        for (const auto &[inst, sn] : storesAwaitingData)
-            if (sn == seq)
+        for (const auto &ref : storesAwaitingData)
+            if (ref.seq == seq)
                 return true;
         return false;
     }
 
   private:
-    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
-                        std::greater<CompletionEvent>>
-        events;
+    using EventHeap =
+        std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                            std::greater<CompletionEvent>>;
+
+    /** Read access to the heap's underlying vector: the standard
+     *  guarantees a protected member `c`; the derived-class
+     *  member-pointer trick exposes it without copying the queue. */
+    static const std::vector<CompletionEvent> &
+    heapContainer(const EventHeap &q)
+    {
+        struct Access : EventHeap
+        {
+            static const std::vector<CompletionEvent> &
+            get(const EventHeap &h)
+            {
+                return h.*&Access::c;
+            }
+        };
+        return Access::get(q);
+    }
+
+    std::size_t
+    curBucket() const
+    {
+        return static_cast<std::size_t>(base & (horizon - 1));
+    }
+
+    /** Turn the wheel: advance past drained buckets up to @p now,
+     *  pulling overflow events in as they come within the horizon. The
+     *  wheel stops at the first non-empty bucket, so late drains (a
+     *  caller that skipped cycles) still pop in (when, seq) order. */
+    void
+    advanceTo(Cycle now)
+    {
+        while (base < now) {
+            maybeMigrate();
+            auto &b = buckets[curBucket()];
+            if (drainIdx < b.size())
+                return;
+            b.clear();
+            drainIdx = 0;
+            ++base;
+            curSorted = false;
+        }
+        maybeMigrate();
+    }
+
+    /** Move overflow events that fit the ring now into their buckets. */
+    void
+    maybeMigrate()
+    {
+        if (overflow.empty() || overflowMin >= base + horizon)
+            return;
+        std::size_t keep = 0;
+        Cycle newMin = kNoCycle;
+        for (const CompletionEvent &ev : overflow) {
+            if (ev.when < base + horizon) {
+                buckets[static_cast<std::size_t>(ev.when & (horizon - 1))]
+                    .push_back(ev);
+                if (ev.when == base)
+                    curSorted = false;
+            } else {
+                overflow[keep++] = ev;
+                newMin = std::min(newMin, ev.when);
+            }
+        }
+        overflow.resize(keep);
+        overflowMin = newMin;
+    }
+
+    const bool calendar;
+    const Cycle horizon;          ///< ring span (power of two)
+
+    // --- calendar state ---------------------------------------------------
+    std::vector<std::vector<CompletionEvent>> buckets;
+    std::vector<CompletionEvent> overflow; ///< events beyond the horizon
+    Cycle overflowMin = kNoCycle; ///< earliest overflow `when`
+    Cycle base = 0;               ///< no event is due before this cycle
+    std::size_t drainIdx = 0;     ///< consumed prefix of bucket[base]
+    bool curSorted = true;        ///< bucket[base] tail is seq-sorted
+    std::size_t nEvents = 0;
+
+    // --- legacy heap (reference path) --------------------------------------
+    EventHeap events;
 
     /** Issued stores whose data operand has not been produced yet; they
      *  complete once the data broadcast arrives. */
-    std::vector<std::pair<DynInst *, InstSeqNum>> storesAwaitingData;
+    std::vector<ReadyRef> storesAwaitingData;
 };
 
 /** The consumer side of the fetch buffer (fetch→rename latch). */

@@ -10,8 +10,9 @@ PipelineState::PipelineState(TraceStream &stream, const CoreConfig &config)
     : cfg(config),
       renameMgr(makeRenamer(config.scheme, config.rename)),
       fetch(stream, config.fetch),
-      rob(config.robSize),
-      iq(config.iqSize),
+      hot(config.robSize),
+      rob(config.robSize, hot),
+      iq(config.iqSize, hot),
       lsq(config.lsqSize),
       cache(config.cache),
       fus(config.fu),
@@ -82,10 +83,10 @@ PipelineState::squashYoungerThan(InstSeqNum youngestKept)
 {
     iq.squashYoungerThan(youngestKept);
     lsq.squashYoungerThan(youngestKept);
-    while (!rob.empty() && rob.tail().seq > youngestKept) {
+    while (!rob.empty() && rob.tail().seq() > youngestKept) {
         DynInst &tail = rob.tail();
         renameMgr->squashInst(tail, curCycle);
-        tail.phase = InstPhase::Squashed;
+        tail.setPhase(InstPhase::Squashed);
         ++squashedStat;
         rob.squashTail();
     }

@@ -35,14 +35,15 @@ RenameStage::tick()
         }
 
         FetchedInst f = fetched.pop();
-        DynInst d;
-        d.si = f.si;
-        d.seq = ++s.nextSeq;
-        d.wrongPath = f.wrongPath;
-        d.mispredictedBranch = f.mispredictedBranch;
-        d.fetchCycle = f.fetchCycle;
+        // Allocate the ROB entry first (binding it to its freshly reset
+        // hot-state row), then fill it in place — no DynInst copy.
+        DynInst *inst = s.rob.allocate();
+        inst->si = f.si;
+        inst->setSeq(++s.nextSeq);
+        inst->wrongPath = f.wrongPath;
+        inst->mispredictedBranch = f.mispredictedBranch;
+        inst->setFetchCycle(f.fetchCycle);
 
-        DynInst *inst = s.rob.insert(d);
         s.renameMgr->renameInst(*inst, s.curCycle);
         s.iq.insert(inst);
         if (inst->isMem())

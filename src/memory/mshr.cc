@@ -26,6 +26,8 @@ MshrFile::allocate(Addr lineAddr, Cycle fillCycle)
     VPR_ASSERT(!full(), "allocate on full MSHR file");
     VPR_ASSERT(find(lineAddr) == nullptr, "duplicate MSHR for line");
     live.push_back(Mshr{lineAddr, fillCycle, false, 0, 1, false});
+    if (fillCycle < earliestFill)
+        earliestFill = fillCycle;
     return live.back();
 }
 

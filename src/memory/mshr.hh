@@ -49,24 +49,37 @@ class MshrFile
 
     /**
      * Remove entries whose fill completed at or before @p now and hand
-     * them to @p sink (used by the cache to install tags).
+     * them to @p sink (used by the cache to install tags). The earliest
+     * pending fill cycle is cached so the common every-cycle call with
+     * nothing due returns without touching the entries at all.
      */
     template <typename Sink>
     void
     retireUpTo(Cycle now, Sink &&sink)
     {
+        if (earliestFill > now)
+            return;
         std::size_t keep = 0;
+        Cycle earliest = kNoCycle;
         for (std::size_t i = 0; i < live.size(); ++i) {
             if (live[i].fillCycle <= now) {
                 sink(live[i]);
             } else {
+                if (live[i].fillCycle < earliest)
+                    earliest = live[i].fillCycle;
                 live[keep++] = live[i];
             }
         }
         live.resize(keep);
+        earliestFill = earliest;
     }
 
-    void clear() { live.clear(); }
+    void
+    clear()
+    {
+        live.clear();
+        earliestFill = kNoCycle;
+    }
 
     /** All live entries (tests/inspection). */
     const std::vector<Mshr> &entries() const { return live; }
@@ -74,6 +87,9 @@ class MshrFile
   private:
     std::size_t capacity;
     std::vector<Mshr> live;
+    /** Earliest pending fillCycle (kNoCycle when empty); valid because
+     *  an entry's fill cycle never changes after allocation. */
+    Cycle earliestFill = kNoCycle;
 };
 
 } // namespace vpr

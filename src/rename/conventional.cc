@@ -83,7 +83,7 @@ ConventionalRename::renameInst(DynInst &inst, Cycle now)
         inst.physReg = phys;
         inst.wakeupTag = phys;
     }
-    inst.renameCycle = now;
+    inst.setRenameCycle(now);
 }
 
 bool

@@ -48,7 +48,7 @@ EarlyReleaseRename::renameInst(DynInst &inst, Cycle now)
         // releasable (value written, no readers left).
         PhysRegId prev = static_cast<PhysRegId>(inst.prevTag);
         state[classIdx(cls)][prev].superseded = true;
-        state[classIdx(cls)][prev].supersederSeq = inst.seq;
+        state[classIdx(cls)][prev].supersederSeq = inst.seq();
         maybeRelease(cls, prev, now);
     }
 }
@@ -86,7 +86,7 @@ EarlyReleaseRename::commitInst(DynInst &inst, Cycle now)
 {
     if (!inst.hasDest())
         return;
-    if (owedFrees.erase(inst.seq)) {
+    if (owedFrees.erase(inst.seq())) {
         // The previous mapping was already released by the counter
         // mechanism (and may even have been reallocated since).
         return;
@@ -98,7 +98,7 @@ void
 EarlyReleaseRename::squashInst(DynInst &inst, Cycle now)
 {
     // Un-count readers that have not issued (issued ones already read).
-    if (inst.phase == InstPhase::Renamed) {
+    if (inst.phase() == InstPhase::Renamed) {
         for (const auto &s : inst.src) {
             if (!s.valid)
                 continue;
@@ -112,11 +112,11 @@ EarlyReleaseRename::squashInst(DynInst &inst, Cycle now)
         RegClass cls = inst.destClass();
         PhysRegId prev = static_cast<PhysRegId>(inst.prevTag);
         RegState &st = state[classIdx(cls)][prev];
-        VPR_ASSERT(owedFrees.count(inst.seq) == 0,
+        VPR_ASSERT(owedFrees.count(inst.seq()) == 0,
                    "early release is incompatible with squashing a "
                    "superseder; run with WrongPathMode::Stall "
                    "(see early_release.hh)");
-        if (st.supersederSeq == inst.seq) {
+        if (st.supersederSeq == inst.seq()) {
             st.superseded = false;
             st.supersederSeq = kNoSeqNum;
         }

@@ -1,5 +1,7 @@
 #include "rename/reservation.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vpr
@@ -21,14 +23,19 @@ ReservationTracker::onRename(InstSeqNum seq)
 void
 ReservationTracker::onAllocate(InstSeqNum seq)
 {
-    for (auto &e : entries) {
-        if (e.seq == seq) {
-            VPR_ASSERT(!e.allocated, "double allocation for sn:", seq);
-            e.allocated = true;
-            return;
-        }
-    }
-    VPR_PANIC("onAllocate: unknown instruction sn:", seq);
+    // Entries are age-ordered (rename is in program order), so the
+    // instruction is found by binary search rather than a walk of the
+    // whole in-flight window.
+    auto it = std::lower_bound(entries.begin(), entries.end(), seq,
+                               [](const Entry &e, InstSeqNum s) {
+                                   return e.seq < s;
+                               });
+    if (it == entries.end() || it->seq != seq)
+        VPR_PANIC("onAllocate: unknown instruction sn:", seq);
+    VPR_ASSERT(!it->allocated, "double allocation for sn:", seq);
+    it->allocated = true;
+    if (static_cast<std::size_t>(it - entries.begin()) < reservedCount())
+        ++usedRes;
 }
 
 void
@@ -36,6 +43,11 @@ ReservationTracker::onCommit(InstSeqNum seq)
 {
     VPR_ASSERT(!entries.empty() && entries.front().seq == seq,
                "commit of non-oldest dest instruction sn:", seq);
+    if (entries.front().allocated)
+        --usedRes;
+    // The old (nrr+1)-th oldest entry (if any) enters the reserved set.
+    if (entries.size() > nrr && entries[nrr].allocated)
+        ++usedRes;
     entries.pop_front();
 }
 
@@ -44,6 +56,8 @@ ReservationTracker::onSquash(InstSeqNum seq)
 {
     VPR_ASSERT(!entries.empty() && entries.back().seq == seq,
                "squash of non-youngest dest instruction sn:", seq);
+    if (entries.size() <= nrr && entries.back().allocated)
+        --usedRes;
     entries.pop_back();
 }
 
@@ -51,21 +65,14 @@ bool
 ReservationTracker::isReserved(InstSeqNum seq) const
 {
     std::size_t lim = reservedCount();
-    for (std::size_t i = 0; i < lim; ++i)
-        if (entries[i].seq == seq)
-            return true;
-    return false;
-}
-
-unsigned
-ReservationTracker::usedInReserved() const
-{
-    std::size_t lim = reservedCount();
-    unsigned used = 0;
-    for (std::size_t i = 0; i < lim; ++i)
-        if (entries[i].allocated)
-            ++used;
-    return used;
+    if (lim == 0 || seq > entries[lim - 1].seq)
+        return false;
+    auto end = entries.begin() + static_cast<std::ptrdiff_t>(lim);
+    auto it = std::lower_bound(entries.begin(), end, seq,
+                               [](const Entry &e, InstSeqNum s) {
+                                   return e.seq < s;
+                               });
+    return it != end && it->seq == seq;
 }
 
 bool

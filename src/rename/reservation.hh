@@ -60,8 +60,10 @@ class ReservationTracker
     /** True if @p seq is within the oldest-NRR reserved set. */
     bool isReserved(InstSeqNum seq) const;
 
-    /** Used counter: allocated instructions inside the reserved set. */
-    unsigned usedInReserved() const;
+    /** Used counter: allocated instructions inside the reserved set.
+     *  Maintained incrementally — O(1), read on every allocation
+     *  attempt. */
+    unsigned usedInReserved() const { return usedRes; }
 
     /** Reg counter: size of the reserved set (<= NRR). */
     unsigned
@@ -75,7 +77,12 @@ class ReservationTracker
     std::size_t inFlight() const { return entries.size(); }
     bool empty() const { return entries.empty(); }
 
-    void clear() { entries.clear(); }
+    void
+    clear()
+    {
+        entries.clear();
+        usedRes = 0;
+    }
 
   private:
     struct Entry
@@ -86,6 +93,8 @@ class ReservationTracker
 
     unsigned nrr;
     std::deque<Entry> entries;  ///< age ordered, front = oldest
+    /** Allocated entries within the oldest-min(nrr,size) window. */
+    unsigned usedRes = 0;
 };
 
 } // namespace vpr

@@ -104,9 +104,9 @@ VirtualPhysicalRename::renameInst(DynInst &inst, Cycle now)
         inst.vpReg = vp;
         inst.wakeupTag = vp;
         inst.physReg = kNoReg;
-        tracker[c].onRename(inst.seq);
+        tracker[c].onRename(inst.seq());
     }
-    inst.renameCycle = now;
+    inst.setRenameCycle(now);
 }
 
 PhysRegId
@@ -144,11 +144,11 @@ VirtualPhysicalRename::tryIssue(DynInst &inst, Cycle now)
 
     RegClass cls = inst.destClass();
     std::size_t c = classIdx(cls);
-    if (!tracker[c].mayAllocate(inst.seq, physFreeList[c].size())) {
+    if (!tracker[c].mayAllocate(inst.seq(), physFreeList[c].size())) {
         ++nIssueRejections;
         return false;
     }
-    inst.physReg = allocPhys(cls, inst.seq, now);
+    inst.physReg = allocPhys(cls, inst.seq(), now);
     return true;
 }
 
@@ -164,13 +164,13 @@ VirtualPhysicalRename::complete(DynInst &inst, Cycle now)
     if (!allocAtIssue) {
         VPR_ASSERT(inst.physReg == kNoReg,
                    "writeback-alloc: completing twice");
-        if (!tracker[c].mayAllocate(inst.seq, physFreeList[c].size())) {
+        if (!tracker[c].mayAllocate(inst.seq(), physFreeList[c].size())) {
             // No register may be taken: squash back to the IQ and
             // re-execute later (paper, section 3.3).
             ++nRejections;
             return {false};
         }
-        inst.physReg = allocPhys(cls, inst.seq, now);
+        inst.physReg = allocPhys(cls, inst.seq(), now);
     }
     VPR_ASSERT(inst.physReg != kNoReg, "complete without phys reg");
 
@@ -196,7 +196,7 @@ VirtualPhysicalRename::commitInst(DynInst &inst, Cycle now)
 
     RegClass cls = inst.destClass();
     std::size_t c = classIdx(cls);
-    tracker[c].onCommit(inst.seq);
+    tracker[c].onCommit(inst.seq());
 
     // Free the VP register of the previous instruction with the same
     // logical destination, and the physical register found through the
@@ -225,7 +225,7 @@ VirtualPhysicalRename::squashInst(DynInst &inst, Cycle now)
     RegClass cls = inst.destClass();
     std::size_t c = classIdx(cls);
     std::uint16_t logical = inst.si.dest.index();
-    tracker[c].onSquash(inst.seq);
+    tracker[c].onSquash(inst.seq());
 
     VPR_ASSERT(gmt[c][logical].vp == inst.vpReg,
                "squash: GMT does not point at squashed inst");

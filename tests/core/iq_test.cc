@@ -12,54 +12,94 @@ namespace vpr
 namespace
 {
 
-DynInst
-alu(InstSeqNum seq)
+/** An IQ with its backing hot-state pool. Tests bind instructions to
+ *  fresh pool slots through adopt() (the ROB does this in production). */
+struct IqFixture
 {
-    DynInst d;
-    d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
-                           RegId::intReg(3));
-    d.seq = seq;
-    return d;
-}
+    explicit IqFixture(std::size_t cap, std::size_t slots = 2048)
+        : hot(slots), iq(cap, hot)
+    {
+    }
+
+    /** Bind @p d to a fresh (reset) hot slot and stamp @p seq. */
+    void
+    adopt(DynInst &d, InstSeqNum seq)
+    {
+        adoptAt(d, next++, seq);
+    }
+
+    /** Bind @p d to a specific slot — slot-reuse tests. */
+    void
+    adoptAt(DynInst &d, HotIdx sl, InstSeqNum seq)
+    {
+        hot.reset(sl);
+        d.bindHot(&hot, sl);
+        d.setSeq(seq);
+    }
+
+    DynInst
+    alu(InstSeqNum seq)
+    {
+        DynInst d;
+        d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                               RegId::intReg(3));
+        adopt(d, seq);
+        return d;
+    }
+
+    DynInst
+    waiter(InstSeqNum seq, RegClass cls, std::uint16_t tag)
+    {
+        DynInst d = alu(seq);
+        d.src[0].valid = true;
+        d.src[0].cls = cls;
+        d.src[0].tag = tag;
+        return d;
+    }
+
+    InstHotPool hot;
+    InstQueue iq;
+    HotIdx next = 0;
+};
 
 TEST(InstQueue, InsertKeepsAgeOrder)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1), b = alu(2), c = alu(3);
-    iq.insert(&a);
-    iq.insert(&c);
+    IqFixture f(8);
+    DynInst a = f.alu(1), b = f.alu(2), c = f.alu(3);
+    f.iq.insert(&a);
+    f.iq.insert(&c);
     // Re-insertion of an older instruction (write-back squash path).
-    iq.insert(&b);
-    ASSERT_EQ(iq.size(), 3u);
-    EXPECT_EQ(iq.entries()[0]->seq, 1u);
-    EXPECT_EQ(iq.entries()[1]->seq, 2u);
-    EXPECT_EQ(iq.entries()[2]->seq, 3u);
+    f.iq.insert(&b);
+    ASSERT_EQ(f.iq.size(), 3u);
+    EXPECT_EQ(f.iq.entries()[0]->seq(), 1u);
+    EXPECT_EQ(f.iq.entries()[1]->seq(), 2u);
+    EXPECT_EQ(f.iq.entries()[2]->seq(), 3u);
 }
 
 TEST(InstQueue, RemoveSpecificEntry)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1), b = alu(2);
-    iq.insert(&a);
-    iq.insert(&b);
-    iq.remove(&a);
-    ASSERT_EQ(iq.size(), 1u);
-    EXPECT_EQ(iq.entries()[0]->seq, 2u);
+    IqFixture f(8);
+    DynInst a = f.alu(1), b = f.alu(2);
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    f.iq.remove(&a);
+    ASSERT_EQ(f.iq.size(), 1u);
+    EXPECT_EQ(f.iq.entries()[0]->seq(), 2u);
 }
 
 TEST(InstQueue, WakeupMatchesClassAndTag)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1);
+    IqFixture f(8);
+    DynInst a = f.alu(1);
     a.src[0].valid = true;
     a.src[0].cls = RegClass::Int;
     a.src[0].tag = 40;
     a.src[1].valid = true;
     a.src[1].cls = RegClass::Float;
     a.src[1].tag = 40;  // same tag number, different class!
-    iq.insert(&a);
+    f.iq.insert(&a);
 
-    EXPECT_EQ(iq.wakeup(RegClass::Int, 40, 7), 1u);
+    EXPECT_EQ(f.iq.wakeup(RegClass::Int, 40, 7), 1u);
     EXPECT_TRUE(a.src[0].ready);
     EXPECT_EQ(a.src[0].tag, 7);      // captured the physical register
     EXPECT_FALSE(a.src[1].ready);    // FP operand untouched
@@ -67,132 +107,130 @@ TEST(InstQueue, WakeupMatchesClassAndTag)
 
 TEST(InstQueue, WakeupIgnoresAlreadyReady)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1);
+    IqFixture f(8);
+    DynInst a = f.alu(1);
     a.src[0].valid = true;
     a.src[0].cls = RegClass::Int;
     a.src[0].tag = 40;
     a.src[0].ready = true;
-    iq.insert(&a);
-    EXPECT_EQ(iq.wakeup(RegClass::Int, 40, 9), 0u);
+    f.iq.insert(&a);
+    EXPECT_EQ(f.iq.wakeup(RegClass::Int, 40, 9), 0u);
     EXPECT_EQ(a.src[0].tag, 40);
 }
 
 TEST(InstQueue, WakeupHitsAllWaiters)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1), b = alu(2);
+    IqFixture f(8);
+    DynInst a = f.alu(1), b = f.alu(2);
     for (DynInst *d : {&a, &b}) {
         d->src[0].valid = true;
         d->src[0].cls = RegClass::Float;
         d->src[0].tag = 99;
-        iq.insert(d);
+        f.iq.insert(d);
     }
-    EXPECT_EQ(iq.wakeup(RegClass::Float, 99, 3), 2u);
+    EXPECT_EQ(f.iq.wakeup(RegClass::Float, 99, 3), 2u);
     EXPECT_TRUE(a.src[0].ready && b.src[0].ready);
 }
 
 TEST(InstQueue, SquashYoungerThanDropsTail)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1), b = alu(5), c = alu(9);
-    iq.insert(&a);
-    iq.insert(&b);
-    iq.insert(&c);
-    iq.squashYoungerThan(5);
-    ASSERT_EQ(iq.size(), 2u);
-    EXPECT_EQ(iq.entries().back()->seq, 5u);
-    iq.squashYoungerThan(0);
-    EXPECT_TRUE(iq.empty());
+    IqFixture f(8);
+    DynInst a = f.alu(1), b = f.alu(5), c = f.alu(9);
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    f.iq.insert(&c);
+    f.iq.squashYoungerThan(5);
+    ASSERT_EQ(f.iq.size(), 2u);
+    EXPECT_EQ(f.iq.entries().back()->seq(), 5u);
+    f.iq.squashYoungerThan(0);
+    EXPECT_TRUE(f.iq.empty());
 }
 
 TEST(InstQueue, CapacityTracking)
 {
-    InstQueue iq(2);
-    DynInst a = alu(1), b = alu(2);
-    EXPECT_FALSE(iq.full());
-    iq.insert(&a);
-    iq.insert(&b);
-    EXPECT_TRUE(iq.full());
+    IqFixture f(2);
+    DynInst a = f.alu(1), b = f.alu(2);
+    EXPECT_FALSE(f.iq.full());
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    EXPECT_TRUE(f.iq.full());
 }
 
 TEST(InstQueueDeath, InsertIntoFullPanics)
 {
-    InstQueue iq(1);
-    DynInst a = alu(1), b = alu(2);
-    iq.insert(&a);
-    EXPECT_DEATH(iq.insert(&b), "full IQ");
+    IqFixture f(1);
+    DynInst a = f.alu(1), b = f.alu(2);
+    f.iq.insert(&a);
+    EXPECT_DEATH(f.iq.insert(&b), "full IQ");
 }
 
 TEST(InstQueueDeath, DuplicateInsertPanics)
 {
-    InstQueue iq(4);
-    DynInst a = alu(1), b = alu(2);
-    iq.insert(&a);
-    iq.insert(&b);
-    DynInst dup = alu(1);
-    EXPECT_DEATH(iq.insert(&dup), "duplicate IQ entry");
+    IqFixture f(4);
+    DynInst a = f.alu(1), b = f.alu(2);
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    DynInst dup = f.alu(1);
+    EXPECT_DEATH(f.iq.insert(&dup), "duplicate IQ entry");
 }
 
 TEST(InstQueueDeath, RemoveAbsentPanics)
 {
-    InstQueue iq(4);
-    DynInst a = alu(1);
-    EXPECT_DEATH(iq.remove(&a), "not present");
+    IqFixture f(4);
+    DynInst a = f.alu(1);
+    EXPECT_DEATH(f.iq.remove(&a), "not present");
 }
 
 // --- per-tag wait-list wakeup ---------------------------------------------
 
-DynInst
-waiter(InstSeqNum seq, RegClass cls, std::uint16_t tag)
-{
-    DynInst d = alu(seq);
-    d.src[0].valid = true;
-    d.src[0].cls = cls;
-    d.src[0].tag = tag;
-    return d;
-}
-
 TEST(InstQueueWaitList, RemovedEntryIsNotWoken)
 {
-    InstQueue iq(8);
-    DynInst a = waiter(1, RegClass::Int, 40);
-    DynInst b = waiter(2, RegClass::Int, 40);
-    iq.insert(&a);
-    iq.insert(&b);
-    iq.remove(&a);  // e.g. issued before the broadcast
-    EXPECT_EQ(iq.wakeup(RegClass::Int, 40, 7), 1u);
+    IqFixture f(8);
+    DynInst a = f.waiter(1, RegClass::Int, 40);
+    DynInst b = f.waiter(2, RegClass::Int, 40);
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    f.iq.remove(&a);  // e.g. issued before the broadcast
+    EXPECT_EQ(f.iq.wakeup(RegClass::Int, 40, 7), 1u);
     EXPECT_FALSE(a.src[0].ready);
     EXPECT_TRUE(b.src[0].ready);
 }
 
 TEST(InstQueueWaitList, SquashedEntryIsNotWoken)
 {
-    InstQueue iq(8);
-    DynInst a = waiter(1, RegClass::Float, 9);
-    DynInst b = waiter(5, RegClass::Float, 9);
-    iq.insert(&a);
-    iq.insert(&b);
-    iq.squashYoungerThan(1);
-    EXPECT_EQ(iq.wakeup(RegClass::Float, 9, 3), 1u);
+    IqFixture f(8);
+    DynInst a = f.waiter(1, RegClass::Float, 9);
+    DynInst b = f.waiter(5, RegClass::Float, 9);
+    f.iq.insert(&a);
+    f.iq.insert(&b);
+    f.iq.squashYoungerThan(1);
+    EXPECT_EQ(f.iq.wakeup(RegClass::Float, 9, 3), 1u);
     EXPECT_TRUE(a.src[0].ready);
     EXPECT_FALSE(b.src[0].ready);
 }
 
 TEST(InstQueueWaitList, SlotReuseAfterSquashIsDetected)
 {
-    // A squashed instruction's storage is recycled for a younger one
-    // (the ROB reuses slots); the stale wait-list entry must not wake
-    // the new occupant, while the new occupant's own entry must.
-    InstQueue iq(8);
-    DynInst slot = waiter(3, RegClass::Int, 12);
-    iq.insert(&slot);
-    iq.squashYoungerThan(0);
-    ASSERT_TRUE(iq.empty());
+    // A squashed instruction's ROB slot (and hot row) is recycled for a
+    // younger one; the stale wait-list entry must not wake the new
+    // occupant, while the new occupant's own entry must.
+    IqFixture f(8);
+    DynInst slot = f.waiter(3, RegClass::Int, 12);
+    HotIdx sl = slot.slot;
+    f.iq.insert(&slot);
+    f.iq.squashYoungerThan(0);
+    ASSERT_TRUE(f.iq.empty());
 
-    slot = waiter(9, RegClass::Int, 12);  // recycled storage, new seq
-    iq.insert(&slot);
-    EXPECT_EQ(iq.wakeup(RegClass::Int, 12, 4), 1u);
+    // Recycle the same storage and hot row with a new sequence number.
+    slot = DynInst();
+    slot.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                              RegId::intReg(3));
+    f.adoptAt(slot, sl, 9);
+    slot.src[0].valid = true;
+    slot.src[0].cls = RegClass::Int;
+    slot.src[0].tag = 12;
+    f.iq.insert(&slot);
+    EXPECT_EQ(f.iq.wakeup(RegClass::Int, 12, 4), 1u);
     EXPECT_TRUE(slot.src[0].ready);
     EXPECT_EQ(slot.src[0].tag, 4);
 }
@@ -201,12 +239,12 @@ TEST(InstQueueWaitList, ReinsertionDoesNotDoubleWake)
 {
     // Write-back squash path: an instruction re-enters the queue while
     // its original wait-list entry may still be pending.
-    InstQueue iq(8);
-    DynInst a = waiter(4, RegClass::Int, 17);
-    iq.insert(&a);
-    iq.remove(&a);
-    iq.insert(&a);  // re-inserted, still waiting on tag 17
-    EXPECT_EQ(iq.wakeup(RegClass::Int, 17, 6), 1u);
+    IqFixture f(8);
+    DynInst a = f.waiter(4, RegClass::Int, 17);
+    f.iq.insert(&a);
+    f.iq.remove(&a);
+    f.iq.insert(&a);  // re-inserted, still waiting on tag 17
+    EXPECT_EQ(f.iq.wakeup(RegClass::Int, 17, 6), 1u);
     EXPECT_TRUE(a.src[0].ready);
 }
 
@@ -223,30 +261,31 @@ drain(InstQueue &iq)
 
 TEST(InstQueueReady, ReadyAtInsertIsPublishedImmediately)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1);  // no sources: issue-ready on arrival
-    iq.insert(&a);
-    auto out = drain(iq);
+    IqFixture f(8);
+    DynInst a = f.alu(1);  // no sources: issue-ready on arrival
+    f.iq.insert(&a);
+    auto out = drain(f.iq);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, &a);
     EXPECT_EQ(out[0].seq, 1u);
-    EXPECT_TRUE(a.inReadyQ);
+    EXPECT_EQ(out[0].slot, a.slot);
+    EXPECT_TRUE(a.inReadyQ());
     // Published exactly once.
-    EXPECT_TRUE(drain(iq).empty());
+    EXPECT_TRUE(drain(f.iq).empty());
 }
 
 TEST(InstQueueReady, PublishedWhenLastSourceWakes)
 {
-    InstQueue iq(8);
-    DynInst a = alu(1);
+    IqFixture f(8);
+    DynInst a = f.alu(1);
     a.src[0] = {10, RegClass::Int, true, false};
     a.src[1] = {11, RegClass::Float, true, false};
-    iq.insert(&a);
-    EXPECT_TRUE(drain(iq).empty());
-    iq.wakeup(RegClass::Int, 10, 70);
-    EXPECT_TRUE(drain(iq).empty());  // one source still outstanding
-    iq.wakeup(RegClass::Float, 11, 71);
-    auto out = drain(iq);
+    f.iq.insert(&a);
+    EXPECT_TRUE(drain(f.iq).empty());
+    f.iq.wakeup(RegClass::Int, 10, 70);
+    EXPECT_TRUE(drain(f.iq).empty());  // one source still outstanding
+    f.iq.wakeup(RegClass::Float, 11, 71);
+    auto out = drain(f.iq);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, &a);
 }
@@ -255,18 +294,18 @@ TEST(InstQueueReady, StorePublishesOnAddressOperandOnly)
 {
     // A store issues on its address operand (src[1]); the data operand
     // (src[0]) gates completion, not readiness for issue.
-    InstQueue iq(8);
+    IqFixture f(8);
     DynInst st;
     st.si = StaticInst::store(RegId::intReg(3), RegId::intReg(2), 0x100);
-    st.seq = 1;
+    f.adopt(st, 1);
     st.src[0] = {20, RegClass::Int, true, false};  // data
     st.src[1] = {21, RegClass::Int, true, false};  // address base
-    iq.insert(&st);
-    EXPECT_TRUE(drain(iq).empty());
-    iq.wakeup(RegClass::Int, 20, 70);  // data wakes: still not ready
-    EXPECT_TRUE(drain(iq).empty());
-    iq.wakeup(RegClass::Int, 21, 71);  // address wakes: publish
-    auto out = drain(iq);
+    f.iq.insert(&st);
+    EXPECT_TRUE(drain(f.iq).empty());
+    f.iq.wakeup(RegClass::Int, 20, 70);  // data wakes: still not ready
+    EXPECT_TRUE(drain(f.iq).empty());
+    f.iq.wakeup(RegClass::Int, 21, 71);  // address wakes: publish
+    auto out = drain(f.iq);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, &st);
 }
@@ -275,26 +314,26 @@ TEST(InstQueueReady, ReinsertionAfterRemoveRepublishes)
 {
     // Write-back rejection path: the instruction issued (leaving the
     // queue), got denied a register, and re-enters ready.
-    InstQueue iq(8);
-    DynInst a = alu(1);
-    iq.insert(&a);
-    ASSERT_EQ(drain(iq).size(), 1u);
-    iq.remove(&a);
-    EXPECT_FALSE(a.inReadyQ);
-    iq.insert(&a);
-    auto out = drain(iq);
+    IqFixture f(8);
+    DynInst a = f.alu(1);
+    f.iq.insert(&a);
+    ASSERT_EQ(drain(f.iq).size(), 1u);
+    f.iq.remove(&a);
+    EXPECT_FALSE(a.inReadyQ());
+    f.iq.insert(&a);
+    auto out = drain(f.iq);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, &a);
 }
 
 TEST(InstQueueReady, ScanIssueModeDoesNotPublish)
 {
-    InstQueue iq(8);
-    iq.setTrackReady(false);
-    DynInst a = alu(1);
-    iq.insert(&a);
-    EXPECT_TRUE(drain(iq).empty());
-    EXPECT_FALSE(a.inReadyQ);
+    IqFixture f(8);
+    f.iq.setTrackReady(false);
+    DynInst a = f.alu(1);
+    f.iq.insert(&a);
+    EXPECT_TRUE(drain(f.iq).empty());
+    EXPECT_FALSE(a.inReadyQ());
 }
 
 TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
@@ -303,7 +342,7 @@ TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
     // ever published (and still valid) must equal exactly the resident
     // issue-ready instructions a full-queue scan would select from —
     // no duplicates, no misses.
-    InstQueue iq(64);
+    IqFixture f(64);
     std::vector<DynInst> pool(1024);
     std::vector<ReadyRef> published;
 
@@ -321,7 +360,7 @@ TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
         switch (next() % 4) {
           case 0:
           case 1: {  // insert (sometimes a store, sometimes ready)
-            if (created >= pool.size() || iq.full())
+            if (created >= pool.size() || f.iq.full())
                 break;
             DynInst d;
             if ((next() & 3) == 0) {
@@ -331,7 +370,7 @@ TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
                 d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
                                        RegId::intReg(3));
             }
-            d.seq = ++seq;
+            f.adopt(d, ++seq);
             for (int si = 0; si < 2; ++si) {
                 d.src[si].valid = (next() & 3) != 0;
                 d.src[si].cls =
@@ -340,45 +379,45 @@ TEST(InstQueueReady, MatchesFullScanOnRandomStimulus)
                 d.src[si].ready = (next() & 3) == 0;
             }
             pool[created] = d;
-            iq.insert(&pool[created]);
+            f.iq.insert(&pool[created]);
             ++created;
             break;
           }
           case 2: {  // remove a random resident entry (issue)
-            if (iq.empty())
+            if (f.iq.empty())
                 break;
-            iq.removeAt(next() % iq.size());
+            f.iq.removeAt(next() % f.iq.size());
             break;
           }
           case 3: {  // broadcast or squash
             if ((next() & 7) == 0) {
-                iq.squashYoungerThan(seq > 0 ? next() % seq : 0);
+                f.iq.squashYoungerThan(seq > 0 ? next() % seq : 0);
             } else {
-                iq.wakeup((next() & 1) ? RegClass::Int : RegClass::Float,
-                          static_cast<std::uint16_t>(next() % 48),
-                          static_cast<std::uint16_t>(64 + next() % 32));
+                f.iq.wakeup((next() & 1) ? RegClass::Int : RegClass::Float,
+                            static_cast<std::uint16_t>(next() % 48),
+                            static_cast<std::uint16_t>(64 + next() % 32));
             }
             break;
           }
         }
         if ((next() & 15) == 0)
-            iq.drainReadyEvents(published);
+            f.iq.drainReadyEvents(published);
     }
-    iq.drainReadyEvents(published);
+    f.iq.drainReadyEvents(published);
 
     // Valid publications, deduplicated by instruction.
     std::set<const DynInst *> readySet;
     for (const ReadyRef &e : published) {
-        if (!e.inst->inIq || e.inst->seq != e.seq)
+        if (!e.inst->inIq() || e.inst->seq() != e.seq)
             continue;  // stale: issued, squashed, or slot reused
         EXPECT_TRUE(e.inst->issueOperandsReady());
         EXPECT_TRUE(readySet.insert(e.inst).second)
             << "duplicate publication of sn:" << e.seq;
     }
     // Exactly the entries a full scan would find ready.
-    for (const DynInst *inst : iq.entries()) {
+    for (const DynInst *inst : f.iq.entries()) {
         EXPECT_EQ(readySet.count(inst) == 1, inst->issueOperandsReady())
-            << "sn:" << inst->seq;
+            << "sn:" << inst->seq();
     }
 }
 
@@ -387,9 +426,11 @@ TEST(InstQueueWaitList, MatchesScanReferenceOnRandomStimulus)
     // Drive a wait-list queue and a scan-mode queue with an identical
     // pseudo-random insert/remove/squash/wakeup stimulus; every wakeup
     // must report the same count and leave identical operand state.
-    InstQueue fast(64);
-    InstQueue ref(64);
-    ref.setScanWakeup(true);
+    // Each queue gets its own hot pool (parallel universes must not
+    // share residency flags).
+    IqFixture fast(64, 1024);
+    IqFixture ref(64, 1024);
+    ref.iq.setScanWakeup(true);
 
     std::vector<DynInst> fastPool(512), refPool(512);
     std::uint64_t rng = 0x9e3779b97f4a7c15ull;
@@ -407,9 +448,12 @@ TEST(InstQueueWaitList, MatchesScanReferenceOnRandomStimulus)
         switch (r % 4) {
           case 0:
           case 1: {  // insert a fresh instruction
-            if (created >= fastPool.size() || fast.full())
+            if (created >= fastPool.size() || fast.iq.full())
                 break;
-            DynInst d = alu(++seq);
+            DynInst d;
+            d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                                   RegId::intReg(3));
+            ++seq;
             for (int si = 0; si < 2; ++si) {
                 d.src[si].valid = (next() & 3) != 0;
                 d.src[si].cls =
@@ -418,26 +462,28 @@ TEST(InstQueueWaitList, MatchesScanReferenceOnRandomStimulus)
                 d.src[si].ready = (next() & 3) == 0;
             }
             fastPool[created] = d;
+            fast.adopt(fastPool[created], seq);
             refPool[created] = d;
-            fast.insert(&fastPool[created]);
-            ref.insert(&refPool[created]);
+            ref.adopt(refPool[created], seq);
+            fast.iq.insert(&fastPool[created]);
+            ref.iq.insert(&refPool[created]);
             ++created;
             break;
           }
           case 2: {  // remove a random resident entry (issue)
-            if (fast.empty())
+            if (fast.iq.empty())
                 break;
-            std::size_t i = next() % fast.size();
-            ASSERT_EQ(fast.at(i)->seq, ref.at(i)->seq);
-            fast.removeAt(i);
-            ref.removeAt(i);
+            std::size_t i = next() % fast.iq.size();
+            ASSERT_EQ(fast.iq.at(i)->seq(), ref.iq.at(i)->seq());
+            fast.iq.removeAt(i);
+            ref.iq.removeAt(i);
             break;
           }
           case 3: {  // broadcast or squash
             if ((next() & 7) == 0) {
                 InstSeqNum keep = seq > 0 ? next() % seq : 0;
-                fast.squashYoungerThan(keep);
-                ref.squashYoungerThan(keep);
+                fast.iq.squashYoungerThan(keep);
+                ref.iq.squashYoungerThan(keep);
             } else {
                 RegClass cls =
                     (next() & 1) ? RegClass::Int : RegClass::Float;
@@ -445,13 +491,13 @@ TEST(InstQueueWaitList, MatchesScanReferenceOnRandomStimulus)
                     static_cast<std::uint16_t>(next() % 48);
                 std::uint16_t phys =
                     static_cast<std::uint16_t>(64 + next() % 32);
-                EXPECT_EQ(fast.wakeup(cls, tag, phys),
-                          ref.wakeup(cls, tag, phys));
+                EXPECT_EQ(fast.iq.wakeup(cls, tag, phys),
+                          ref.iq.wakeup(cls, tag, phys));
             }
             break;
           }
         }
-        ASSERT_EQ(fast.size(), ref.size());
+        ASSERT_EQ(fast.iq.size(), ref.iq.size());
     }
 
     // Every operand of every instruction ever created agrees bit for

@@ -18,13 +18,26 @@ namespace vpr
 namespace
 {
 
+/** Shared hot-state pool for the file's standalone DynInsts; every
+ *  instruction gets a fresh slot, so staleness checks behave as with
+ *  the real ROB binding. */
+void
+bind(DynInst &d, InstSeqNum seq)
+{
+    static InstHotPool pool(1 << 16);
+    static HotIdx next = 0;
+    pool.reset(next);
+    d.bindHot(&pool, next++);
+    d.setSeq(seq);
+}
+
 DynInst
 load(InstSeqNum seq, Addr addr, unsigned size = 8)
 {
     DynInst d;
     d.si = StaticInst::load(RegId::intReg(1), RegId::intReg(2), addr);
     d.si.memSize = static_cast<std::uint8_t>(size);
-    d.seq = seq;
+    bind(d, seq);
     return d;
 }
 
@@ -34,7 +47,7 @@ store(InstSeqNum seq, Addr addr, unsigned size = 8)
     DynInst d;
     d.si = StaticInst::store(RegId::intReg(3), RegId::intReg(2), addr);
     d.si.memSize = static_cast<std::uint8_t>(size);
-    d.seq = seq;
+    bind(d, seq);
     return d;
 }
 
@@ -279,7 +292,7 @@ TEST_P(LsqPaths, SquashDropsYoungest)
     lsq.insert(&c);
     lsq.squashYoungerThan(5);
     EXPECT_EQ(lsq.size(), 2u);
-    EXPECT_EQ(lsq.entries().back()->seq, 5u);
+    EXPECT_EQ(lsq.entries().back()->seq(), 5u);
 }
 
 TEST_P(LsqPaths, RemoveAtCommit)
@@ -291,7 +304,7 @@ TEST_P(LsqPaths, RemoveAtCommit)
     lsq.insert(&b);
     lsq.remove(&a);
     EXPECT_EQ(lsq.size(), 1u);
-    EXPECT_EQ(lsq.entries().front()->seq, 2u);
+    EXPECT_EQ(lsq.entries().front()->seq(), 2u);
 }
 
 // --- hold subscriptions ---------------------------------------------------
@@ -303,7 +316,7 @@ TEST(LsqHolds, UnknownHoldReleasesWhenAddressBecomesVisible)
     DynInst l = load(2, 0x100);
     lsq.insert(&s);
     lsq.insert(&l);
-    l.inIq = true;
+    l.setInIq(true);
 
     LoadCheck chk = lsq.disambiguate(&l, 5);
     ASSERT_EQ(chk.hold, LoadHold::UnknownAddress);
@@ -320,7 +333,7 @@ TEST(LsqHolds, UnknownHoldReleasesWhenAddressBecomesVisible)
     lsq.takeReadyHolds(6, out);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, &l);
-    EXPECT_EQ(out[0].seq, l.seq);
+    EXPECT_EQ(out[0].seq, l.seq());
     // One-shot: nothing left pending.
     out.clear();
     lsq.takeReadyHolds(9, out);
@@ -337,7 +350,7 @@ TEST(LsqHolds, SubscriptionAfterSameCycleAddressComputationStillFires)
     DynInst l = load(2, 0x100);
     lsq.insert(&s);
     lsq.insert(&l);
-    l.inIq = true;
+    l.setInIq(true);
 
     computeAddr(lsq, s, 6);  // issued at cycle 5, visible at 6
     LoadCheck chk = lsq.disambiguate(&l, 5);
@@ -358,7 +371,7 @@ TEST(LsqHolds, PartialHoldReleasesAtCommit)
     DynInst l = load(2, 0x100, 8);
     lsq.insert(&s);
     lsq.insert(&l);
-    l.inIq = true;
+    l.setInIq(true);
 
     computeAddr(lsq, s, 0);
     LoadCheck chk = lsq.disambiguate(&l, 5);
@@ -382,7 +395,7 @@ TEST(LsqHolds, SquashedBlockerDropsItsSubscribers)
     DynInst l = load(3, 0x100);
     lsq.insert(&s);
     lsq.insert(&l);
-    l.inIq = true;
+    l.setInIq(true);
 
     LoadCheck chk = lsq.disambiguate(&l, 5);
     lsq.subscribeHold(&l, chk.blocker, chk.hold);
@@ -422,7 +435,7 @@ TEST(LsqDeath, NonMemInsertPanics)
     DynInst d;
     d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
                            RegId::intReg(3));
-    d.seq = 1;
+    bind(d, 1);
     EXPECT_DEATH(lsq.insert(&d), "non-memory");
 }
 
@@ -497,10 +510,10 @@ TEST(LsqFuzz, TableMatchesScanOnRandomStimulus)
           case 5: {  // branch recovery: squash a random suffix
             if ((next() & 3) != 0 || live.empty())
                 break;
-            InstSeqNum keep = live[next() % live.size()]->seq;
+            InstSeqNum keep = live[next() % live.size()]->seq();
             table.squashYoungerThan(keep);
             scan.squashYoungerThan(keep);
-            while (!live.empty() && live.back()->seq > keep)
+            while (!live.empty() && live.back()->seq() > keep)
                 live.pop_back();
             break;
           }
@@ -516,9 +529,9 @@ TEST(LsqFuzz, TableMatchesScanOnRandomStimulus)
             LoadCheck a = table.disambiguate(d, now);
             LoadCheck b = scan.disambiguate(d, now);
             ASSERT_EQ(a.hold, b.hold)
-                << "load sn:" << d->seq << " at cycle " << now;
+                << "load sn:" << d->seq() << " at cycle " << now;
             ASSERT_EQ(a.blocker, b.blocker)
-                << "load sn:" << d->seq << " at cycle " << now;
+                << "load sn:" << d->seq() << " at cycle " << now;
         }
     }
 }

@@ -9,101 +9,124 @@ namespace vpr
 namespace
 {
 
-DynInst
-alu(InstSeqNum seq)
+/** A ROB with its backing hot-state pool (allocate() binds the two). */
+struct RobFixture
 {
-    DynInst d;
-    d.si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
-                           RegId::intReg(3));
-    d.seq = seq;
-    return d;
-}
+    explicit RobFixture(std::size_t entries) : hot(entries), rob(entries, hot)
+    {
+    }
+
+    DynInst *
+    alu(InstSeqNum seq)
+    {
+        DynInst *d = rob.allocate();
+        d->si = StaticInst::alu(RegId::intReg(1), RegId::intReg(2),
+                                RegId::intReg(3));
+        d->setSeq(seq);
+        return d;
+    }
+
+    InstHotPool hot;
+    Rob rob;
+};
 
 TEST(Rob, InsertAndHeadTail)
 {
-    Rob rob(4);
-    rob.insert(alu(1));
-    rob.insert(alu(2));
-    EXPECT_EQ(rob.head().seq, 1u);
-    EXPECT_EQ(rob.tail().seq, 2u);
-    EXPECT_EQ(rob.size(), 2u);
+    RobFixture f(4);
+    f.alu(1);
+    f.alu(2);
+    EXPECT_EQ(f.rob.head().seq(), 1u);
+    EXPECT_EQ(f.rob.tail().seq(), 2u);
+    EXPECT_EQ(f.rob.size(), 2u);
 }
 
 TEST(Rob, PointersStableAcrossOtherOps)
 {
-    Rob rob(4);
-    DynInst *a = rob.insert(alu(1));
-    DynInst *b = rob.insert(alu(2));
-    rob.insert(alu(3));
-    EXPECT_EQ(a->seq, 1u);
-    rob.commitHead();
-    EXPECT_EQ(b->seq, 2u);
-    EXPECT_EQ(&rob.head(), b);
+    RobFixture f(4);
+    DynInst *a = f.alu(1);
+    DynInst *b = f.alu(2);
+    f.alu(3);
+    EXPECT_EQ(a->seq(), 1u);
+    f.rob.commitHead();
+    EXPECT_EQ(b->seq(), 2u);
+    EXPECT_EQ(&f.rob.head(), b);
 }
 
 TEST(Rob, CommitHeadAdvances)
 {
-    Rob rob(4);
-    rob.insert(alu(1));
-    rob.insert(alu(2));
-    rob.commitHead();
-    EXPECT_EQ(rob.head().seq, 2u);
+    RobFixture f(4);
+    f.alu(1);
+    f.alu(2);
+    f.rob.commitHead();
+    EXPECT_EQ(f.rob.head().seq(), 2u);
 }
 
 TEST(Rob, SquashTailWalk)
 {
-    Rob rob(4);
-    rob.insert(alu(1));
-    rob.insert(alu(2));
-    rob.insert(alu(3));
+    RobFixture f(4);
+    f.alu(1);
+    f.alu(2);
+    f.alu(3);
     // Paper-style recovery: pop from the newest down to the offender.
-    while (!rob.empty() && rob.tail().seq > 1)
-        rob.squashTail();
-    EXPECT_EQ(rob.size(), 1u);
-    EXPECT_EQ(rob.tail().seq, 1u);
+    while (!f.rob.empty() && f.rob.tail().seq() > 1)
+        f.rob.squashTail();
+    EXPECT_EQ(f.rob.size(), 1u);
+    EXPECT_EQ(f.rob.tail().seq(), 1u);
 }
 
 TEST(Rob, FullWindow)
 {
-    Rob rob(2);
-    rob.insert(alu(1));
-    EXPECT_FALSE(rob.full());
-    rob.insert(alu(2));
-    EXPECT_TRUE(rob.full());
-    rob.commitHead();
-    EXPECT_FALSE(rob.full());
+    RobFixture f(2);
+    f.alu(1);
+    EXPECT_FALSE(f.rob.full());
+    f.alu(2);
+    EXPECT_TRUE(f.rob.full());
+    f.rob.commitHead();
+    EXPECT_FALSE(f.rob.full());
 }
 
 TEST(Rob, PaperWindowSizeDefaultUsable)
 {
     // The paper's 128-entry reorder buffer.
-    Rob rob(128);
+    RobFixture f(128);
     for (InstSeqNum i = 1; i <= 128; ++i)
-        rob.insert(alu(i));
-    EXPECT_TRUE(rob.full());
-    EXPECT_EQ(rob.capacity(), 128u);
+        f.alu(i);
+    EXPECT_TRUE(f.rob.full());
+    EXPECT_EQ(f.rob.capacity(), 128u);
 }
 
 TEST(Rob, OccupancySampling)
 {
-    Rob rob(16);
-    rob.insert(alu(1));
-    rob.sampleOccupancy();
-    rob.insert(alu(2));
-    rob.sampleOccupancy();
-    EXPECT_EQ(rob.occupancyStat().samples(), 2u);
-    EXPECT_DOUBLE_EQ(rob.occupancyStat().mean(), 1.5);
+    RobFixture f(16);
+    f.alu(1);
+    f.rob.sampleOccupancy();
+    f.alu(2);
+    f.rob.sampleOccupancy();
+    EXPECT_EQ(f.rob.occupancyStat().samples(), 2u);
+    EXPECT_DOUBLE_EQ(f.rob.occupancyStat().mean(), 1.5);
 }
 
 TEST(Rob, AtIndexesFromOldest)
 {
-    Rob rob(4);
-    rob.insert(alu(7));
-    rob.insert(alu(8));
-    rob.commitHead();
-    rob.insert(alu(9));
-    EXPECT_EQ(rob.at(0).seq, 8u);
-    EXPECT_EQ(rob.at(1).seq, 9u);
+    RobFixture f(4);
+    f.alu(7);
+    f.alu(8);
+    f.rob.commitHead();
+    f.alu(9);
+    EXPECT_EQ(f.rob.at(0).seq(), 8u);
+    EXPECT_EQ(f.rob.at(1).seq(), 9u);
+}
+
+TEST(Rob, AllocateBindsSlotAndResetsHotRow)
+{
+    RobFixture f(4);
+    DynInst *a = f.alu(1);
+    EXPECT_EQ(a->hot, &f.hot);
+    EXPECT_NE(a->slot, kNoHotIdx);
+    EXPECT_EQ(f.rob.headSlot(), a->slot);
+    EXPECT_EQ(a->phase(), InstPhase::Renamed);
+    EXPECT_EQ(a->fetchCycle(), kNoCycle);
+    EXPECT_FALSE(a->inIq());
 }
 
 } // namespace

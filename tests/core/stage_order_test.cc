@@ -71,7 +71,7 @@ TEST(StageOrder, ThreeInstructionWindowAdvancesOneStagePerCycle)
     ASSERT_EQ(core.rob().size(), 3u);
     EXPECT_EQ(core.iq().size(), 3u);
     for (std::size_t i = 0; i < 3; ++i)
-        EXPECT_EQ(core.rob().at(i).phase, InstPhase::Renamed);
+        EXPECT_EQ(core.rob().at(i).phase(), InstPhase::Renamed);
     EXPECT_EQ(statsOf(core).counter("issue.issued"), 0u);
 
     // Cycle 3: issue selects all three; their completion events now sit
@@ -79,8 +79,8 @@ TEST(StageOrder, ThreeInstructionWindowAdvancesOneStagePerCycle)
     core.tick();
     EXPECT_EQ(statsOf(core).counter("issue.issued"), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
-        EXPECT_EQ(core.rob().at(i).phase, InstPhase::Issued);
-        EXPECT_TRUE(core.hasPendingEvent(core.rob().at(i).seq));
+        EXPECT_EQ(core.rob().at(i).phase(), InstPhase::Issued);
+        EXPECT_TRUE(core.hasPendingEvent(core.rob().at(i).seq()));
     }
     EXPECT_TRUE(core.iq().empty());
 
@@ -88,8 +88,8 @@ TEST(StageOrder, ThreeInstructionWindowAdvancesOneStagePerCycle)
     // ran before complete this cycle, so nothing has retired yet.
     core.tick();
     for (std::size_t i = 0; i < 3; ++i) {
-        EXPECT_EQ(core.rob().at(i).phase, InstPhase::Completed);
-        EXPECT_FALSE(core.hasPendingEvent(core.rob().at(i).seq));
+        EXPECT_EQ(core.rob().at(i).phase(), InstPhase::Completed);
+        EXPECT_FALSE(core.hasPendingEvent(core.rob().at(i).seq()));
     }
     EXPECT_EQ(core.committedInsts(), 0u);
 
@@ -119,9 +119,9 @@ TEST(StageOrder, StoreDataHandsOffThroughCompletionLatch)
     ASSERT_EQ(core.rob().size(), 2u);
     const DynInst &divide = core.rob().at(0);
     const DynInst &store = core.rob().at(1);
-    EXPECT_EQ(divide.phase, InstPhase::Issued);
-    EXPECT_EQ(store.phase, InstPhase::Issued);
-    EXPECT_TRUE(core.hasPendingEvent(store.seq));
+    EXPECT_EQ(divide.phase(), InstPhase::Issued);
+    EXPECT_EQ(store.phase(), InstPhase::Issued);
+    EXPECT_TRUE(core.hasPendingEvent(store.seq()));
 
     while (core.tick()) {
     }

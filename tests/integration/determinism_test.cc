@@ -123,6 +123,34 @@ TEST(Determinism, EventSchedulerMatchesLegacyScansByteForByte)
     }
 }
 
+TEST(Determinism, CalendarQueueMatchesHeapByteForByte)
+{
+    // The cycle-indexed completion calendar replaces the binary heap as
+    // the pending-completion store. Pop order is defined as (cycle,
+    // sequence) in both, so every schedule — and therefore every
+    // exported metric, distributions included — must be byte-identical.
+    // Run every scheme: the VP write-back squash drops in-flight
+    // completions and re-issues them, the hardest path for stale-event
+    // filtering, and FP divides push events past the calendar horizon
+    // into the overflow list.
+    for (RenameScheme scheme : {RenameScheme::Conventional,
+                                RenameScheme::VPAllocAtWriteback,
+                                RenameScheme::VPAllocAtIssue,
+                                RenameScheme::ConventionalEarlyRelease}) {
+        SimConfig c = quick();
+        c.setScheme(scheme);
+        if (scheme == RenameScheme::ConventionalEarlyRelease)
+            c.core.fetch.wrongPath = WrongPathMode::Stall;
+        c.core.cqCalendar = true;
+        auto calendar = runOne("vortex", c);
+        c.core.cqCalendar = false;
+        auto heap = runOne("vortex", c);
+        expectIdenticalMetrics(calendar, heap,
+                               std::string(renameSchemeName(scheme)) +
+                                   " calendar vs heap");
+    }
+}
+
 TEST(Determinism, WaitListWakeupMatchesScanByteForByte)
 {
     // The per-tag wakeup wait lists are a pure mechanism change: every

@@ -54,7 +54,8 @@ constexpr const char *kGoldenConfigColumns =
     "cfg.core.iq_size,cfg.core.lsq_size,cfg.core.reg_read_ports,"
     "cfg.core.reg_write_ports,cfg.core.cache_ports,cfg.core.scheme,"
     "cfg.core.iq.scan_wakeup,cfg.core.iq.scan_issue,"
-    "cfg.core.lsq.scan_disambig,cfg.core.invariant_checks,"
+    "cfg.core.lsq.scan_disambig,cfg.core.cq.calendar,"
+    "cfg.core.invariant_checks,"
     "cfg.core.deadlock_threshold,cfg.core.rename.phys_regs,"
     "cfg.core.rename.vp_regs,cfg.core.rename.nrr_int,"
     "cfg.core.rename.nrr_fp,cfg.core.fetch.fetch_width,"
@@ -69,7 +70,7 @@ constexpr const char *kGoldenConfigColumns =
     "cfg.core.cache.num_mshrs,cfg.core.cache.bus_occupancy";
 
 constexpr const char *kGoldenConfigValues =
-    "1000,2000,7,8,8,8,128,128,128,16,8,3,vp-writeback,0,0,0,0,200000,"
+    "1000,2000,7,8,8,8,128,128,128,16,8,3,vp-writeback,0,0,0,1,0,200000,"
     "64,160,32,32,8,16,2048,1,stall,7860237,0,3,2,3,3,2,2,16384,32,1,"
     "2,50,8,4";
 
@@ -79,7 +80,7 @@ goldenCsv()
     std::string row = std::string("swim,") + kGoldenConfigValues +
                       ",1600,2000,1.25\n";
     return "# vpr-results v1 figure=golden cells=2 shard=0/1 scale=1 "
-           "cfg=bd72ef2d962b78a3\n"
+           "cfg=ac32c258258bdfdb\n"
            "cell,benchmark," + std::string(kGoldenConfigColumns) +
            ",core.cycles,core.committed,core.ipc\n"
            "0," + row + "1," + row;
@@ -131,7 +132,7 @@ TEST(ResultsJson, GoldenKeyOrderIsStable)
     // and metrics.
     EXPECT_NE(json.find("\"format\": \"vpr-results\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"config_digest\": \"a5af40cfd611adfa\""),
+    EXPECT_NE(json.find("\"config_digest\": \"6b6b04db409d19a2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"benchmark\": \"swim\""), std::string::npos);
     EXPECT_NE(json.find("\"core.scheme\": \"vp-writeback\""),
