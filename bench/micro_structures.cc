@@ -400,6 +400,38 @@ BM_SimulatorEndToEndCompressLegacyScans(benchmark::State &state)
 BENCHMARK(BM_SimulatorEndToEndCompressLegacyScans)
     ->Unit(benchmark::kMillisecond);
 
+/** SMARTS-style sampled run over the same instruction budget as the
+ *  end-to-end rows (measure 20000, default sampling geometry): the
+ *  BM_SimulatorSampled / BM_SimulatorEndToEnd ratio is the sampling
+ *  speedup the trajectory tracks. */
+void
+simulatorSampled(benchmark::State &state, const char *kernel)
+{
+    for (auto _ : state) {
+        SimConfig config = paperConfig();
+        config.skipInsts = 0;
+        config.measureInsts = 20000;
+        config.core.fetch.wrongPath = WrongPathMode::Stall;
+        config.sampling.enable = true;
+        Simulator sim(kernel, config);
+        benchmark::DoNotOptimize(sim.run().ipc());
+    }
+}
+
+void
+BM_SimulatorSampled(benchmark::State &state)
+{
+    simulatorSampled(state, "swim");
+}
+BENCHMARK(BM_SimulatorSampled)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorSampledCompress(benchmark::State &state)
+{
+    simulatorSampled(state, "compress");
+}
+BENCHMARK(BM_SimulatorSampledCompress)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

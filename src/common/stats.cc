@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/logging.hh"
@@ -30,6 +31,67 @@ Average::print(std::ostream &os) const
     os << std::left << std::setw(40) << name() << " " << std::right
        << std::setw(14) << std::fixed << std::setprecision(4) << mean()
        << "  # " << desc() << " (" << n << " samples)\n";
+}
+
+double
+tCritical95(std::uint64_t df)
+{
+    // Two-sided 95% quantiles of the Student-t distribution for df
+    // 1..30; beyond that the normal approximation is within 0.2%.
+    static const double kT95[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0)
+        return 0.0;
+    return df <= 30 ? kT95[df - 1] : 1.960;
+}
+
+double
+SampleEstimator::stddev() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    // Sample variance with the n-1 denominator; clamp the numerically
+    // negative case (all observations equal).
+    const double var =
+        (sumSq - static_cast<double>(n) * m * m) /
+        static_cast<double>(n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+SampleEstimator::standardError() const
+{
+    return n < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n));
+}
+
+double
+SampleEstimator::ci95() const
+{
+    return n < 2 ? 0.0 : tCritical95(n - 1) * standardError();
+}
+
+void
+SampleEstimator::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " " << std::right
+       << std::setw(14) << std::fixed << std::setprecision(4) << mean()
+       << " +/- " << ci95() << "  # " << desc() << " (" << n
+       << " intervals)\n";
+}
+
+void
+SampleEstimator::visit(StatVisitor &v) const
+{
+    v.visitReal(name() + ".mean", desc(), mean());
+    v.visitReal(name() + ".stderr",
+                "standard error of the interval mean", standardError());
+    v.visitReal(name() + ".ci95",
+                "95% confidence half-width of the interval mean", ci95());
+    v.visitUInt(name() + ".intervals", "measured sampling intervals", n);
 }
 
 Distribution::Distribution(std::string name, std::string desc,
@@ -103,20 +165,38 @@ Distribution::print(std::ostream &os) const
 void
 Distribution::visit(StatVisitor &v) const
 {
-    v.visitReal(name() + ".mean", desc(), mean());
-    v.visitReal(name() + ".stddev", desc(), stddev());
-    v.visitUInt(name() + ".samples", desc(), n);
-    v.visitUInt(name() + ".min", desc(), minSeen);
-    v.visitUInt(name() + ".max", desc(), maxSeen);
-    v.visitUInt(name() + ".underflows", desc(), under);
-    v.visitUInt(name() + ".overflows", desc(), over);
+    // Lazily compose and cache the sub-metric names; the bucket count
+    // is fixed after construction (evenBuckets adjusts it before any
+    // visit), so the cache is rebuilt at most once.
+    if (visitNames.size() != 9 + buckets.size()) {
+        visitNames.clear();
+        visitNames.reserve(9 + buckets.size());
+        visitNames.push_back(name() + ".mean");
+        visitNames.push_back(name() + ".stddev");
+        visitNames.push_back(name() + ".samples");
+        visitNames.push_back(name() + ".min");
+        visitNames.push_back(name() + ".max");
+        visitNames.push_back(name() + ".underflows");
+        visitNames.push_back(name() + ".overflows");
+        visitNames.push_back(name() + ".range_min");
+        visitNames.push_back(name() + ".bucket_size");
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            visitNames.push_back(name() + ".hist[" +
+                                 std::to_string(i) + "]");
+    }
+    v.visitReal(visitNames[0], desc(), mean());
+    v.visitReal(visitNames[1], desc(), stddev());
+    v.visitUInt(visitNames[2], desc(), n);
+    v.visitUInt(visitNames[3], desc(), minSeen);
+    v.visitUInt(visitNames[4], desc(), maxSeen);
+    v.visitUInt(visitNames[5], desc(), under);
+    v.visitUInt(visitNames[6], desc(), over);
     // The bucket geometry travels with the data so consumers (figure
     // renderers, plotters) never re-derive the origin or width by hand.
-    v.visitUInt(name() + ".range_min", desc(), lo);
-    v.visitUInt(name() + ".bucket_size", desc(), bsize);
+    v.visitUInt(visitNames[7], desc(), lo);
+    v.visitUInt(visitNames[8], desc(), bsize);
     for (std::size_t i = 0; i < buckets.size(); ++i)
-        v.visitUInt(name() + ".hist[" + std::to_string(i) + "]", desc(),
-                    buckets[i]);
+        v.visitUInt(visitNames[9 + i], desc(), buckets[i]);
 }
 
 Counter2D::Counter2D(std::string name, std::string desc,
@@ -190,30 +270,40 @@ Counter2D::visit(StatVisitor &v) const
 namespace
 {
 
-/** Forwards to an inner visitor with "<prefix>." prepended to names. */
+/** Forwards to an inner visitor with "<prefix>." prepended to names.
+ *  The composed name lives in a reused scratch buffer so a tree walk
+ *  costs one allocation per group, not one per metric. */
 class PrefixVisitor : public StatVisitor
 {
   public:
     PrefixVisitor(const std::string &prefix, StatVisitor &inner)
-        : pfx(prefix + "."), v(inner)
-    {}
+        : v(inner)
+    {
+        pfxLen = prefix.size() + 1;
+        buf = prefix + ".";
+    }
 
     void
     visitUInt(const std::string &name, const std::string &desc,
               std::uint64_t val) override
     {
-        v.visitUInt(pfx + name, desc, val);
+        buf.resize(pfxLen);
+        buf += name;
+        v.visitUInt(buf, desc, val);
     }
 
     void
     visitReal(const std::string &name, const std::string &desc,
               double val) override
     {
-        v.visitReal(pfx + name, desc, val);
+        buf.resize(pfxLen);
+        buf += name;
+        v.visitReal(buf, desc, val);
     }
 
   private:
-    std::string pfx;
+    std::string buf;
+    std::size_t pfxLen = 0;
     StatVisitor &v;
 };
 
@@ -284,17 +374,106 @@ class UniqueNameVisitor : public StatVisitor
     std::unordered_set<std::string> seen;
 };
 
+/**
+ * Forwarding visitor that accumulates an order-sensitive FNV-1a hash
+ * of every full name walked — a fingerprint of the tree's shape.
+ */
+class SchemaHashVisitor : public StatVisitor
+{
+  public:
+    explicit SchemaHashVisitor(StatVisitor &inner) : v(inner) {}
+
+    void
+    visitUInt(const std::string &name, const std::string &desc,
+              std::uint64_t val) override
+    {
+        mix(name);
+        v.visitUInt(name, desc, val);
+    }
+
+    void
+    visitReal(const std::string &name, const std::string &desc,
+              double val) override
+    {
+        mix(name);
+        v.visitReal(name, desc, val);
+    }
+
+    std::uint64_t hash() const { return h; }
+
+  private:
+    void
+    mix(const std::string &name)
+    {
+        for (unsigned char c : name)
+            h = (h ^ c) * 0x100000001b3ull;
+        h = (h ^ 0x1full) * 0x100000001b3ull; // name separator
+    }
+
+    StatVisitor &v;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+};
+
+/** Schema fingerprints whose name sets have passed the duplicate
+ *  check. Every core built from the same config walks an identical
+ *  tree, so a grid sweep (or a benchmark loop) pays the set-based
+ *  check once per process, not once per core. Guarded: sweep cells
+ *  run on worker threads. */
+std::mutex verifiedSchemasMutex;
+std::unordered_set<std::uint64_t> verifiedSchemas;
+
+bool
+schemaKnownVerified(std::uint64_t h)
+{
+    std::lock_guard<std::mutex> lock(verifiedSchemasMutex);
+    return verifiedSchemas.count(h) != 0;
+}
+
+void
+schemaMarkVerified(std::uint64_t h)
+{
+    std::lock_guard<std::mutex> lock(verifiedSchemasMutex);
+    verifiedSchemas.insert(h);
+}
+
 } // namespace
 
 void
 StatRegistry::visit(StatVisitor &v)
 {
-    UniqueNameVisitor unique(v);
-    for (Entry &e : entryList) {
+    for (Entry &e : entryList)
         if (e.update)
             e.update();
-        e.group->visit(unique);
+    // Names are fixed at registration, so the duplicate check needs to
+    // run once per registry, not once per walk — sampled runs visit
+    // the tree every measurement interval.
+    if (namesVerified) {
+        for (Entry &e : entryList)
+            e.group->visit(v);
+        return;
     }
+    // First walk of this registry: fingerprint the shape while
+    // forwarding. If an identical shape was already verified in this
+    // process, that's the proof — skip the per-name set.
+    SchemaHashVisitor hashed(v);
+    for (Entry &e : entryList)
+        e.group->visit(hashed);
+    if (!schemaKnownVerified(hashed.hash())) {
+        // Unseen shape: re-walk into a sink with the duplicate checker
+        // (the real visitor already consumed this walk's values).
+        struct NullVisitor : StatVisitor
+        {
+            void visitUInt(const std::string &, const std::string &,
+                           std::uint64_t) override {}
+            void visitReal(const std::string &, const std::string &,
+                           double) override {}
+        } sink;
+        UniqueNameVisitor unique(sink);
+        for (Entry &e : entryList)
+            e.group->visit(unique);
+        schemaMarkVerified(hashed.hash());
+    }
+    namesVerified = true;
 }
 
 void

@@ -145,6 +145,57 @@ class Average : public StatBase
 };
 
 /**
+ * Mean-with-confidence-interval estimator over a small number of
+ * real-valued observations (one per sampled measurement interval). The
+ * accumulation mirrors Distribution's running sum/sum-of-squares, but
+ * the observations are reals and the derived values are the SMARTS
+ * estimator outputs: sample mean, standard error of the mean, and the
+ * half-width of the two-sided 95% confidence interval (Student-t for
+ * small sample counts, the normal 1.96 asymptote beyond 30). With
+ * fewer than two observations the spread is undefined and both stderr
+ * and ci95 report 0 — consumers must check intervals before trusting
+ * the error bar. Visits as .mean/.stderr/.ci95/.intervals.
+ */
+class SampleEstimator : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        ++n;
+        sum += v;
+        sumSq += v * v;
+    }
+
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Sample standard deviation (n-1 denominator). */
+    double stddev() const;
+
+    /** Standard error of the mean: s / sqrt(n). */
+    double standardError() const;
+
+    /** Half-width of the two-sided 95% confidence interval. */
+    double ci95() const;
+
+    void reset() override { n = 0; sum = 0.0; sumSq = 0.0; }
+    void print(std::ostream &os) const override;
+    void visit(StatVisitor &v) const override;
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+};
+
+/** Two-sided 95% Student-t critical value for @p df degrees of freedom
+ *  (1.96 beyond 30). Exposed for tests and external CI computations. */
+double tCritical95(std::uint64_t df);
+
+/**
  * Bucketed distribution over [min, max] with uniform buckets, tracking
  * mean, population standard deviation, and the observed min/max. The
  * usual producer samples once per cycle (occupancies) or once per event
@@ -217,6 +268,12 @@ class Distribution : public StatBase
     double sumSq = 0.0;
     std::uint64_t minSeen = 0;
     std::uint64_t maxSeen = 0;
+    /** Composed sub-metric names ("<name>.mean", ..., one per bucket),
+     *  built lazily on the first visit: a distribution is the widest
+     *  stat in the tree, and sampled runs walk the tree once per
+     *  measurement interval — re-concatenating hundreds of bucket
+     *  names each walk dominated the record-build cost. */
+    mutable std::vector<std::string> visitNames;
 };
 
 /**
@@ -312,6 +369,7 @@ class StatRegistry
         std::function<void()> reset = {})
     {
         entryList.push_back({group, std::move(update), std::move(reset)});
+        namesVerified = false;
     }
 
     /** Run every update hook, then visit every group in order. */
@@ -327,6 +385,10 @@ class StatRegistry
 
   private:
     std::vector<Entry> entryList;
+    /** The duplicate-name invariant has been checked by a full walk;
+     *  later walks skip the per-name set insertions. Cleared when a
+     *  group is added so late registration is still checked. */
+    bool namesVerified = false;
 };
 
 } // namespace vpr::stats

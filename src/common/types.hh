@@ -9,6 +9,14 @@
 #include <cstdint>
 #include <limits>
 
+/** Force inlining of a hot helper the optimizer would outline (only
+ *  where a measured regression justifies overriding its heuristics). */
+#if defined(__GNUC__) || defined(__clang__)
+#define VPR_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define VPR_ALWAYS_INLINE inline
+#endif
+
 namespace vpr
 {
 

@@ -156,6 +156,50 @@ Core::runUntilCommitted(std::uint64_t maxCommitted)
     }
 }
 
+bool
+Core::quiescent() const
+{
+    return state.rob.empty() && state.iq.size() == 0 &&
+           state.lsq.size() == 0 && !state.fetch.hasInst() &&
+           !state.fetch.awaitingResolve() &&
+           completions.pendingEvents() == 0 &&
+           completions.parkedStoreCount() == 0;
+}
+
+void
+Core::drain()
+{
+    // Pause fetch so no new trace records enter, then tick until every
+    // in-flight instruction has committed and every latch is empty.
+    // Stale (squashed) completion events pop harmlessly as the cycles
+    // pass, so this terminates in at most the pipeline depth plus the
+    // longest outstanding completion latency.
+    state.fetch.setPaused(true);
+    while (!quiescent())
+        tick();
+    state.fetch.setPaused(false);
+}
+
+std::uint64_t
+Core::fastForward(std::uint64_t n, bool warm)
+{
+    drain();
+
+    std::uint64_t done = 0;
+    if (warm) {
+        done = state.fetch.warmFunctional(n, state.cache, state.curCycle);
+    } else {
+        done = state.fetch.skipFunctional(n);
+        state.curCycle += done;
+    }
+
+    ffRetired += done;
+    // The clock jumped without commits; re-arm the deadlock detector so
+    // the next detailed interval doesn't trip it spuriously.
+    state.lastCommitCycle = state.curCycle;
+    return done;
+}
+
 void
 Core::squashYoungerThan(InstSeqNum youngestKept)
 {

@@ -56,6 +56,23 @@ class Core : public SquashCoordinator
     /** Run until @p maxCommitted instructions committed (or done). */
     void runUntilCommitted(std::uint64_t maxCommitted);
 
+    /**
+     * Fast-forward @p n instructions without detailed simulation: drain
+     * the pipeline to a quiescent point, then retire instructions
+     * straight off the trace. With @p warm (SMARTS functional warming)
+     * every branch trains the BHT and every memory op probes the cache,
+     * so long-lived microarchitectural state tracks the full run; the
+     * clock advances one cycle per instruction to keep the cache's
+     * timestamp-ordered machinery moving. Without @p warm the trace
+     * position just skips ahead. Fast-forwarded instructions count in
+     * functionallyRetired(), never in committedInsts().
+     * @return instructions actually fast-forwarded (short at trace end).
+     */
+    std::uint64_t fastForward(std::uint64_t n, bool warm = true);
+
+    /** Instructions retired through fastForward() so far. */
+    std::uint64_t functionallyRetired() const { return ffRetired; }
+
     Cycle cycle() const { return state.curCycle; }
     std::uint64_t committedInsts() const { return commit.committedTotal(); }
     bool done() const;
@@ -98,7 +115,13 @@ class Core : public SquashCoordinator
     /** @} */
 
   private:
+    /** Tick with fetch paused until the pipeline is empty. */
+    void drain();
+    /** No in-flight work anywhere in the stage graph or latches. */
+    bool quiescent() const;
+
     PipelineState state;
+    std::uint64_t ffRetired = 0;
 
     // Inter-stage latches/ports (see stages/latches.hh).
     CompletionQueue completions;

@@ -1,6 +1,9 @@
 #include "core/fetch.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "memory/cache.hh"
 #include "sim/params.hh"
 
 namespace vpr
@@ -96,7 +99,7 @@ FetchUnit::synthesizeWrongPath()
 void
 FetchUnit::tick(Cycle now)
 {
-    if (now < stallUntil)
+    if (paused || now < stallUntil)
         return;
 
     for (unsigned i = 0; i < cfg.fetchWidth; ++i) {
@@ -157,6 +160,54 @@ FetchUnit::pop()
     FetchedInst fi = buffer.front();
     buffer.popFront();
     return fi;
+}
+
+std::size_t
+FetchUnit::warmFunctional(std::size_t n, NonBlockingCache &cache,
+                          Cycle &now)
+{
+    VPR_ASSERT(buffer.empty() && !waiting,
+               "functional fetch with detailed fetch state in flight");
+    if (exhausted)
+        return 0;
+    std::size_t done = 0;
+    TraceRecord batch[256];
+    while (done < n) {
+        const std::size_t want =
+            std::min(n - done, sizeof(batch) / sizeof(batch[0]));
+        const std::size_t got = trace.nextBatch(batch, want);
+        for (std::size_t i = 0; i < got; ++i) {
+            const TraceRecord &rec = batch[i];
+            ++now;
+            if (rec.isBranch()) {
+                // Train the predictor; ignore the prediction.
+                // Functional warming has no pipeline to redirect, and
+                // the whole-run branch counters stay detailed-only.
+                bht.predictAndUpdate(rec.pc, rec.taken);
+            } else if (rec.isMem()) {
+                cache.access(rec.effAddr, rec.isStore(), now);
+            }
+        }
+        done += got;
+        if (got < want) {
+            exhausted = true;
+            break;
+        }
+    }
+    return done;
+}
+
+std::size_t
+FetchUnit::skipFunctional(std::size_t n)
+{
+    VPR_ASSERT(buffer.empty() && !waiting,
+               "functional skip with detailed fetch state in flight");
+    if (exhausted)
+        return 0;
+    const std::size_t done = trace.skip(n);
+    if (done < n)
+        exhausted = true;
+    return done;
 }
 
 void

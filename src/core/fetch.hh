@@ -32,6 +32,7 @@ namespace vpr
 {
 
 class ParamVisitor;
+class NonBlockingCache;
 
 /** How fetch behaves after a detected misprediction. */
 enum class WrongPathMode : std::uint8_t
@@ -91,6 +92,38 @@ class FetchUnit
     /** The mispredicted branch resolved; redirect fetch. */
     void resolveBranch(Cycle now);
 
+    /**
+     * Pause/resume detailed fetch. While paused, tick() is a no-op, so
+     * the pipeline behind the fetch buffer can drain without consuming
+     * trace records — the quiesce step before a sampled fast-forward.
+     */
+    void setPaused(bool p) { paused = p; }
+
+    /**
+     * Retire up to @p n trace records through the functional-warming
+     * path: no buffering, no fetch-group shaping, no wrong-path
+     * machinery — but branches train the BHT and memory ops probe
+     * @p cache, so long-lived microarchitectural state stays warm
+     * across a fast-forward. @p now advances one cycle per instruction
+     * (the cache's MSHR/fill machinery is timestamp ordered and needs
+     * a moving clock). Whole-run fetch/branch counters are untouched;
+     * the detailed intervals own those. Requires the buffer to be
+     * empty and no mispredict outstanding (the caller drains first).
+     * One batched call per fast-forward keeps the per-instruction cost
+     * at the trace-generation + cache-probe floor.
+     * @return records actually retired; fewer than @p n only at end of
+     * trace.
+     */
+    std::size_t warmFunctional(std::size_t n, NonBlockingCache &cache,
+                               Cycle &now);
+
+    /**
+     * Skip @p n records without observing them at all (fast-forward
+     * with functional warming disabled). @return records actually
+     * skipped; fewer than @p n only at end of trace.
+     */
+    std::size_t skipFunctional(std::size_t n);
+
     /** True while fetch is past an unresolved mispredicted branch. */
     bool awaitingResolve() const { return waiting; }
 
@@ -127,6 +160,7 @@ class FetchUnit
     CircularBuffer<FetchedInst> buffer;
 
     bool waiting = false;     ///< unresolved mispredicted branch
+    bool paused = false;      ///< detailed fetch suspended (quiesce)
     Cycle stallUntil = 0;     ///< no fetch before this cycle
     bool exhausted = false;
     Random wpRng;

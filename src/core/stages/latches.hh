@@ -237,6 +237,18 @@ class CompletionQueue
     void
     advanceTo(Cycle now)
     {
+        if (nEvents == 0 && overflow.empty()) {
+            // Empty wheel: jump straight to now. This is the common
+            // case after a sampled fast-forward, where the clock leaps
+            // thousands of cycles past a quiesced (event-free) core —
+            // walking every intervening bucket would cost O(jump).
+            if (base < now) {
+                base = now;
+                drainIdx = 0;
+                curSorted = false;
+            }
+            return;
+        }
         while (base < now) {
             maybeMigrate();
             auto &b = buckets[curBucket()];

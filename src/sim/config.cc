@@ -54,6 +54,39 @@ SimConfig::validate() const
     }
     if (core.iqSize < core.robSize)
         VPR_FATAL("iqSize must be >= robSize (unified queue)");
+    if (sampling.enable) {
+        if (sampling.detailedInsts == 0)
+            VPR_FATAL("sampling: zero-length detailed interval "
+                      "(sim.sampling.detailed_insts must be >= 1)");
+        if (sampling.warmupInsts + sampling.detailedInsts >
+            sampling.periodInsts)
+            VPR_FATAL("sampling: warm-up (", sampling.warmupInsts,
+                      ") plus detailed interval (", sampling.detailedInsts,
+                      ") exceeds the period (", sampling.periodInsts, ")");
+        if (sampling.periodInsts > measureInsts)
+            VPR_FATAL("sampling: period (", sampling.periodInsts,
+                      ") exceeds the measurement budget (", measureInsts,
+                      "); not even one interval fits");
+    }
+}
+
+void
+SamplingConfig::visitParams(ParamVisitor &v)
+{
+    v.boolParam("enable", enable,
+                "alternate fast-forward and detailed intervals instead "
+                "of measuring every instruction (SMARTS-style sampling)");
+    v.uintParam("period_insts", periodInsts,
+                "instructions per sampling period (fast-forward + "
+                "warm-up + detailed)");
+    v.uintParam("warmup_insts", warmupInsts,
+                "detailed-but-unmeasured instructions before each "
+                "measurement interval");
+    v.uintParam("detailed_insts", detailedInsts,
+                "measured detailed instructions per period");
+    v.boolParam("functional_warming", functionalWarming,
+                "caches and the BHT observe every fast-forwarded access "
+                "(off = bare trace skip, cold-state sampling)");
 }
 
 void
@@ -70,6 +103,11 @@ SimConfig::visitParams(ParamVisitor &v)
                 "worker threads for grid sweeps (0 = one per hardware "
                 "thread); never changes results",
                 /*execOnly=*/true);
+    v.pushGroup("sim");
+    v.pushGroup("sampling");
+    sampling.visitParams(v);
+    v.popGroup();
+    v.popGroup();
     v.pushGroup("core");
     core.visitParams(v);
     v.popGroup();

@@ -17,10 +17,49 @@ namespace vpr
 
 class ParamVisitor;
 
+/**
+ * SMARTS-style statistical sampling (sim.sampling.*). When enabled,
+ * the measurement budget is split into periods of @ref periodInsts
+ * instructions; each period fast-forwards through a functional-warming
+ * phase, runs @ref warmupInsts detailed-but-unmeasured instructions to
+ * re-warm the short-lived pipeline state, then measures
+ * @ref detailedInsts instructions. The per-interval IPC observations
+ * feed the core.ipc.sampled.{mean,stderr,ci95,intervals} estimator.
+ */
+struct SamplingConfig
+{
+    /** Master switch; off by default so full runs are unchanged. */
+    bool enable = false;
+
+    /** Instructions per sampling period (fast-forward + warm-up +
+     *  detailed). measure_insts / period_insts = interval count. */
+    std::uint64_t periodInsts = 20000;
+
+    /** Detailed-but-unmeasured instructions before each measurement.
+     *  With functional warming on, the only state fast-forward cannot
+     *  restore is pipeline occupancy, so the default just covers
+     *  refilling the 128-entry ROB with some slack. */
+    std::uint64_t warmupInsts = 150;
+
+    /** Measured detailed instructions per period. */
+    std::uint64_t detailedInsts = 250;
+
+    /** Functional warming during fast-forward: caches and the BHT
+     *  observe every skipped access. Disabling reduces fast-forward to
+     *  a bare trace skip (cold-state sampling; cheaper, biased). */
+    bool functionalWarming = true;
+
+    /** Reflect the sampling parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
+};
+
 /** Everything a single simulation run needs. */
 struct SimConfig
 {
     CoreConfig core;
+
+    /** Statistical-sampling protocol (sim.sampling.*). */
+    SamplingConfig sampling;
 
     /** Committed instructions to skip before measuring (cache/BHT
      *  warm-up; the paper skips 100 M then measures 50 M — we scale both

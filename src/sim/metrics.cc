@@ -23,6 +23,13 @@ MetricsRecord::slot(const std::string &name, const std::string &desc)
     auto it = index.find(name);
     if (it != index.end())
         return metrics[it->second];
+    if (metrics.empty()) {
+        // A record is almost always one full stats-tree walk; reserving
+        // for a paper-config-sized schema avoids the reallocation and
+        // rehash churn of growing through ~800 insertions.
+        metrics.reserve(1024);
+        index.reserve(1024);
+    }
     index.emplace(name, metrics.size());
     metrics.push_back(Metric{name, desc, Metric::Kind::UInt, 0, 0.0});
     return metrics.back();

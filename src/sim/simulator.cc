@@ -47,6 +47,9 @@ Simulator::Simulator(const std::string &benchmark, const SimConfig &config)
 SimResults
 Simulator::run()
 {
+    if (cfg.sampling.enable)
+        return runSampled();
+
     Core &c = *theCore;
     if (cfg.skipInsts > 0)
         c.runUntilCommitted(cfg.skipInsts);
@@ -56,6 +59,93 @@ Simulator::run()
 
     SimResults r;
     collectMetrics(r.metrics);
+    return r;
+}
+
+SimResults
+Simulator::runSampled()
+{
+    Core &c = *theCore;
+    const SamplingConfig &sp = cfg.sampling;
+    // Per validate(): detailedInsts >= 1, warmup+detailed <= period,
+    // period <= measure, so ffInsts and nIntervals are well defined.
+    const std::uint64_t ffInsts =
+        sp.periodInsts - sp.warmupInsts - sp.detailedInsts;
+    const std::uint64_t nIntervals = cfg.measureInsts / sp.periodInsts;
+
+    // The initial skip goes through the same functional-warming path as
+    // the inter-interval fast-forwards — that is the whole point of
+    // sampling: the paper's 100M-skip warm-up becomes nearly free.
+    if (cfg.skipInsts > 0)
+        c.fastForward(cfg.skipInsts, sp.functionalWarming);
+
+    stats::SampleEstimator ipcSampled{
+        "ipc.sampled", "sampled-IPC estimator over detailed intervals"};
+
+    // One record, revisited in place every interval: the stats tree's
+    // schema is fixed after construction, so walks after the first
+    // overwrite values without rebuilding names — record construction
+    // would otherwise dominate short sampled runs. Parallel arrays
+    // accumulate the per-column aggregates; UInt metrics (counters,
+    // histogram buckets) sum across intervals, Real metrics (rates,
+    // ratios) take the unweighted mean — for core.ipc that mean of
+    // interval IPCs *is* the SMARTS point estimator the
+    // core.ipc.sampled.* stats quantify.
+    SimResults r;
+    MetricsRecord &rec = r.metrics;
+    std::vector<std::uint64_t> usum;
+    std::vector<double> rsum;
+    std::uint64_t measured = 0;
+    for (std::uint64_t i = 0; i < nIntervals; ++i) {
+        if (ffInsts > 0)
+            c.fastForward(ffInsts, sp.functionalWarming);
+        if (sp.warmupInsts > 0)
+            c.runUntilCommitted(c.committedInsts() + sp.warmupInsts);
+        c.resetStats();
+        c.runUntilCommitted(c.committedInsts() + sp.detailedInsts);
+
+        c.visitStats(rec);
+        if (nIntervals > 1) {
+            const std::vector<Metric> &cols = rec.all();
+            if (measured == 0) {
+                usum.assign(cols.size(), 0);
+                rsum.assign(cols.size(), 0.0);
+            }
+            VPR_ASSERT(cols.size() == usum.size(),
+                       "interval metric schema changed mid-run");
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k].kind == Metric::Kind::UInt)
+                    usum[k] += cols[k].uval;
+                else
+                    rsum[k] += cols[k].rval;
+            }
+        }
+        ipcSampled.sample(rec.real("core.ipc"));
+        ++measured;
+        if (c.done())
+            break;
+    }
+    VPR_ASSERT(measured > 0, "sampled run measured zero intervals");
+
+    // Fold the accumulated aggregates back into the record. A run that
+    // measured a single interval is already its own aggregate (sum and
+    // mean of one sample), so the record stands as visited.
+    if (measured > 1) {
+        for (std::size_t k = 0; k < rec.all().size(); ++k) {
+            const Metric &m = rec.all()[k];
+            if (m.kind == Metric::Kind::UInt)
+                rec.setUInt(m.name, m.desc, usum[k]);
+            else
+                rec.setReal(m.name, m.desc,
+                            rsum[k] / static_cast<double>(measured));
+        }
+    }
+
+    // Append the estimator through the same group/visit machinery as
+    // every other stat so it lands as core.ipc.sampled.* in the schema.
+    stats::StatGroup sampledGroup{"core"};
+    sampledGroup.add(&ipcSampled);
+    sampledGroup.visit(rec);
     return r;
 }
 
@@ -76,6 +166,14 @@ Simulator::printReport(std::ostream &os, const SimResults &r) const
     os << "physRegs/file     " << cfg.core.rename.numPhysRegs << "\n";
     os << "NRR (int/fp)      " << cfg.core.rename.nrrInt << "/"
        << cfg.core.rename.nrrFp << "\n";
+    if (r.metrics.has("core.ipc.sampled.mean")) {
+        os << "sampled ipc       " << std::fixed << std::setprecision(4)
+           << r.metrics.real("core.ipc.sampled.mean") << " +/- "
+           << r.metrics.real("core.ipc.sampled.ci95")
+           << std::defaultfloat << "  (95% CI over "
+           << r.metrics.counter("core.ipc.sampled.intervals")
+           << " intervals)\n";
+    }
     // The record is self-describing: one line per metric. Histogram
     // buckets are elided — the moments summarize each distribution and
     // the full shape travels in the --out record files.

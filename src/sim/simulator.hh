@@ -129,7 +129,15 @@ class Simulator
     /** Build by benchmark name (owns the stream). */
     Simulator(const std::string &benchmark, const SimConfig &config);
 
-    /** Warm up for skipInsts, measure for measureInsts, return stats. */
+    /**
+     * Run the measurement protocol and return stats. With sampling off
+     * (the default): warm up for skipInsts, measure for measureInsts
+     * contiguously. With sim.sampling.enable: fast-forward through
+     * skipInsts, then alternate fast-forward / detailed warm-up /
+     * measured intervals per the sim.sampling.* geometry; the returned
+     * record aggregates the intervals and appends the
+     * core.ipc.sampled.{mean,stderr,ci95,intervals} estimator.
+     */
     SimResults run();
 
     /** Print a human-readable report of the last run. */
@@ -139,6 +147,9 @@ class Simulator
     const Core &core() const { return *theCore; }
 
   private:
+    /** The sampled phase machine behind run(). */
+    SimResults runSampled();
+
     /** Build the result record by walking the core's stats tree. */
     void collectMetrics(MetricsRecord &m);
 

@@ -106,16 +106,33 @@ class LoopTraceStream : public TraceStream
     explicit LoopTraceStream(KernelDesc desc);
 
     std::optional<TraceRecord> next() override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void reset() override;
 
     const KernelDesc &kernel() const { return desc; }
 
   private:
+    /** The generator step behind next()/nextBatch: write the next
+     *  record into @p rec, or return false at end of trace. */
+    bool produce(TraceRecord &rec);
+
     /** Materialize the effective address for a template. */
     Addr nextAddr(int streamIdx);
 
     /** PC of instruction @p idx of block @p blk (branch is last). */
     Addr pcOf(std::size_t blk, std::size_t idx) const;
+
+    /** Per-stream constants hoisted out of nextAddr. When region and
+     *  element size are powers of two (every shipped kernel) the modulo
+     *  and alignment reduce to masks — `x % 2^k == x & (2^k - 1)` for
+     *  unsigned x — which keeps strided address generation free of
+     *  64-bit divisions on the fast-forward path. */
+    struct StreamGeom
+    {
+        std::uint64_t elems;      ///< region / elemSize
+        std::uint64_t regionMask; ///< region - 1, or 0 if not pow2
+        std::uint64_t alignMask;  ///< ~(elemSize - 1), or 0 if not pow2
+    };
 
     KernelDesc desc;
     Random rng;
@@ -124,6 +141,7 @@ class LoopTraceStream : public TraceStream
     std::vector<std::uint64_t> streamPos;  ///< per-stream access counter
     std::vector<unsigned> loopCount;       ///< per-block loop iteration
     std::vector<Addr> blockPc;             ///< per-block starting PC
+    std::vector<StreamGeom> geom;          ///< per-stream constants
 };
 
 } // namespace vpr

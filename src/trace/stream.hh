@@ -28,6 +28,43 @@ class TraceStream
 
     /** Rewind to the beginning of the trace. */
     virtual void reset() = 0;
+
+    /**
+     * Advance the stream position past @p n records without returning
+     * them (sampled simulation's fast-forward with functional warming
+     * disabled). @return the records actually skipped — less than @p n
+     * only at end of trace. The default walks next(); streams with
+     * random-access backing override with O(1) position arithmetic.
+     */
+    virtual std::size_t
+    skip(std::size_t n)
+    {
+        std::size_t k = 0;
+        while (k < n && next())
+            ++k;
+        return k;
+    }
+
+    /**
+     * Fill @p out with up to @p max records, returning the count
+     * (short only at end of trace). Yields exactly the sequence
+     * repeated next() calls would — this is the bulk entry point for
+     * fast-forward functional warming, where one virtual call per
+     * instruction (plus the optional<> return) is the dominant cost.
+     * The default loops next(); generators override it.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t k = 0;
+        while (k < max) {
+            std::optional<TraceRecord> rec = next();
+            if (!rec)
+                break;
+            out[k++] = *rec;
+        }
+        return k;
+    }
 };
 
 /**

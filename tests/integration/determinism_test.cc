@@ -25,6 +25,20 @@ quick()
     return c;
 }
 
+/** quick() with statistical sampling on: 4 intervals over the 20000
+ *  measured instructions, each fast-forwarding 3500, warming 500 and
+ *  measuring 1000. */
+SimConfig
+sampledQuick()
+{
+    SimConfig c = quick();
+    c.sampling.enable = true;
+    c.sampling.periodInsts = 5000;
+    c.sampling.warmupInsts = 500;
+    c.sampling.detailedInsts = 1000;
+    return c;
+}
+
 class DeterminismPerScheme
     : public ::testing::TestWithParam<RenameScheme>
 {
@@ -179,6 +193,55 @@ TEST(Determinism, WaitListWakeupMatchesScanByteForByte)
             EXPECT_EQ(a.text(), b.text())
                 << renameSchemeName(scheme) << ": " << a.name;
         }
+    }
+}
+
+TEST(Determinism, SampledRunsAreByteIdenticalAcrossRepeats)
+{
+    // A sampled run is a pure function of (benchmark, config, seed):
+    // repeating it must reproduce every exported metric — the
+    // interval aggregates and the core.ipc.sampled.* estimator
+    // included — byte for byte.
+    for (RenameScheme scheme : {RenameScheme::Conventional,
+                                RenameScheme::VPAllocAtWriteback}) {
+        SimConfig c = sampledQuick();
+        c.setScheme(scheme);
+        auto a = runOne("vortex", c);
+        auto b = runOne("vortex", c);
+        EXPECT_GE(a.metrics.counter("core.ipc.sampled.intervals"), 2u);
+        expectIdenticalMetrics(a, b,
+                               std::string("sampled repeat: ") +
+                                   renameSchemeName(scheme));
+    }
+}
+
+TEST(Determinism, SampledGridCellsAreByteIdenticalAcrossJobs)
+{
+    // Sampling must not perturb cross-cell isolation: the same sampled
+    // grid through 1 and 4 workers, and a fresh serial runOne, must
+    // agree on every metric byte for byte.
+    SimConfig c = sampledQuick();
+    c.seed = 77;
+    std::vector<GridCell> cells;
+    for (RenameScheme s : {RenameScheme::Conventional,
+                           RenameScheme::VPAllocAtWriteback,
+                           RenameScheme::VPAllocAtIssue}) {
+        c.setScheme(s);
+        cells.push_back({"compress", c});
+        cells.push_back({"swim", c});
+    }
+    auto serial = runGrid(cells, 1);
+    auto parallel = runGrid(cells, 4);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        expectIdenticalMetrics(serial[i], parallel[i],
+                               "sampled jobs 1 vs 4, cell " +
+                                   std::to_string(i));
+        auto one = runOne(cells[i].benchmark, cells[i].config);
+        expectIdenticalMetrics(serial[i], one,
+                               "sampled grid vs runOne, cell " +
+                                   std::to_string(i));
     }
 }
 

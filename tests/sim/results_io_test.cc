@@ -49,7 +49,10 @@ goldenResult()
 /** The provenance columns of goldenCell(), in registry order (one
  *  cfg.<dotted name> column per parameter; jobs excluded). */
 constexpr const char *kGoldenConfigColumns =
-    "cfg.skip_insts,cfg.measure_insts,cfg.seed,cfg.core.rename_width,"
+    "cfg.skip_insts,cfg.measure_insts,cfg.seed,cfg.sim.sampling.enable,"
+    "cfg.sim.sampling.period_insts,cfg.sim.sampling.warmup_insts,"
+    "cfg.sim.sampling.detailed_insts,cfg.sim.sampling.functional_warming,"
+    "cfg.core.rename_width,"
     "cfg.core.issue_width,cfg.core.commit_width,cfg.core.rob_size,"
     "cfg.core.iq_size,cfg.core.lsq_size,cfg.core.reg_read_ports,"
     "cfg.core.reg_write_ports,cfg.core.cache_ports,cfg.core.scheme,"
@@ -70,7 +73,8 @@ constexpr const char *kGoldenConfigColumns =
     "cfg.core.cache.num_mshrs,cfg.core.cache.bus_occupancy";
 
 constexpr const char *kGoldenConfigValues =
-    "1000,2000,7,8,8,8,128,128,128,16,8,3,vp-writeback,0,0,0,1,0,200000,"
+    "1000,2000,7,0,20000,150,250,1,8,8,8,128,128,128,16,8,3,"
+    "vp-writeback,0,0,0,1,0,200000,"
     "64,160,32,32,8,16,2048,1,stall,7860237,0,3,2,3,3,2,2,16384,32,1,"
     "2,50,8,4";
 
@@ -80,7 +84,7 @@ goldenCsv()
     std::string row = std::string("swim,") + kGoldenConfigValues +
                       ",1600,2000,1.25\n";
     return "# vpr-results v1 figure=golden cells=2 shard=0/1 scale=1 "
-           "cfg=ac32c258258bdfdb\n"
+           "cfg=75c64f96ca717efd\n"
            "cell,benchmark," + std::string(kGoldenConfigColumns) +
            ",core.cycles,core.committed,core.ipc\n"
            "0," + row + "1," + row;
@@ -132,7 +136,9 @@ TEST(ResultsJson, GoldenKeyOrderIsStable)
     // and metrics.
     EXPECT_NE(json.find("\"format\": \"vpr-results\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"config_digest\": \"6b6b04db409d19a2\""),
+    EXPECT_NE(json.find("\"config_digest\": \"5c4a629e84e3509b\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sim.sampling.enable\": \"0\""),
               std::string::npos);
     EXPECT_NE(json.find("\"benchmark\": \"swim\""), std::string::npos);
     EXPECT_NE(json.find("\"core.scheme\": \"vp-writeback\""),
@@ -299,6 +305,56 @@ TEST(ResultsCsvDeath, ConfigDigestMismatchIsFatal)
     };
     EXPECT_EXIT(mergeMismatched(), ::testing::ExitedWithCode(1),
                 "config provenance disagrees");
+}
+
+TEST(ResultsCsvDeath, SamplingConfigMismatchCannotMerge)
+{
+    // A sibling shard run with sampling switched on measured a
+    // statistical estimate, not the same experiment: its grid digest
+    // differs, so the merge must refuse to zip the two.
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    cells[0].config.sampling.enable = true;
+    cells[1].config.sampling.enable = true;
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", ShardSpec{1, 2}, {1}, cells,
+                    {goldenResult()});
+    std::string a = halfShardCsv();
+    std::string b = os.str();
+    auto mergeMismatched = [&a, &b] {
+        std::istringstream ia(a), ib(b);
+        std::vector<ResultsFile> files;
+        files.push_back(readResultsCsv(ia, "a"));
+        files.push_back(readResultsCsv(ib, "b"));
+        mergeResults(files);
+    };
+    EXPECT_EXIT(mergeMismatched(), ::testing::ExitedWithCode(1),
+                "config provenance disagrees");
+}
+
+TEST(ResultsCsvDeath, SamplingParamMismatchNamesTheKey)
+{
+    // Row-level provenance verification pins the exact disagreeing
+    // parameter: a record whose sim.sampling.enable column contradicts
+    // the expected grid dies naming that dotted key.
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::ostringstream os;
+    writeResultsCsv(os, "golden", ShardSpec{0, 2}, {0}, cells,
+                    {goldenResult()});
+    std::string csv = os.str();
+    // Forge the sampling.enable value in the data row: the columns run
+    // ...,cfg.seed,cfg.sim.sampling.enable,... so the row reads
+    // "...,2000,7,0,20000,...". Flip the 0 between seed and period.
+    std::size_t pos = csv.find(",2000,7,0,20000,");
+    ASSERT_NE(pos, std::string::npos);
+    csv.replace(pos, std::string(",2000,7,0,20000,").size(),
+                ",2000,7,1,20000,");
+    auto verifyForged = [&csv, &cells] {
+        std::istringstream is(csv);
+        ResultsFile file = readResultsCsv(is, "forged");
+        verifyCellProvenance(file, cells, "forged");
+    };
+    EXPECT_EXIT(verifyForged(), ::testing::ExitedWithCode(1),
+                "config provenance mismatch at cfg.sim.sampling.enable");
 }
 
 TEST(ResultsCsvDeath, DuplicateCellIsFatal)

@@ -16,6 +16,10 @@
  *     --threshold=<pct>    regression warning threshold (default 10)
  *     --gate               exit 1 if any row regresses past threshold
  *
+ * Both files' context blocks are checked for "library_build_type":
+ * a non-"release" value draws a warning (timings from debug trees are
+ * not comparable) and, under --gate, a failing exit.
+ *
  * The parser is deliberately small: it scans the "benchmarks" array for
  * "name"/"real_time"/"time_unit" fields rather than pulling in a JSON
  * library. Aggregate rows (_mean/_median/_stddev/_cv) are kept; when a
@@ -69,9 +73,32 @@ numberField(const std::string &text, std::size_t objAt, const char *key)
     return std::strtod(text.c_str() + k + pat.size(), nullptr);
 }
 
+/**
+ * Check the export's context block for a non-release library build and
+ * warn: debug-build timings are not comparable to release ones (the
+ * BENCH_6.json incident — a baseline silently recorded from a debug
+ * tree). @return false if the build type is present and not "release".
+ */
+bool
+checkBuildType(const std::string &path, const std::string &text)
+{
+    const std::string type = stringField(text, 0, "library_build_type");
+    if (type.empty() || type == "release")
+        return true;
+    std::cerr << "perf_diff: WARNING: " << path
+              << " was recorded against a '" << type
+              << "' google-benchmark library; absolute timings carry "
+                 "extra harness overhead. Within-file row ratios are "
+                 "still meaningful, but do not gate on cross-file "
+                 "diffs — rebuild benchmark in Release and re-record "
+                 "(the perf-baseline target already refuses "
+                 "non-Release simulator trees).\n";
+    return false;
+}
+
 /** All rows of the "benchmarks" array of one benchmark JSON export. */
 std::vector<BenchRow>
-parseBenchmarks(const std::string &path)
+parseBenchmarks(const std::string &path, bool &releaseBuilt)
 {
     std::ifstream in(path);
     if (!in) {
@@ -81,6 +108,7 @@ parseBenchmarks(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
+    releaseBuilt = checkBuildType(path, text);
 
     std::vector<BenchRow> rows;
     std::size_t arr = text.find("\"benchmarks\":");
@@ -149,8 +177,10 @@ main(int argc, char **argv)
         return 2;
     }
 
-    auto baseline = parseBenchmarks(files[0]);
-    auto current = parseBenchmarks(files[1]);
+    bool baseRelease = true, curRelease = true;
+    auto baseline = parseBenchmarks(files[0], baseRelease);
+    auto current = parseBenchmarks(files[1], curRelease);
+    const bool buildTypeOk = baseRelease && curRelease;
 
     // Prefer _mean aggregates when present on the baseline side.
     bool hasMeans = false;
@@ -193,6 +223,11 @@ main(int argc, char **argv)
                   << "% (timings on shared runners are noisy; see the "
                      "table)\n";
         return gate ? 1 : 0;
+    }
+    if (!buildTypeOk && gate) {
+        std::cerr << "perf_diff: refusing to gate on non-release "
+                     "timings\n";
+        return 1;
     }
     std::cout << "perf_diff: " << compared
               << " benchmarks within threshold\n";

@@ -34,8 +34,9 @@
  *
  * Run control: --skip/--insts/--seed/--jobs, --out=<path> (one record
  * per run, CSV or .json), --dump-trace=F,N, --list. The classic flags
- * --scheme/--regs/--nrr/--rob/--miss/--mshrs/--wrongpath[-mem] are
- * thin aliases onto the dotted parameters above.
+ * --scheme/--regs/--nrr/--rob/--miss/--mshrs/--wrongpath[-mem] and
+ * --sampling (= sim.sampling.enable=1, SMARTS-style sampled
+ * simulation) are thin aliases onto the dotted parameters above.
  */
 
 #include <cstdlib>
@@ -165,6 +166,8 @@ main(int argc, char **argv)
             figure = v;
         } else if (matchArg(argv[i], "--shard", &v)) {
             shard = parseShard(v);
+        } else if (std::strcmp(argv[i], "--sampling") == 0) {
+            alias("sim.sampling.enable", "1");
         } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
             alias("core.fetch.wrong_path", "synthesize");
         } else if (std::strcmp(argv[i], "--wrongpath-mem") == 0) {
