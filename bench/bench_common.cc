@@ -45,12 +45,18 @@ parseArgs(int argc, char **argv)
             opt.shard = parseShard(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             opt.outPath = argv[i] + 6;
+        } else if (std::strcmp(argv[i], "--sampling") == 0) {
+            opt.config.assignments.push_back("sim.sampling.enable=1");
+        } else if (std::strncmp(argv[i], "--ckpt-dir=", 11) == 0) {
+            opt.config.assignments.push_back(
+                std::string("sim.ckpt.dir=") + (argv[i] + 11));
         } else if (parseConfigArg(argc, argv, i, opt.config)) {
             // --set / --set= / --config= / --dump-config taken.
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=<factor>] [--jobs=<n>] "
                 "[--shard=i/N] [--out=<path>]\n"
+                "          [--sampling] [--ckpt-dir=<dir>]\n"
                 "          [--set <key>=<value>] [--config=<file.json>] "
                 "[--dump-config]\n"
                 "  --scale scales the simulated instruction budget "
@@ -67,8 +73,16 @@ parseArgs(int argc, char **argv)
                 "recover the full\n"
                 "  table byte-for-byte.\n"
                 "  --out writes one record per executed grid cell "
-                "(CSV, or JSON when\n"
-                "  the path ends in .json).\n"
+                "(CSV; JSON when the\n"
+                "  path ends in .json, compressed container when it "
+                "ends in .vprz —\n"
+                "  merge_results ingests both).\n"
+                "  --sampling switches every cell to SMARTS-style "
+                "sampled simulation\n"
+                "  (= --set sim.sampling.enable=1).\n"
+                "  --ckpt-dir caches warm-up state across runs "
+                "(= --set sim.ckpt.dir=<dir>;\n"
+                "  see README \"Checkpoints & warm-start sweeps\").\n"
                 "  --set overrides one config parameter by dotted name "
                 "(repeatable;\n"
                 "  run vpr_sim --help-params for the list). --config "

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Streaming compression + self-identifying container ("VPRZ") for
+ * checkpoints and large grid result files, plus magic-byte format
+ * autodetection so readers ingest compressed and plain inputs alike.
+ *
+ * Container layout:
+ *
+ *   magic "VPRZ" (4 bytes)
+ *   u8  container version (1)
+ *   u8  codec: 0 = store (no compression), 1 = zlib deflate
+ *   u16 kind length, kind bytes — what the payload is ("ckpt",
+ *       "results"); a reader expecting one kind rejects another
+ *   u64 raw (uncompressed) payload size
+ *   u64 stored (possibly compressed) payload size
+ *   stored payload bytes
+ *   u64 FNV-1a of the raw payload
+ *
+ * zlib is found by CMake; when absent the codec falls back to store so
+ * the container still round-trips (compression is a size optimization,
+ * never a correctness dependency). Every malformed input throws
+ * CkptError with a message naming the first failed check.
+ */
+
+#ifndef VPR_COMMON_IO_ZIO_HH
+#define VPR_COMMON_IO_ZIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vpr
+{
+
+/** Detected on-disk format of an input file (by magic bytes). */
+enum class FileFormat : std::uint8_t
+{
+    Vprz,        ///< "VPRZ" compressed container
+    Checkpoint,  ///< bare "VPRCKPT" checkpoint
+    Plain,       ///< anything else (CSV/JSON results, text)
+};
+
+/** Classify a buffer by its leading magic bytes. */
+FileFormat guessFormat(const std::string &data);
+
+/** True when zlib was linked in (codec 1 available). */
+bool zlibAvailable();
+
+/** Wrap @p payload in a VPRZ container of @p kind, deflated when zlib
+ *  is available (or @p compress is false → store codec). */
+std::string vprzPack(const std::string &payload, const std::string &kind,
+                     bool compress = true);
+
+/** Unwrap a VPRZ container, inflating as needed. Throws CkptError on
+ *  any malformed field or on a kind mismatch (@p expectKind empty =
+ *  accept any kind). */
+std::string vprzUnpack(const std::string &raw,
+                       const std::string &expectKind = std::string());
+
+/** Read a whole file into a string; false when unreadable. */
+bool readFileBytes(const std::string &path, std::string &out);
+
+/** Write @p data to @p path atomically (unique temp file in the same
+ *  directory + rename), so concurrent grid cells racing to publish the
+ *  same checkpoint never expose a partial file. False on I/O failure. */
+bool writeFileAtomic(const std::string &path, const std::string &data);
+
+} // namespace vpr
+
+#endif // VPR_COMMON_IO_ZIO_HH

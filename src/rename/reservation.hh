@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/state.hh"
 #include "common/types.hh"
 
 namespace vpr
@@ -82,6 +83,24 @@ class ReservationTracker
     {
         entries.clear();
         usedRes = 0;
+    }
+
+    /** Serialize/restore the age-ordered window (empty at a drained
+     *  point, but the walk stays total so the encoding never depends
+     *  on that invariant). */
+    void
+    visitState(StateVisitor &v)
+    {
+        v.section("reservation");
+        std::uint64_t n = entries.size();
+        v.value(n);
+        if (v.loading())
+            entries.resize(static_cast<std::size_t>(n));
+        for (Entry &e : entries) {
+            v.value(e.seq);
+            v.value(e.allocated);
+        }
+        v.value(usedRes);
     }
 
   private:

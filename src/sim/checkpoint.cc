@@ -1,0 +1,68 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+
+#include "sim/params.hh"
+
+namespace vpr
+{
+
+namespace
+{
+
+/** Warm-relevant provenance keys for a Functional-scope checkpoint:
+ *  exactly what a functional fast-forward warms. The trace stream is
+ *  keyed by "seed" and the stream identity; the warmed structures by
+ *  the BHT geometry and the whole cache subtree. */
+bool
+functionalKey(const std::string &name)
+{
+    return name == "seed" || name == "skip_insts" ||
+           name == "sim.sampling.functional_warming" ||
+           name == "core.fetch.bht_entries" ||
+           name.rfind("core.cache.", 0) == 0;
+}
+
+/** Full-scope checkpoints depend on everything that shapes the warm-up
+ *  except the measurement length, which begins after the checkpoint. */
+bool
+fullKey(const std::string &name)
+{
+    return name != "measure_insts";
+}
+
+} // namespace
+
+std::uint64_t
+warmStateDigest(const SimConfig &cfg, const std::string &benchmark,
+                const std::string &streamIdentity, CkptScope scope)
+{
+    const char *tag = ckptScopeName(scope);
+    std::uint64_t h = fnv1a(tag, std::strlen(tag));
+    const std::uint64_t version = kStateFormatVersion;
+    h = fnv1a(&version, sizeof(version), h);
+    for (const auto &[name, value] : configProvenance(cfg)) {
+        if (scope == CkptScope::Functional ? !functionalKey(name)
+                                           : !fullKey(name))
+            continue;
+        const std::string line = name + "=" + value + "\n";
+        h = fnv1a(line.data(), line.size(), h);
+    }
+    h = fnv1a(benchmark.data(), benchmark.size(), h);
+    h = fnv1a(streamIdentity.data(), streamIdentity.size(), h);
+    return h;
+}
+
+std::string
+checkpointPath(const std::string &dir, const std::string &benchmark,
+               CkptScope scope, std::uint64_t digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string name;
+    for (int shift = 60; shift >= 0; shift -= 4)
+        name += hex[(digest >> shift) & 0xf];
+    return dir + "/" + benchmark + "-" + ckptScopeName(scope) + "-" +
+           name + ".vprck";
+}
+
+} // namespace vpr

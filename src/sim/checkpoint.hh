@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Content-addressed warm-state checkpoint cache.
+ *
+ * A checkpoint is only valid for re-use when everything that shaped the
+ * warm state is identical: the benchmark (trace identity), the warm-up
+ * length, and the subset of the configuration the warmed structures
+ * depend on. That subset is hashed into a *warm-key digest* which names
+ * the file (content addressing) and is embedded in the checkpoint
+ * header, so a stale file for a different warm-relevant configuration
+ * is rejected on load rather than silently producing wrong results.
+ *
+ * Two scopes with different key widths (common/state.hh):
+ *
+ *  - Functional: a sampled run's initial fast-forward only warms the
+ *    trace position, BHT and cache hierarchy. Core-width, queue sizes
+ *    and the renaming scheme are irrelevant, so ONE functional
+ *    checkpoint is shared by every cell of a scheme x regfile-size
+ *    sweep grid — the digest only covers the warm-relevant keys.
+ *  - Full: a non-sampled run's detailed warm-up touches everything, so
+ *    the digest covers the full provenance (all result-relevant
+ *    parameters) except the measurement length, which begins after the
+ *    checkpoint.
+ */
+
+#ifndef VPR_SIM_CHECKPOINT_HH
+#define VPR_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/state.hh"
+#include "sim/config.hh"
+
+namespace vpr
+{
+
+/**
+ * The warm-key digest of (@p cfg, @p benchmark, @p streamIdentity) for
+ * checkpoints of @p scope. Stable across processes and runs: built
+ * from the canonical provenance text of the warm-relevant parameters
+ * plus the state-format version (a format bump invalidates every
+ * cached checkpoint at the name level, not just on load).
+ */
+std::uint64_t warmStateDigest(const SimConfig &cfg,
+                              const std::string &benchmark,
+                              const std::string &streamIdentity,
+                              CkptScope scope);
+
+/** Cache-file path: `<dir>/<benchmark>-<func|full>-<hex16digest>.vprck`. */
+std::string checkpointPath(const std::string &dir,
+                           const std::string &benchmark, CkptScope scope,
+                           std::uint64_t digest);
+
+} // namespace vpr
+
+#endif // VPR_SIM_CHECKPOINT_HH

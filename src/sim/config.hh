@@ -53,6 +53,31 @@ struct SamplingConfig
     void visitParams(ParamVisitor &v);
 };
 
+/**
+ * Warm-state checkpointing (sim.ckpt.*). With a cache directory set,
+ * a run whose warm-up (skip_insts) has been simulated before under the
+ * same warm-relevant configuration restores the drained pipeline state
+ * from disk instead of re-simulating it; a cold run saves its warm
+ * state for the next run. All knobs are execution-only: where warm
+ * state is cached must never change a result, so none of them enter
+ * provenance or config dumps.
+ */
+struct CkptConfig
+{
+    /** Checkpoint cache directory; empty disables checkpointing. */
+    std::string dir;
+
+    /** Compress checkpoint files (zlib container; falls back to a
+     *  stored container when the build lacks zlib). */
+    bool compress = true;
+
+    /** Save a checkpoint after a cold warm-up (off = restore-only). */
+    bool save = true;
+
+    /** Reflect the checkpoint parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
+};
+
 /** Everything a single simulation run needs. */
 struct SimConfig
 {
@@ -60,6 +85,9 @@ struct SimConfig
 
     /** Statistical-sampling protocol (sim.sampling.*). */
     SamplingConfig sampling;
+
+    /** Warm-state checkpoint cache (sim.ckpt.*; execution-only). */
+    CkptConfig ckpt;
 
     /** Committed instructions to skip before measuring (cache/BHT
      *  warm-up; the paper skips 100 M then measures 50 M — we scale both

@@ -32,7 +32,7 @@ parseParamU64(const std::string &text, std::uint64_t &out)
 
 void
 ParamVisitor::boolParam(const std::string &name, bool &field,
-                        const std::string &doc)
+                        const std::string &doc, bool execOnly)
 {
     ParamDef def;
     def.name = prefixed(name);
@@ -40,6 +40,7 @@ ParamVisitor::boolParam(const std::string &name, bool &field,
     def.maxValue = 1;
     def.type = "bool";
     def.doc = doc;
+    def.execOnly = execOnly;
     bool *field_p = &field;
     def.get = [field_p] { return std::string(*field_p ? "1" : "0"); };
     def.set = [field_p](const std::string &text) {
@@ -49,6 +50,25 @@ ParamVisitor::boolParam(const std::string &name, bool &field,
             *field_p = false;
         else
             return false;
+        return true;
+    };
+    onParam(std::move(def));
+}
+
+void
+ParamVisitor::strParam(const std::string &name, std::string &field,
+                       const std::string &doc, bool execOnly)
+{
+    ParamDef def;
+    def.name = prefixed(name);
+    def.kind = ParamDef::Kind::Str;
+    def.type = "str";
+    def.doc = doc;
+    def.execOnly = execOnly;
+    std::string *field_p = &field;
+    def.get = [field_p] { return *field_p; };
+    def.set = [field_p](const std::string &text) {
+        *field_p = text;
         return true;
     };
     onParam(std::move(def));
@@ -287,7 +307,11 @@ paramReference()
         info.name = def.name;
         info.type = def.type;
         info.doc = def.doc;
-        info.defaultText = def.get();
+        // Quote string defaults so an empty default is visible as ""
+        // in the reference table rather than a blank column.
+        info.defaultText = def.type == "str"
+                               ? "\"" + def.get() + "\""
+                               : def.get();
         info.execOnly = def.execOnly;
         info.derived = def.derived;
         out.push_back(std::move(info));

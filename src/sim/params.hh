@@ -55,7 +55,7 @@ bool parseParamU64(const std::string &text, std::uint64_t &out);
  *  concrete config instance's field. */
 struct ParamDef
 {
-    enum class Kind : std::uint8_t { UInt, Bool, Enum };
+    enum class Kind : std::uint8_t { UInt, Bool, Enum, Str };
 
     std::string name;  ///< stable dotted name
     std::string type;  ///< "u16", "u32", "u64", "bool", "enum{a|b}"
@@ -118,7 +118,13 @@ class ParamVisitor
 
     /** Register a boolean field ("0"/"1"; set also takes true/false). */
     void boolParam(const std::string &name, bool &field,
-                   const std::string &doc);
+                   const std::string &doc, bool execOnly = false);
+
+    /** Register a free-text field (paths and the like). Any value is
+     *  accepted verbatim, so string parameters are execution-only by
+     *  nature unless stated otherwise. */
+    void strParam(const std::string &name, std::string &field,
+                  const std::string &doc, bool execOnly = false);
 
     /**
      * Register an enum field. @p names maps text to values; the first

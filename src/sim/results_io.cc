@@ -7,7 +7,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/io/zio.hh"
 #include "common/logging.hh"
+#include "common/state.hh"
 #include "sim/params.hh"
 
 namespace vpr
@@ -227,6 +229,19 @@ writeResultsJson(std::ostream &os, const std::string &figure,
     os << "\n  ]\n}\n";
 }
 
+namespace
+{
+
+bool
+hasSuffix(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
 void
 writeResultsFile(const std::string &path, const std::string &figure,
                  const ShardSpec &shard,
@@ -234,12 +249,20 @@ writeResultsFile(const std::string &path, const std::string &figure,
                  const std::vector<GridCell> &cells,
                  const std::vector<SimResults> &results)
 {
+    // ".vprz" wraps the CSV records in the compressed container
+    // (common/io/zio.hh); the reader autodetects by magic bytes, so
+    // merge_results ingests both forms interchangeably.
+    if (hasSuffix(path, ".vprz")) {
+        std::ostringstream csv;
+        writeResultsCsv(csv, figure, shard, indices, cells, results);
+        if (!writeFileAtomic(path, vprzPack(csv.str(), "results")))
+            VPR_FATAL("error writing '", path, "'");
+        return;
+    }
     std::ofstream os(path);
     if (!os)
         VPR_FATAL("cannot open '", path, "' for writing");
-    const bool json =
-        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-    if (json)
+    if (hasSuffix(path, ".json"))
         writeResultsJson(os, figure, shard, indices, cells, results);
     else
         writeResultsCsv(os, figure, shard, indices, cells, results);
@@ -326,9 +349,17 @@ readResultsCsv(std::istream &is, const std::string &name)
 ResultsFile
 readResultsCsvFile(const std::string &path)
 {
-    std::ifstream is(path);
-    if (!is)
+    std::string data;
+    if (!readFileBytes(path, data))
         VPR_FATAL("cannot open '", path, "'");
+    if (guessFormat(data) == FileFormat::Vprz) {
+        try {
+            data = vprzUnpack(data, "results");
+        } catch (const CkptError &e) {
+            VPR_FATAL(path, ": ", e.what());
+        }
+    }
+    std::istringstream is(data);
     return readResultsCsv(is, path);
 }
 

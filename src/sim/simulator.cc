@@ -1,9 +1,12 @@
 #include "sim/simulator.hh"
 
 #include <iomanip>
+#include <iostream>
 
+#include "common/io/zio.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "sim/checkpoint.hh"
 #include "trace/kernels/kernels.hh"
 
 namespace vpr
@@ -27,21 +30,93 @@ threadSeed(SimConfig &cfg)
 
 } // namespace
 
-Simulator::Simulator(TraceStream &stream, const SimConfig &config)
-    : cfg(config)
+Simulator::Simulator(TraceStream &externalStream, const SimConfig &config)
+    : cfg(config), stream(&externalStream)
 {
     cfg.validate();
     threadSeed(cfg);
-    theCore = std::make_unique<Core>(stream, cfg.core);
+    benchName = stream->identity();
+    theCore = std::make_unique<Core>(*stream, cfg.core);
 }
 
 Simulator::Simulator(const std::string &benchmark, const SimConfig &config)
-    : cfg(config)
+    : cfg(config), benchName(benchmark)
 {
     cfg.validate();
     threadSeed(cfg);
     ownedStream = makeBenchmarkStream(benchmark, cfg.seed);
-    theCore = std::make_unique<Core>(*ownedStream, cfg.core);
+    stream = ownedStream.get();
+    theCore = std::make_unique<Core>(*stream, cfg.core);
+}
+
+void
+Simulator::rebuildCore()
+{
+    theCore = std::make_unique<Core>(*stream, cfg.core);
+}
+
+bool
+Simulator::ckptActive() const
+{
+    return !cfg.ckpt.dir.empty() && cfg.skipInsts > 0 &&
+           !stream->identity().empty();
+}
+
+bool
+Simulator::tryRestoreCheckpoint(CkptScope scope)
+{
+    const std::uint64_t digest =
+        warmStateDigest(cfg, benchName, stream->identity(), scope);
+    const std::string path =
+        checkpointPath(cfg.ckpt.dir, benchName, scope, digest);
+    std::string raw;
+    if (!readFileBytes(path, raw))
+        return false;  // cache miss: core untouched, warm up cold
+    try {
+        if (guessFormat(raw) == FileFormat::Vprz)
+            raw = vprzUnpack(raw, "ckpt");
+        const std::string payload = unpackCheckpoint(raw, scope, digest);
+        rebuildCore();
+        StateLoader loader(payload);
+        theCore->visitState(loader, scope);
+        if (!loader.exhausted())
+            throw CkptError("trailing bytes after checkpoint state");
+        return true;
+    } catch (const CkptError &e) {
+        std::cerr << "vpr: warning: ignoring checkpoint " << path << ": "
+                  << e.what() << "; warming up cold\n";
+        // The failed load may have half-mutated the core and advanced
+        // the stream; rebuild both before the cold fallback.
+        stream->reset();
+        rebuildCore();
+        return false;
+    }
+}
+
+void
+Simulator::saveAndReloadCheckpoint(CkptScope scope)
+{
+    const std::uint64_t digest =
+        warmStateDigest(cfg, benchName, stream->identity(), scope);
+    StateSaver saver;
+    theCore->visitState(saver, scope);
+    const std::string raw = packCheckpoint(scope, digest, saver.take());
+    if (cfg.ckpt.save) {
+        const std::string path =
+            checkpointPath(cfg.ckpt.dir, benchName, scope, digest);
+        const std::string bytes =
+            vprzPack(raw, "ckpt", cfg.ckpt.compress);
+        if (!writeFileAtomic(path, bytes))
+            std::cerr << "vpr: warning: cannot write checkpoint " << path
+                      << "; continuing without saving\n";
+    }
+    // Measure from a constructed-then-loaded core even on the cold run,
+    // so cold and restored measurements are byte-identical.
+    const std::string payload = unpackCheckpoint(raw, scope, digest);
+    rebuildCore();
+    StateLoader loader(payload);
+    theCore->visitState(loader, scope);
+    VPR_ASSERT(loader.exhausted(), "checkpoint reload left bytes over");
 }
 
 SimResults
@@ -50,9 +125,21 @@ Simulator::run()
     if (cfg.sampling.enable)
         return runSampled();
 
+    if (cfg.skipInsts > 0) {
+        if (ckptActive()) {
+            // Full-scope checkpoint: the detailed warm-up touches
+            // everything, so the warm key covers the full provenance.
+            if (!tryRestoreCheckpoint(CkptScope::Full)) {
+                theCore->runUntilCommitted(cfg.skipInsts);
+                theCore->drainForCheckpoint();
+                saveAndReloadCheckpoint(CkptScope::Full);
+            }
+        } else {
+            theCore->runUntilCommitted(cfg.skipInsts);
+        }
+    }
+    // The checkpoint step may have replaced the core; bind after it.
     Core &c = *theCore;
-    if (cfg.skipInsts > 0)
-        c.runUntilCommitted(cfg.skipInsts);
     c.resetStats();
     std::uint64_t target = c.committedInsts() + cfg.measureInsts;
     c.runUntilCommitted(target);
@@ -65,7 +152,6 @@ Simulator::run()
 SimResults
 Simulator::runSampled()
 {
-    Core &c = *theCore;
     const SamplingConfig &sp = cfg.sampling;
     // Per validate(): detailedInsts >= 1, warmup+detailed <= period,
     // period <= measure, so ffInsts and nIntervals are well defined.
@@ -76,11 +162,32 @@ Simulator::runSampled()
     // The initial skip goes through the same functional-warming path as
     // the inter-interval fast-forwards — that is the whole point of
     // sampling: the paper's 100M-skip warm-up becomes nearly free.
-    if (cfg.skipInsts > 0)
-        c.fastForward(cfg.skipInsts, sp.functionalWarming);
+    // Functional-scope checkpoint: the fast-forward only warms the
+    // trace position, BHT and caches, so one cached checkpoint is
+    // shared by every cell of a scheme x regfile-size sweep grid.
+    if (cfg.skipInsts > 0) {
+        if (ckptActive()) {
+            if (!tryRestoreCheckpoint(CkptScope::Functional)) {
+                theCore->fastForward(cfg.skipInsts, sp.functionalWarming);
+                theCore->drainForCheckpoint();
+                saveAndReloadCheckpoint(CkptScope::Functional);
+            }
+        } else {
+            theCore->fastForward(cfg.skipInsts, sp.functionalWarming);
+        }
+    }
+    // The checkpoint step may have replaced the core; bind after it.
+    Core &c = *theCore;
 
     stats::SampleEstimator ipcSampled{
         "ipc.sampled", "sampled-IPC estimator over detailed intervals"};
+    // Companion to the point estimator: the full shape of the
+    // per-interval IPC observations, in milli-IPC so the integer
+    // histogram keeps three decimals of resolution. An 8-wide core
+    // cannot exceed IPC 8, so the range is exact.
+    stats::Distribution ipcDist = stats::Distribution::evenBuckets(
+        "ipc.sampled.dist", "per-interval IPC observations (milli-IPC)",
+        0, 8000, 16);
 
     // One record, revisited in place every interval: the stats tree's
     // schema is fixed after construction, so walks after the first
@@ -120,7 +227,9 @@ Simulator::runSampled()
                     rsum[k] += cols[k].rval;
             }
         }
-        ipcSampled.sample(rec.real("core.ipc"));
+        const double ipc = rec.real("core.ipc");
+        ipcSampled.sample(ipc);
+        ipcDist.sample(static_cast<std::uint64_t>(ipc * 1000.0 + 0.5));
         ++measured;
         if (c.done())
             break;
@@ -145,6 +254,7 @@ Simulator::runSampled()
     // every other stat so it lands as core.ipc.sampled.* in the schema.
     stats::StatGroup sampledGroup{"core"};
     sampledGroup.add(&ipcSampled);
+    sampledGroup.add(&ipcDist);
     sampledGroup.visit(rec);
     return r;
 }

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The serialization substrate (common/state.hh) and the compressed
+ * container (common/io/zio.hh): round trips must be byte-exact, and
+ * every malformed input — truncation, wrong magic, version skew, stale
+ * digest, flipped payload bytes — must be rejected with a CkptError,
+ * never silently accepted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io/zio.hh"
+#include "common/random.hh"
+#include "common/state.hh"
+
+namespace vpr
+{
+namespace
+{
+
+/** A little aggregate exercising every visitor helper. */
+struct Widget
+{
+    std::uint64_t big = 0;
+    std::uint32_t medium = 0;
+    std::uint16_t small = 0;
+    bool flag = false;
+    double ratio = 0.0;
+    Random rng;
+    std::vector<std::uint16_t> fixed;
+    std::vector<std::uint64_t> dynamic;
+    std::vector<bool> bits;
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.section("widget");
+        v.value(big);
+        v.value(medium);
+        v.value(small);
+        v.value(flag);
+        v.value(ratio);
+        v.rng(rng);
+        v.fixedVec(fixed);
+        v.dynVec(dynamic);
+        v.boolVec(bits);
+    }
+};
+
+Widget
+sampleWidget()
+{
+    Widget w;
+    w.big = 0xfeedface12345678ull;
+    w.medium = 0xabcdef01u;
+    w.small = 0x7a5a;
+    w.flag = true;
+    w.ratio = 2.7182818284590451;
+    w.rng.reseed(42);
+    w.rng.next64();
+    w.fixed = {1, 2, 3, 0xffff};
+    w.dynamic = {9, 8, 7, 6, 5};
+    w.bits = {true, false, true, true};
+    return w;
+}
+
+TEST(StateVisitor, RoundTripIsExact)
+{
+    Widget w = sampleWidget();
+    StateSaver saver;
+    w.visitState(saver);
+
+    Widget x;
+    x.fixed.assign(4, 0);   // fixedVec needs the right geometry
+    x.bits.assign(4, false);
+    StateLoader loader(saver.buffer());
+    x.visitState(loader);
+    EXPECT_TRUE(loader.exhausted());
+
+    EXPECT_EQ(x.big, w.big);
+    EXPECT_EQ(x.medium, w.medium);
+    EXPECT_EQ(x.small, w.small);
+    EXPECT_EQ(x.flag, w.flag);
+    EXPECT_DOUBLE_EQ(x.ratio, w.ratio);
+    EXPECT_EQ(x.rng.rawState(), w.rng.rawState());
+    EXPECT_EQ(x.fixed, w.fixed);
+    EXPECT_EQ(x.dynamic, w.dynamic);
+    EXPECT_EQ(x.bits, w.bits);
+
+    // Saving the restored widget reproduces the encoding byte for byte.
+    StateSaver again;
+    x.visitState(again);
+    EXPECT_EQ(again.buffer(), saver.buffer());
+}
+
+TEST(StateVisitor, SectionMismatchThrows)
+{
+    StateSaver saver;
+    saver.section("alpha");
+    StateLoader loader(saver.buffer());
+    EXPECT_THROW(loader.section("beta"), CkptError);
+}
+
+TEST(StateVisitor, TruncatedPayloadThrows)
+{
+    Widget w = sampleWidget();
+    StateSaver saver;
+    w.visitState(saver);
+    std::string cut = saver.buffer().substr(0, saver.buffer().size() - 3);
+
+    Widget x;
+    x.fixed.assign(4, 0);
+    x.bits.assign(4, false);
+    StateLoader loader(cut);
+    EXPECT_THROW(x.visitState(loader), CkptError);
+}
+
+TEST(StateVisitor, NarrowingRangeIsChecked)
+{
+    std::uint64_t big = 0x10000;  // does not fit u16
+    StateSaver saver;
+    saver.value(big);
+    StateLoader loader(saver.buffer());
+    std::uint16_t small = 0;
+    EXPECT_THROW(loader.value(small), CkptError);
+}
+
+TEST(StateVisitor, FixedVecLengthMismatchThrows)
+{
+    std::vector<std::uint16_t> four = {1, 2, 3, 4};
+    StateSaver saver;
+    saver.fixedVec(four);
+    StateLoader loader(saver.buffer());
+    std::vector<std::uint16_t> three(3, 0);
+    EXPECT_THROW(loader.fixedVec(three), CkptError);
+}
+
+TEST(Checkpoint, PackUnpackRoundTrips)
+{
+    const std::string payload = "warm state bytes \x01\x02\x03";
+    const std::uint64_t digest = 0x1122334455667788ull;
+    std::string raw = packCheckpoint(CkptScope::Full, digest, payload);
+    EXPECT_EQ(unpackCheckpoint(raw, CkptScope::Full, digest), payload);
+    // Digest 0 means "don't check".
+    EXPECT_EQ(unpackCheckpoint(raw, CkptScope::Full, 0), payload);
+}
+
+TEST(Checkpoint, WrongMagicThrows)
+{
+    std::string raw = packCheckpoint(CkptScope::Full, 1, "x");
+    raw[0] = 'X';
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 1), CkptError);
+    EXPECT_THROW(unpackCheckpoint("short", CkptScope::Full, 1), CkptError);
+    EXPECT_THROW(unpackCheckpoint("", CkptScope::Full, 1), CkptError);
+}
+
+TEST(Checkpoint, VersionSkewThrows)
+{
+    std::string raw = packCheckpoint(CkptScope::Full, 1, "x");
+    raw[8] ^= 0x40;  // version word follows the 8-byte magic
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 1), CkptError);
+}
+
+TEST(Checkpoint, ScopeMismatchThrows)
+{
+    std::string raw = packCheckpoint(CkptScope::Functional, 1, "x");
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 1), CkptError);
+}
+
+TEST(Checkpoint, DigestMismatchThrows)
+{
+    std::string raw = packCheckpoint(CkptScope::Full, 1, "x");
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 2), CkptError);
+}
+
+TEST(Checkpoint, CorruptedPayloadThrows)
+{
+    std::string raw =
+        packCheckpoint(CkptScope::Full, 1, "some warm state payload");
+    raw[raw.size() - 12] ^= 0x01;  // flip a payload byte, not the sum
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 1), CkptError);
+}
+
+TEST(Checkpoint, TruncatedFileThrows)
+{
+    std::string raw =
+        packCheckpoint(CkptScope::Full, 1, "some warm state payload");
+    for (std::size_t keep : {raw.size() - 1, raw.size() / 2,
+                             std::size_t{9}}) {
+        EXPECT_THROW(
+            unpackCheckpoint(raw.substr(0, keep), CkptScope::Full, 1),
+            CkptError)
+            << "kept " << keep << " of " << raw.size() << " bytes";
+    }
+}
+
+TEST(Checkpoint, TrailingGarbageThrows)
+{
+    std::string raw = packCheckpoint(CkptScope::Full, 1, "x") + "junk";
+    EXPECT_THROW(unpackCheckpoint(raw, CkptScope::Full, 1), CkptError);
+}
+
+TEST(Vprz, StoredRoundTripsAndIsDetected)
+{
+    const std::string payload(10000, 'a');
+    std::string packed = vprzPack(payload, "ckpt", /*compress=*/false);
+    EXPECT_EQ(guessFormat(packed), FileFormat::Vprz);
+    EXPECT_EQ(vprzUnpack(packed, "ckpt"), payload);
+}
+
+TEST(Vprz, CompressedRoundTripsAndShrinks)
+{
+    std::string payload;
+    for (int i = 0; i < 5000; ++i)
+        payload += "a very repetitive warm state line\n";
+    std::string packed = vprzPack(payload, "results", /*compress=*/true);
+    EXPECT_EQ(vprzUnpack(packed, "results"), payload);
+    if (zlibAvailable())
+        EXPECT_LT(packed.size(), payload.size() / 4)
+            << "zlib present but the container did not compress";
+    else
+        EXPECT_GT(packed.size(), payload.size());  // stored fallback
+}
+
+TEST(Vprz, KindMismatchThrows)
+{
+    std::string packed = vprzPack("x", "ckpt");
+    EXPECT_THROW(vprzUnpack(packed, "results"), CkptError);
+    EXPECT_EQ(vprzUnpack(packed, ""), "x");  // empty = any kind
+}
+
+TEST(Vprz, CorruptionThrows)
+{
+    std::string packed = vprzPack("the quick brown fox", "ckpt",
+                                  /*compress=*/false);
+    std::string flipped = packed;
+    flipped[flipped.size() - 10] ^= 0x04;
+    EXPECT_THROW(vprzUnpack(flipped, "ckpt"), CkptError);
+    EXPECT_THROW(vprzUnpack(packed.substr(0, packed.size() / 2), "ckpt"),
+                 CkptError);
+    EXPECT_THROW(vprzUnpack("VPRZ", "ckpt"), CkptError);
+    EXPECT_THROW(vprzUnpack("not a container at all", "ckpt"), CkptError);
+}
+
+TEST(Vprz, FormatDetection)
+{
+    EXPECT_EQ(guessFormat("cell,benchmark\n0,go\n"), FileFormat::Plain);
+    EXPECT_EQ(guessFormat(""), FileFormat::Plain);
+    EXPECT_EQ(guessFormat(packCheckpoint(CkptScope::Full, 1, "x")),
+              FileFormat::Checkpoint);
+    EXPECT_EQ(guessFormat(vprzPack("x", "ckpt")), FileFormat::Vprz);
+}
+
+TEST(Fnv, MatchesKnownVectorsAndSeeds)
+{
+    // FNV-1a 64 reference values.
+    EXPECT_EQ(fnv1a("", 0), 14695981039346656037ull);
+    EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+    // Chaining through the seed differs from hashing the concatenation
+    // only in where the boundary falls — both must be stable.
+    const std::uint64_t ab = fnv1a("ab", 2);
+    EXPECT_EQ(fnv1a("b", 1, fnv1a("a", 1)), ab);
+}
+
+TEST(AtomicWrite, WritesAndReadsBack)
+{
+    const std::string path =
+        ::testing::TempDir() + "/vpr_state_test_atomic.bin";
+    const std::string data("binary\0payload", 14);
+    ASSERT_TRUE(writeFileAtomic(path, data));
+    std::string back;
+    ASSERT_TRUE(readFileBytes(path, back));
+    EXPECT_EQ(back, data);
+    EXPECT_FALSE(readFileBytes(path + ".does-not-exist", back));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vpr

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "common/io/zio.hh"
 #include "sim/results_io.hh"
 
 namespace vpr
@@ -519,6 +521,61 @@ TEST(ResultsJson, DistributionMetricsAppearAsKeys)
               std::string::npos);
     EXPECT_NE(json.find("\"regfile.occupancy.hist[15]\""),
               std::string::npos);
+}
+
+TEST(ResultsVprz, CompressedArchiveRoundTripsByteIdentically)
+{
+    // A .vprz results archive is the same CSV inside a compressed
+    // container: reading it back must reproduce figure, header and
+    // every raw row value, and merging must treat compressed and plain
+    // shards interchangeably.
+    std::vector<GridCell> cells = {goldenCell(), goldenCell()};
+    std::vector<SimResults> results = {goldenResult(), goldenResult()};
+    const std::string dir = ::testing::TempDir();
+    const std::string plainPath = dir + "/vpr_results_roundtrip.csv";
+    const std::string vprzPath = dir + "/vpr_results_roundtrip.vprz";
+    writeResultsFile(plainPath, "golden", ShardSpec{}, {0, 1}, cells,
+                     results);
+    writeResultsFile(vprzPath, "golden", ShardSpec{}, {0, 1}, cells,
+                     results);
+
+    ResultsFile plain = readResultsCsvFile(plainPath);
+    ResultsFile packed = readResultsCsvFile(vprzPath);
+    EXPECT_EQ(packed.figure, plain.figure);
+    EXPECT_EQ(packed.totalCells, plain.totalCells);
+    EXPECT_EQ(packed.scale, plain.scale);
+    EXPECT_EQ(packed.configDigest, plain.configDigest);
+    EXPECT_EQ(packed.header, plain.header);
+    ASSERT_EQ(packed.rows.size(), plain.rows.size());
+    for (std::size_t i = 0; i < plain.rows.size(); ++i)
+        EXPECT_EQ(packed.rows[i].values, plain.rows[i].values);
+
+    // A merge over the compressed file equals one over the plain file.
+    std::ostringstream fromPlain, fromPacked;
+    writeMergedCsv(fromPlain, mergeResults({plain}));
+    writeMergedCsv(fromPacked, mergeResults({packed}));
+    EXPECT_EQ(fromPacked.str(), fromPlain.str());
+
+    std::remove(plainPath.c_str());
+    std::remove(vprzPath.c_str());
+}
+
+TEST(ResultsVprzDeath, CorruptedArchiveIsFatal)
+{
+    // Damage inside the container must be caught by the checksum and
+    // reported as a read error, never parsed as CSV.
+    std::vector<GridCell> cells = {goldenCell()};
+    std::vector<SimResults> results = {goldenResult()};
+    const std::string path =
+        ::testing::TempDir() + "/vpr_results_corrupt.vprz";
+    writeResultsFile(path, "golden", ShardSpec{}, {0}, cells, results);
+    std::string raw;
+    ASSERT_TRUE(readFileBytes(path, raw));
+    raw[raw.size() / 2] ^= 0x01;
+    ASSERT_TRUE(writeFileAtomic(path, raw));
+    EXPECT_EXIT(readResultsCsvFile(path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -33,10 +33,12 @@
  *   --shard=i/N       run only slice i of the sweep grid (see README)
  *
  * Run control: --skip/--insts/--seed/--jobs, --out=<path> (one record
- * per run, CSV or .json), --dump-trace=F,N, --list. The classic flags
- * --scheme/--regs/--nrr/--rob/--miss/--mshrs/--wrongpath[-mem] and
- * --sampling (= sim.sampling.enable=1, SMARTS-style sampled
- * simulation) are thin aliases onto the dotted parameters above.
+ * per run; CSV, .json, or compressed .vprz), --dump-trace=F,N, --list.
+ * The classic flags --scheme/--regs/--nrr/--rob/--miss/--mshrs/
+ * --wrongpath[-mem], --sampling (= sim.sampling.enable=1, SMARTS-style
+ * sampled simulation) and --ckpt-dir=<dir> (= sim.ckpt.dir, warm-state
+ * checkpoint cache; see README "Checkpoints & warm-start sweeps") are
+ * thin aliases onto the dotted parameters above.
  */
 
 #include <cstdlib>
@@ -168,6 +170,8 @@ main(int argc, char **argv)
             shard = parseShard(v);
         } else if (std::strcmp(argv[i], "--sampling") == 0) {
             alias("sim.sampling.enable", "1");
+        } else if (matchArg(argv[i], "--ckpt-dir", &v)) {
+            alias("sim.ckpt.dir", v);
         } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
             alias("core.fetch.wrong_path", "synthesize");
         } else if (std::strcmp(argv[i], "--wrongpath-mem") == 0) {
