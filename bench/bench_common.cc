@@ -29,6 +29,38 @@ benchOptions()
     return mutableOptions();
 }
 
+const std::vector<SamplingPreset> &
+samplingPresets()
+{
+    // One entry per registered figure (bench/figures/registry.cc); the
+    // coverage test keeps this list and the registry in lockstep.
+    // Coarse periods for the wide NRR grids, finer ones where a single
+    // table's accuracy is the whole point.
+    static const std::vector<SamplingPreset> presets = {
+        {"table2_ipc", 10000, 150, 500},
+        {"fig4_nrr_writeback", 24000, 150, 250},
+        {"fig5_nrr_issue", 24000, 150, 250},
+        {"fig6_wb_vs_issue", 20000, 150, 250},
+        {"fig7_regfile_size", 20000, 150, 250},
+        {"ablation_early_release", 30000, 150, 250},
+        {"ablation_mshr", 30000, 150, 250},
+        {"ablation_window", 30000, 150, 250},
+        {"ablation_wrongpath", 30000, 150, 250},
+        {"motivating_example", 10000, 150, 500},
+        {"regpressure", 15000, 150, 400},
+    };
+    return presets;
+}
+
+const SamplingPreset *
+findSamplingPreset(const std::string &figure)
+{
+    for (const SamplingPreset &preset : samplingPresets())
+        if (figure == preset.figure)
+            return &preset;
+    return nullptr;
+}
+
 void
 parseArgs(int argc, char **argv)
 {
@@ -47,16 +79,42 @@ parseArgs(int argc, char **argv)
             opt.outPath = argv[i] + 6;
         } else if (std::strcmp(argv[i], "--sampling") == 0) {
             opt.config.assignments.push_back("sim.sampling.enable=1");
+        } else if (std::strncmp(argv[i], "--sampling-preset=", 18) == 0) {
+            const SamplingPreset *preset =
+                findSamplingPreset(argv[i] + 18);
+            if (!preset) {
+                std::fprintf(stderr,
+                             "%s: unknown sampling preset '%s'; one of:\n",
+                             argv[0], argv[i] + 18);
+                for (const SamplingPreset &p : samplingPresets())
+                    std::fprintf(stderr, "  %s\n", p.figure);
+                std::exit(1);
+            }
+            opt.config.assignments.push_back("sim.sampling.enable=1");
+            opt.config.assignments.push_back(
+                "sim.sampling.period_insts=" +
+                std::to_string(preset->periodInsts));
+            opt.config.assignments.push_back(
+                "sim.sampling.warmup_insts=" +
+                std::to_string(preset->warmupInsts));
+            opt.config.assignments.push_back(
+                "sim.sampling.detailed_insts=" +
+                std::to_string(preset->detailedInsts));
         } else if (std::strncmp(argv[i], "--ckpt-dir=", 11) == 0) {
             opt.config.assignments.push_back(
                 std::string("sim.ckpt.dir=") + (argv[i] + 11));
+        } else if (std::strncmp(argv[i], "--result-cache=", 15) == 0) {
+            opt.config.assignments.push_back(
+                std::string("sim.result_cache.dir=") + (argv[i] + 15));
         } else if (parseConfigArg(argc, argv, i, opt.config)) {
             // --set / --set= / --config= / --dump-config taken.
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=<factor>] [--jobs=<n>] "
                 "[--shard=i/N] [--out=<path>]\n"
-                "          [--sampling] [--ckpt-dir=<dir>]\n"
+                "          [--sampling] [--sampling-preset=<figure>] "
+                "[--ckpt-dir=<dir>]\n"
+                "          [--result-cache=<dir>]\n"
                 "          [--set <key>=<value>] [--config=<file.json>] "
                 "[--dump-config]\n"
                 "  --scale scales the simulated instruction budget "
@@ -79,10 +137,19 @@ parseArgs(int argc, char **argv)
                 "  merge_results ingests both).\n"
                 "  --sampling switches every cell to SMARTS-style "
                 "sampled simulation\n"
-                "  (= --set sim.sampling.enable=1).\n"
+                "  (= --set sim.sampling.enable=1); --sampling-preset "
+                "additionally\n"
+                "  applies the sim.sampling.* protocol tuned for the "
+                "named figure's\n"
+                "  grid (one preset per registered figure).\n"
                 "  --ckpt-dir caches warm-up state across runs "
                 "(= --set sim.ckpt.dir=<dir>;\n"
                 "  see README \"Checkpoints & warm-start sweeps\").\n"
+                "  --result-cache serves whole grid cells computed by "
+                "any earlier run\n"
+                "  from disk (= --set sim.result_cache.dir=<dir>; see "
+                "README \"Sweep\n"
+                "  service\").\n"
                 "  --set overrides one config parameter by dotted name "
                 "(repeatable;\n"
                 "  run vpr_sim --help-params for the list). --config "

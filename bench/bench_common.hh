@@ -14,6 +14,7 @@
 #ifndef VPR_BENCH_BENCH_COMMON_HH
 #define VPR_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,29 @@ struct BenchOptions
 
 /** The options parseArgs() collected. */
 const BenchOptions &benchOptions();
+
+/**
+ * Tuned SMARTS sampling protocol for one registered figure: the
+ * sim.sampling.* values --sampling-preset=<figure> applies. Periods are
+ * matched to the figure's measurement budget and grid size — wide grids
+ * (fig4/fig5's seven NRR points per benchmark) take coarser periods,
+ * single-table figures finer ones — keeping every preset's interval
+ * count high enough for a meaningful ci95.
+ */
+struct SamplingPreset
+{
+    const char *figure;         ///< registered figure name
+    std::uint64_t periodInsts;  ///< sim.sampling.period_insts
+    std::uint64_t warmupInsts;  ///< sim.sampling.warmup_insts
+    std::uint64_t detailedInsts;///< sim.sampling.detailed_insts
+};
+
+/** The full preset table — one entry per registered figure (a coverage
+ *  test enforces the bijection against the figure registry). */
+const std::vector<SamplingPreset> &samplingPresets();
+
+/** Preset lookup by figure name; nullptr when unknown. */
+const SamplingPreset *findSamplingPreset(const std::string &figure);
 
 /** Parse --scale=<f> into VPR_INSTS_SCALE, --jobs=<n> into VPR_JOBS,
  *  and --shard=i/N / --out=<path> / --config=<path> / --set <k>=<v> /

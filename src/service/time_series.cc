@@ -1,0 +1,83 @@
+#include "service/time_series.hh"
+
+#include <ostream>
+
+namespace vpr::service
+{
+
+RequestTimeSeries::Slot &
+RequestTimeSeries::rotate(std::uint64_t minute)
+{
+    Slot &slot = slots[minute % kMinutes];
+    if (slot.minute != minute) {
+        slot = Slot{};
+        slot.minute = minute;
+    }
+    return slot;
+}
+
+const RequestTimeSeries::Slot *
+RequestTimeSeries::slotFor(std::uint64_t minute) const
+{
+    const Slot &slot = slots[minute % kMinutes];
+    return slot.minute == minute ? &slot : nullptr;
+}
+
+void
+RequestTimeSeries::add(std::uint64_t minute, bool error,
+                       std::uint64_t latencyUsec)
+{
+    Slot &slot = rotate(minute);
+    ++slot.requests;
+    slot.errors += error ? 1 : 0;
+    slot.latencyUsec += latencyUsec;
+    ++totalReq;
+    totalErr += error ? 1 : 0;
+    totalLatencyUsec += latencyUsec;
+}
+
+std::uint64_t
+RequestTimeSeries::requestsAt(std::uint64_t minute) const
+{
+    const Slot *slot = slotFor(minute);
+    return slot ? slot->requests : 0;
+}
+
+std::uint64_t
+RequestTimeSeries::errorsAt(std::uint64_t minute) const
+{
+    const Slot *slot = slotFor(minute);
+    return slot ? slot->errors : 0;
+}
+
+void
+RequestTimeSeries::serializeJson(std::ostream &os,
+                                 std::uint64_t nowMinute) const
+{
+    const std::size_t entries =
+        nowMinute + 1 < kMinutes
+            ? static_cast<std::size_t>(nowMinute + 1)
+            : kMinutes;
+
+    os << "{\"window_minutes\": " << kMinutes << ", \"total\": {"
+       << "\"requests\": " << totalReq << ", \"errors\": " << totalErr
+       << ", \"avg_latency_usec\": "
+       << (totalReq ? totalLatencyUsec / totalReq : 0) << "}";
+
+    const auto emit = [&](const char *name, auto field) {
+        os << ", \"" << name << "\": [";
+        for (std::size_t i = 0; i < entries; ++i) {
+            const Slot *slot = slotFor(nowMinute - i);
+            os << (i ? ", " : "") << (slot ? field(*slot) : 0);
+        }
+        os << "]";
+    };
+    emit("requests", [](const Slot &s) { return s.requests; });
+    emit("errors", [](const Slot &s) { return s.errors; });
+    emit("avg_latency_usec", [](const Slot &s) {
+        return s.requests ? s.latencyUsec / s.requests : 0;
+    });
+    os << "}";
+}
+
+} // namespace vpr::service

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minute-granularity request time series for the sweep daemon's
+ * /status page, modelled on the NCBI PubSeq Gateway's per-endpoint
+ * CRequestTimeSeries counters: a fixed ring of per-minute slots that
+ * the request path bumps in O(1) and the status page serializes as
+ * JSON arrays, most recent minute first.
+ *
+ * The series is clock-free: callers pass an absolute minute index
+ * (minutes since some epoch — the daemon uses its steady-clock start),
+ * which makes the rotation logic directly unit-testable. A slot whose
+ * stored minute does not match the minute that hashes to it is stale
+ * and is reset on the next touch (and skipped — reported as zero — by
+ * the serializer), so an idle gap longer than the window never leaks
+ * old counts into the present.
+ */
+
+#ifndef VPR_SERVICE_TIME_SERIES_HH
+#define VPR_SERVICE_TIME_SERIES_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace vpr::service
+{
+
+/** Per-endpoint request/error/latency counters over a sliding
+ *  minute-granularity window, plus since-start totals. */
+class RequestTimeSeries
+{
+  public:
+    /** Sliding-window width in minutes (one hour, as the PubSeq
+     *  Gateway's most-recent band). */
+    static constexpr std::size_t kMinutes = 60;
+
+    /** Record one finished request in @p minute. */
+    void add(std::uint64_t minute, bool error,
+             std::uint64_t latencyUsec);
+
+    /** Since-start totals (not windowed). @{ */
+    std::uint64_t totalRequests() const { return totalReq; }
+    std::uint64_t totalErrors() const { return totalErr; }
+    /** @} */
+
+    /** Windowed counts for @p minute; zero when the slot is stale. @{ */
+    std::uint64_t requestsAt(std::uint64_t minute) const;
+    std::uint64_t errorsAt(std::uint64_t minute) const;
+    /** @} */
+
+    /**
+     * Serialize as one JSON object:
+     *
+     *   {"window_minutes": 60,
+     *    "total": {"requests": R, "errors": E, "avg_latency_usec": L},
+     *    "requests": [m0, m1, ...], "errors": [...],
+     *    "avg_latency_usec": [...]}
+     *
+     * Array index 0 is @p nowMinute, index i is i minutes earlier; all
+     * three arrays have min(nowMinute + 1, 60) entries, so a freshly
+     * started server reports a short window instead of leading zeroes.
+     */
+    void serializeJson(std::ostream &os, std::uint64_t nowMinute) const;
+
+  private:
+    struct Slot
+    {
+        std::uint64_t minute = 0;  ///< which minute the counts belong to
+        std::uint64_t requests = 0;
+        std::uint64_t errors = 0;
+        std::uint64_t latencyUsec = 0;  ///< sum over the slot's requests
+    };
+
+    /** The slot for @p minute, reset if it still holds an older
+     *  minute's counts. */
+    Slot &rotate(std::uint64_t minute);
+
+    /** Read-only slot lookup; nullptr when stale (counts are zero). */
+    const Slot *slotFor(std::uint64_t minute) const;
+
+    std::array<Slot, kMinutes> slots{};
+    std::uint64_t totalReq = 0;
+    std::uint64_t totalErr = 0;
+    std::uint64_t totalLatencyUsec = 0;
+};
+
+} // namespace vpr::service
+
+#endif // VPR_SERVICE_TIME_SERIES_HH

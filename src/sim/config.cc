@@ -32,42 +32,54 @@ SimConfig::setScheme(RenameScheme scheme)
     core.scheme = scheme;
 }
 
-void
-SimConfig::validate() const
+std::string
+SimConfig::validationError() const
 {
     const RenameConfig &r = core.rename;
     if (r.numPhysRegs <= kNumLogicalRegs)
-        VPR_FATAL("numPhysRegs (", r.numPhysRegs,
-                  ") must exceed the ", kNumLogicalRegs,
-                  " logical registers");
+        return detail::concat("numPhysRegs (", r.numPhysRegs,
+                              ") must exceed the ", kNumLogicalRegs,
+                              " logical registers");
     if (isVirtualPhysical(core.scheme)) {
         if (r.numVPRegs < kNumLogicalRegs + core.robSize)
-            VPR_FATAL("numVPRegs (", r.numVPRegs, ") must be >= NLR + "
-                      "window (", kNumLogicalRegs + core.robSize,
-                      ") so decode never starves for tags");
+            return detail::concat(
+                "numVPRegs (", r.numVPRegs, ") must be >= NLR + "
+                "window (", kNumLogicalRegs + core.robSize,
+                ") so decode never starves for tags");
         if (r.nrrInt < 1 || r.nrrFp < 1)
-            VPR_FATAL("NRR must be >= 1 (deadlock avoidance)");
+            return "NRR must be >= 1 (deadlock avoidance)";
         if (r.nrrInt > r.numPhysRegs - kNumLogicalRegs ||
             r.nrrFp > r.numPhysRegs - kNumLogicalRegs)
-            VPR_FATAL("NRR must be <= NPR - NLR = ",
-                      r.numPhysRegs - kNumLogicalRegs);
+            return detail::concat("NRR must be <= NPR - NLR = ",
+                                  r.numPhysRegs - kNumLogicalRegs);
     }
     if (core.iqSize < core.robSize)
-        VPR_FATAL("iqSize must be >= robSize (unified queue)");
+        return "iqSize must be >= robSize (unified queue)";
     if (sampling.enable) {
         if (sampling.detailedInsts == 0)
-            VPR_FATAL("sampling: zero-length detailed interval "
-                      "(sim.sampling.detailed_insts must be >= 1)");
+            return "sampling: zero-length detailed interval "
+                   "(sim.sampling.detailed_insts must be >= 1)";
         if (sampling.warmupInsts + sampling.detailedInsts >
             sampling.periodInsts)
-            VPR_FATAL("sampling: warm-up (", sampling.warmupInsts,
-                      ") plus detailed interval (", sampling.detailedInsts,
-                      ") exceeds the period (", sampling.periodInsts, ")");
+            return detail::concat(
+                "sampling: warm-up (", sampling.warmupInsts,
+                ") plus detailed interval (", sampling.detailedInsts,
+                ") exceeds the period (", sampling.periodInsts, ")");
         if (sampling.periodInsts > measureInsts)
-            VPR_FATAL("sampling: period (", sampling.periodInsts,
-                      ") exceeds the measurement budget (", measureInsts,
-                      "); not even one interval fits");
+            return detail::concat(
+                "sampling: period (", sampling.periodInsts,
+                ") exceeds the measurement budget (", measureInsts,
+                "); not even one interval fits");
     }
+    return std::string();
+}
+
+void
+SimConfig::validate() const
+{
+    const std::string error = validationError();
+    if (!error.empty())
+        VPR_FATAL(error);
 }
 
 void
@@ -109,6 +121,26 @@ CkptConfig::visitParams(ParamVisitor &v)
 }
 
 void
+ResultCacheConfig::visitParams(ParamVisitor &v)
+{
+    // All execution-only: where whole-cell results are cached must
+    // never change a result, so none of these enter provenance or
+    // config dumps.
+    v.strParam("dir", dir,
+               "content-addressed per-cell result cache directory "
+               "(empty = cache disabled); never changes results",
+               /*execOnly=*/true);
+    v.boolParam("compress", compress,
+                "compress result-cache entries (zlib container; stored "
+                "container when the build lacks zlib)",
+                /*execOnly=*/true);
+    v.boolParam("save", save,
+                "save an entry after simulating a missed cell (0 = "
+                "read-only cache)",
+                /*execOnly=*/true);
+}
+
+void
 SimConfig::visitParams(ParamVisitor &v)
 {
     v.uintParam("skip_insts", skipInsts,
@@ -128,6 +160,9 @@ SimConfig::visitParams(ParamVisitor &v)
     v.popGroup();
     v.pushGroup("ckpt");
     ckpt.visitParams(v);
+    v.popGroup();
+    v.pushGroup("result_cache");
+    resultCache.visitParams(v);
     v.popGroup();
     v.popGroup();
     v.pushGroup("core");

@@ -78,6 +78,32 @@ struct CkptConfig
     void visitParams(ParamVisitor &v);
 };
 
+/**
+ * Content-addressed per-cell result cache (sim.result_cache.*). With a
+ * cache directory set, the parallel experiment engine serves any grid
+ * cell whose (benchmark, provenance, seed, scale) content digest has
+ * been simulated before — by any binary or the vpr_simd daemon — from
+ * disk, byte-identical to a cold run. All knobs are execution-only:
+ * where results are cached must never change a result, so none of them
+ * enter provenance or config dumps.
+ */
+struct ResultCacheConfig
+{
+    /** Result cache directory; empty disables the cache. */
+    std::string dir;
+
+    /** Compress cache entries (zlib container; falls back to a stored
+     *  container when the build lacks zlib). */
+    bool compress = true;
+
+    /** Save entries after simulating a missed cell (0 = read-only:
+     *  serve hits but never write). */
+    bool save = true;
+
+    /** Reflect the result-cache parameters (sim/params.hh). */
+    void visitParams(ParamVisitor &v);
+};
+
 /** Everything a single simulation run needs. */
 struct SimConfig
 {
@@ -88,6 +114,9 @@ struct SimConfig
 
     /** Warm-state checkpoint cache (sim.ckpt.*; execution-only). */
     CkptConfig ckpt;
+
+    /** Per-cell result cache (sim.result_cache.*; execution-only). */
+    ResultCacheConfig resultCache;
 
     /** Committed instructions to skip before measuring (cache/BHT
      *  warm-up; the paper skips 100 M then measures 50 M — we scale both
@@ -133,6 +162,11 @@ struct SimConfig
 
     /** Validate cross-parameter constraints; fatal()s on user error. */
     void validate() const;
+
+    /** Non-fatal form of validate(): the first constraint violation as
+     *  a message, or an empty string when the config is valid. Lets a
+     *  long-lived server reject a bad request instead of exiting. */
+    std::string validationError() const;
 
     /**
      * Reflect the whole config tree — run control, the core, and every

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/experiment.hh"
+#include "sim/result_cache.hh"
 
 namespace vpr
 {
@@ -16,15 +17,35 @@ namespace
 SimResults
 runCell(const GridCell &cell)
 {
+    // Content-addressed result cache: a cell whose (benchmark,
+    // provenance, seed, scale) digest has been simulated before — by
+    // this run, an earlier batch run, or the vpr_simd daemon — is
+    // served from disk, byte-identical to a cold run. Cells with a
+    // custom stream factory are never cached: their workload is not
+    // covered by the provenance digest.
+    const std::string &cacheDir = cell.config.resultCache.dir;
+    const bool cacheable = !cacheDir.empty() && !cell.makeStream;
+    if (cacheable) {
+        SimResults cached;
+        if (loadCachedResult(cacheDir, cell, cached))
+            return cached;
+    }
+
     SimConfig config = cell.config;
     applyInstructionScale(config);
-    if (cell.makeStream) {
-        std::unique_ptr<TraceStream> stream = cell.makeStream();
-        Simulator sim(*stream, config);
+    SimResults results = [&] {
+        if (cell.makeStream) {
+            std::unique_ptr<TraceStream> stream = cell.makeStream();
+            Simulator sim(*stream, config);
+            return sim.run();
+        }
+        Simulator sim(cell.benchmark, config);
         return sim.run();
-    }
-    Simulator sim(cell.benchmark, config);
-    return sim.run();
+    }();
+
+    if (cacheable && cell.config.resultCache.save)
+        storeCachedResult(cacheDir, cell, results);
+    return results;
 }
 
 } // namespace

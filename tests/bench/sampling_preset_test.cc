@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The --sampling-preset table must stay a bijection with the figure
+ * registry: every registered figure has exactly one tuned preset (a new
+ * figure without one fails here, not at a user's command line), every
+ * preset names a real figure, and the tuned values are well-formed
+ * sampling protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bench_common.hh"
+#include "figures.hh"
+
+namespace vpr::bench
+{
+namespace
+{
+
+TEST(SamplingPresets, CoverEveryRegisteredFigureExactlyOnce)
+{
+    std::set<std::string> presetNames;
+    for (const SamplingPreset &preset : samplingPresets())
+        EXPECT_TRUE(presetNames.insert(preset.figure).second)
+            << "duplicate preset for '" << preset.figure << "'";
+
+    for (const FigureDef &figure : allFigures())
+        EXPECT_EQ(presetNames.count(figure.name), 1u)
+            << "registered figure '" << figure.name
+            << "' has no --sampling-preset entry";
+
+    for (const SamplingPreset &preset : samplingPresets())
+        EXPECT_NE(findFigure(preset.figure), nullptr)
+            << "preset '" << preset.figure
+            << "' names an unregistered figure";
+
+    EXPECT_EQ(presetNames.size(), allFigures().size());
+}
+
+TEST(SamplingPresets, ValuesFormValidProtocols)
+{
+    for (const SamplingPreset &preset : samplingPresets()) {
+        // A period must fit its warm-up + detailed phases, and the
+        // default 120 k bench measurement budget must yield at least
+        // three intervals for a meaningful variance estimate.
+        EXPECT_GT(preset.detailedInsts, 0u) << preset.figure;
+        EXPECT_GE(preset.periodInsts,
+                  preset.warmupInsts + preset.detailedInsts)
+            << preset.figure;
+        EXPECT_GE(120000u / preset.periodInsts, 3u) << preset.figure;
+    }
+}
+
+TEST(SamplingPresets, LookupByName)
+{
+    const SamplingPreset *fig7 = findSamplingPreset("fig7_regfile_size");
+    ASSERT_NE(fig7, nullptr);
+    EXPECT_EQ(fig7->periodInsts, 20000u);
+    EXPECT_EQ(findSamplingPreset("no_such_figure"), nullptr);
+}
+
+} // namespace
+} // namespace vpr::bench

@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/io/zio.hh"
@@ -263,6 +266,48 @@ TEST(Fnv, MatchesKnownVectorsAndSeeds)
     // only in where the boundary falls — both must be stable.
     const std::uint64_t ab = fnv1a("ab", 2);
     EXPECT_EQ(fnv1a("b", 1, fnv1a("a", 1)), ab);
+}
+
+TEST(AtomicWrite, TwoConcurrentWritersNeverMixPayloads)
+{
+    // Two writers hammering one path (shared-cache deployments: CI
+    // shards publishing the same content-addressed entry, or a daemon
+    // and a batch run racing). The tmp names are pid+counter-suffixed,
+    // so writes must never observe each other: every read of the final
+    // file sees exactly one writer's payload, start to finish.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "vpr_state_two_writers";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = (dir / "contended.bin").string();
+
+    // Distinct page-crossing payloads, recognizable from any byte.
+    const std::string payloadA(64 * 1024, 'A');
+    const std::string payloadB(64 * 1024, 'B');
+
+    constexpr int kRounds = 50;
+    auto writer = [&path](const std::string &payload) {
+        for (int i = 0; i < kRounds; ++i)
+            ASSERT_TRUE(writeFileAtomic(path, payload)) << i;
+    };
+    std::thread a(writer, payloadA);
+    std::thread b(writer, payloadB);
+    a.join();
+    b.join();
+
+    std::string final;
+    ASSERT_TRUE(readFileBytes(path, final));
+    EXPECT_TRUE(final == payloadA || final == payloadB)
+        << "final file mixes payloads (size " << final.size() << ")";
+
+    // No orphaned tmp files: every temporary was renamed or cleaned up.
+    std::size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
 }
 
 TEST(AtomicWrite, WritesAndReadsBack)

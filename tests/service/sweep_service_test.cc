@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The sweep daemon's endpoint surface, tested without sockets: request
+ * in, response out. The load-bearing property is that POST /sweep is
+ * byte-identical to the batch path (buildSweepGrid + runGrid +
+ * writeResultsCsv) for the same spec; around it, every malformed input
+ * must map to a 400 with a useful message (never a daemon exit), the
+ * result cache must serve repeated sweeps, and /status must report the
+ * per-endpoint time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/sweep_service.hh"
+#include "sim/experiment.hh"
+#include "sim/result_cache.hh"
+#include "sim/results_io.hh"
+#include "sim/sweep.hh"
+
+namespace vpr::service
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+SimConfig
+quick()
+{
+    SimConfig c = paperConfig();
+    c.skipInsts = 2000;
+    c.measureInsts = 20000;
+    c.core.fetch.wrongPath = WrongPathMode::Stall;
+    return c;
+}
+
+HttpRequest
+post(const std::string &path, const std::string &body)
+{
+    HttpRequest r;
+    r.method = "POST";
+    r.path = path;
+    r.body = body;
+    return r;
+}
+
+HttpRequest
+get(const std::string &path)
+{
+    HttpRequest r;
+    r.method = "GET";
+    r.path = path;
+    return r;
+}
+
+/** What the batch path renders for the same grid. */
+std::string
+batchCsv(const SimConfig &base, const std::string &figure)
+{
+    const std::vector<GridCell> cells = buildSweepGrid(
+        {"go"}, base,
+        {SweepAxis{"core.rename.regfile_size", {"48", "64"}}});
+    const std::vector<SimResults> results = runGrid(cells, 1);
+    std::vector<std::size_t> indices(cells.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    std::ostringstream os;
+    writeResultsCsv(os, figure, ShardSpec{}, indices, cells, results);
+    return os.str();
+}
+
+const char *kSweepBody =
+    "{\"target\": \"go\", "
+    "\"sweep\": [\"core.rename.regfile_size=48,64\"], "
+    "\"figure\": \"svc-test\"}";
+
+TEST(SweepService, SweepMatchesBatchPathByteForByte)
+{
+    SweepService service(quick(), /*jobs=*/1);
+    const HttpResponse response =
+        service.handle(post("/sweep", kSweepBody), 0);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.contentType, "text/csv");
+    EXPECT_EQ(response.body, batchCsv(quick(), "svc-test"));
+}
+
+TEST(SweepService, SetOverridesAndJsonFormat)
+{
+    SweepService service(quick(), 1);
+    const HttpResponse response = service.handle(
+        post("/sweep",
+             "{\"target\": \"go\", "
+             "\"sweep\": \"core.rename.regfile_size=48,64\", "
+             "\"set\": [\"measure_insts=10000\"], "
+             "\"figure\": \"svc-test\", \"format\": \"json\"}"),
+        0);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.contentType, "application/json");
+
+    SimConfig overridden = quick();
+    overridden.measureInsts = 10000;
+    const std::vector<GridCell> cells = buildSweepGrid(
+        {"go"}, overridden,
+        {SweepAxis{"core.rename.regfile_size", {"48", "64"}}});
+    const std::vector<SimResults> results = runGrid(cells, 1);
+    std::vector<std::size_t> indices{0, 1};
+    std::ostringstream os;
+    writeResultsJson(os, "svc-test", ShardSpec{}, indices, cells,
+                     results);
+    EXPECT_EQ(response.body, os.str());
+}
+
+TEST(SweepService, RepeatedSweepIsServedFromResultCache)
+{
+    const std::string dir =
+        (fs::path(::testing::TempDir()) / "vpr_svc_cache").string();
+    fs::remove_all(dir);
+    SimConfig base = quick();
+    base.resultCache.dir = dir;
+    SweepService service(base, 1);
+
+    const std::uint64_t hits0 = resultCacheCounters().hits.load();
+    const HttpResponse first =
+        service.handle(post("/sweep", kSweepBody), 0);
+    ASSERT_EQ(first.status, 200) << first.body;
+    EXPECT_EQ(resultCacheCounters().hits.load(), hits0);
+
+    const HttpResponse second =
+        service.handle(post("/sweep", kSweepBody), 1);
+    ASSERT_EQ(second.status, 200);
+    EXPECT_EQ(second.body, first.body);
+    EXPECT_EQ(resultCacheCounters().hits.load(), hits0 + 2);  // 2 cells
+}
+
+TEST(SweepService, BadRequestsAre400NeverFatal)
+{
+    SweepService service(quick(), 1);
+    const auto expect400 = [&](const std::string &body,
+                               const std::string &needle) {
+        const HttpResponse response =
+            service.handle(post("/sweep", body), 0);
+        EXPECT_EQ(response.status, 400) << body;
+        EXPECT_NE(response.body.find(needle), std::string::npos)
+            << "response '" << response.body << "' should mention '"
+            << needle << "'";
+    };
+
+    expect400("", "bad JSON");
+    expect400("{\"target\": ", "bad JSON");
+    expect400("{\"target\": 42}", "bad JSON");
+    expect400("{\"tarjet\": \"all\"}", "unknown or malformed field");
+    expect400("{\"target\": \"nosuchbench\"}", "unknown benchmark");
+    expect400("{\"set\": [\"bogus.key=1\"]}", "unknown parameter");
+    expect400("{\"set\": [\"seed\"]}", "malformed assignment");
+    expect400("{\"set\": [\"seed=notanumber\"]}", "bad value");
+    expect400("{\"sweep\": [\"bogus.key=1,2\"]}",
+              "unknown sweep parameter");
+    expect400("{\"sweep\": [\"core.scheme=conv,nope\"]}", "bad value");
+    expect400("{\"sweep\": [\"core.scheme\"]}", "malformed sweep axis");
+    expect400("{\"format\": \"xml\"}", "bad format");
+}
+
+TEST(SweepService, MethodAndPathDispatch)
+{
+    SweepService service(quick(), 1);
+    EXPECT_EQ(service.handle(get("/sweep"), 0).status, 405);
+    EXPECT_EQ(service.handle(post("/status", ""), 0).status, 405);
+    EXPECT_EQ(service.handle(post("/params", ""), 0).status, 405);
+    EXPECT_EQ(service.handle(get("/shutdown"), 0).status, 405);
+    EXPECT_EQ(service.handle(get("/nope"), 0).status, 404);
+
+    // The catch-all bucket records unknown paths as errors.
+    EXPECT_EQ(service.series("other").totalRequests(), 1u);
+    EXPECT_EQ(service.series("other").totalErrors(), 1u);
+    // Known-path misuses land on their endpoint's series.
+    EXPECT_EQ(service.series("/sweep").totalErrors(), 1u);
+
+    const HttpResponse params = service.handle(get("/params"), 0);
+    EXPECT_EQ(params.status, 200);
+    EXPECT_NE(params.body.find("core.rename.regfile_size"),
+              std::string::npos);
+    EXPECT_NE(params.body.find("go"), std::string::npos);
+
+    EXPECT_FALSE(service.shutdownRequested());
+    EXPECT_EQ(service.handle(post("/shutdown", ""), 0).status, 200);
+    EXPECT_TRUE(service.shutdownRequested());
+}
+
+TEST(SweepService, StatusReportsSeriesAndCacheCounters)
+{
+    SweepService service(quick(), 3);
+    service.handle(get("/nope"), 0);
+    service.handle(get("/nope"), 2);
+    const HttpResponse status = service.handle(get("/status"), 2);
+    ASSERT_EQ(status.status, 200);
+    EXPECT_EQ(status.contentType, "application/json");
+
+    const std::string &doc = status.body;
+    EXPECT_NE(doc.find("\"service\": \"vpr_simd\""), std::string::npos);
+    EXPECT_NE(doc.find("\"uptime_minutes\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"jobs\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"result_cache\""), std::string::npos);
+    EXPECT_NE(doc.find("\"hits\""), std::string::npos);
+    for (const char *endpoint :
+         {"\"/sweep\"", "\"/status\"", "\"/params\"", "\"/shutdown\"",
+          "\"other\""})
+        EXPECT_NE(doc.find(endpoint), std::string::npos) << endpoint;
+    // The catch-all series: one 404 at minute 0, one at minute 2 —
+    // most recent first.
+    EXPECT_NE(doc.find("\"requests\": [1, 0, 1]"), std::string::npos)
+        << doc;
+}
+
+TEST(SweepService, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\n\t\r"), "x\\n\\t\\r");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+} // namespace
+} // namespace vpr::service

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The /status page's minute-ring request time series: O(1) slot
+ * rotation must never leak counts from a minute that previously hashed
+ * to the same slot, totals are since-start, and the JSON serialization
+ * is exact (most recent minute first, short window while the server is
+ * young).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "service/time_series.hh"
+
+namespace vpr::service
+{
+namespace
+{
+
+std::string
+json(const RequestTimeSeries &ts, std::uint64_t nowMinute)
+{
+    std::ostringstream os;
+    ts.serializeJson(os, nowMinute);
+    return os.str();
+}
+
+TEST(RequestTimeSeries, CountsPerMinuteAndTotals)
+{
+    RequestTimeSeries ts;
+    EXPECT_EQ(ts.totalRequests(), 0u);
+    EXPECT_EQ(ts.requestsAt(0), 0u);
+
+    ts.add(0, /*error=*/false, /*latencyUsec=*/100);
+    ts.add(0, /*error=*/true, /*latencyUsec=*/300);
+    ts.add(2, /*error=*/false, /*latencyUsec=*/50);
+
+    EXPECT_EQ(ts.totalRequests(), 3u);
+    EXPECT_EQ(ts.totalErrors(), 1u);
+    EXPECT_EQ(ts.requestsAt(0), 2u);
+    EXPECT_EQ(ts.errorsAt(0), 1u);
+    EXPECT_EQ(ts.requestsAt(1), 0u);  // untouched minute
+    EXPECT_EQ(ts.requestsAt(2), 1u);
+    EXPECT_EQ(ts.errorsAt(2), 0u);
+}
+
+TEST(RequestTimeSeries, RingRotationEvictsStaleSlots)
+{
+    RequestTimeSeries ts;
+    ts.add(5, false, 10);
+    // Minute 65 hashes to the same slot as minute 5: the slot must be
+    // reset, not accumulated into.
+    ts.add(65, false, 10);
+    EXPECT_EQ(ts.requestsAt(65), 1u);
+    EXPECT_EQ(ts.requestsAt(5), 0u);  // stale — reads as zero
+    EXPECT_EQ(ts.totalRequests(), 2u);  // totals keep everything
+
+    // A stale slot that is never re-touched also reads as zero.
+    ts.add(7, false, 10);
+    EXPECT_EQ(ts.requestsAt(7 + 60 * 3), 0u);
+}
+
+TEST(RequestTimeSeries, JsonExactShortWindow)
+{
+    RequestTimeSeries ts;
+    ts.add(0, false, 100);
+    ts.add(1, true, 200);
+    ts.add(1, false, 400);
+
+    // nowMinute=1: two entries, most recent first.
+    EXPECT_EQ(json(ts, 1),
+              "{\"window_minutes\": 60, \"total\": {\"requests\": 3, "
+              "\"errors\": 1, \"avg_latency_usec\": 233}, "
+              "\"requests\": [2, 1], \"errors\": [1, 0], "
+              "\"avg_latency_usec\": [300, 100]}");
+
+    // A fresh series at minute 0: single-entry arrays, zero averages.
+    RequestTimeSeries fresh;
+    EXPECT_EQ(json(fresh, 0),
+              "{\"window_minutes\": 60, \"total\": {\"requests\": 0, "
+              "\"errors\": 0, \"avg_latency_usec\": 0}, "
+              "\"requests\": [0], \"errors\": [0], "
+              "\"avg_latency_usec\": [0]}");
+}
+
+TEST(RequestTimeSeries, JsonWindowClampsToSixtyMinutes)
+{
+    RequestTimeSeries ts;
+    for (std::uint64_t m = 0; m <= 100; ++m)
+        ts.add(m, false, 10);
+
+    const std::string doc = json(ts, 100);
+    // 61+ minutes of uptime serialize exactly 60 entries.
+    std::size_t ones = 0, pos = 0;
+    const std::string needle = "\"requests\": [";
+    pos = doc.find(needle) + needle.size();
+    for (; doc[pos] != ']'; ++pos)
+        ones += doc[pos] == '1';
+    EXPECT_EQ(ones, RequestTimeSeries::kMinutes);
+    EXPECT_EQ(ts.totalRequests(), 101u);
+}
+
+} // namespace
+} // namespace vpr::service

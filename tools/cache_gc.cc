@@ -1,0 +1,84 @@
+/**
+ * @file
+ * cache_gc — garbage-collect the on-disk simulation caches.
+ *
+ * Enforces a byte budget over warm-state checkpoint (*.vprck) and
+ * result-cache (*.vprr) files by LRU on file mtime: the
+ * least-recently-written files are deleted until what remains fits the
+ * budget. Both caches are pure re-computable optimizations, so eviction
+ * only ever costs re-simulation, never correctness.
+ *
+ * Usage:
+ *   cache_gc --budget=<size>[K|M|G|T] [--dry-run] <dir> [<dir>...]
+ *
+ * The budget spans all listed directories together (the same pass
+ * vpr_simd runs at startup with --cache-budget). --dry-run prints the
+ * eviction plan without deleting anything.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/result_cache.hh"
+
+using namespace vpr;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " --budget=<size>[K|M|G|T] [--dry-run] <dir> "
+                 "[<dir>...]\n"
+                 "evicts *.vprck / *.vprr cache files, least recently "
+                 "written first,\nuntil the remaining files fit the "
+                 "budget\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t budget = 0;
+    bool haveBudget = false;
+    bool dryRun = false;
+    std::vector<std::string> dirs;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+            if (!parseByteSize(argv[i] + 9, budget)) {
+                std::cerr << "bad --budget '" << (argv[i] + 9)
+                          << "' (want bytes with an optional K/M/G/T "
+                             "suffix)\n";
+                return 1;
+            }
+            haveBudget = true;
+        } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dryRun = true;
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else {
+            dirs.push_back(argv[i]);
+        }
+    }
+    if (!haveBudget || dirs.empty())
+        usage(argv[0]);
+
+    const CacheGcPlan plan = planCacheGc(dirs, budget);
+    printCacheGcPlan(std::cout, plan, budget, dryRun);
+    if (!dryRun) {
+        const std::size_t removed = applyCacheGc(plan);
+        if (removed != plan.evict.size())
+            std::cerr << "cache_gc: removed " << removed << " of "
+                      << plan.evict.size()
+                      << " planned files (some vanished concurrently)\n";
+    }
+    return 0;
+}

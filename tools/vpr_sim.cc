@@ -38,7 +38,10 @@
  * --wrongpath[-mem], --sampling (= sim.sampling.enable=1, SMARTS-style
  * sampled simulation) and --ckpt-dir=<dir> (= sim.ckpt.dir, warm-state
  * checkpoint cache; see README "Checkpoints & warm-start sweeps") are
- * thin aliases onto the dotted parameters above.
+ * thin aliases onto the dotted parameters above, as is
+ * --result-cache=<dir> (= sim.result_cache.dir, the content-addressed
+ * per-cell result cache shared with the vpr_simd daemon; see README
+ * "Sweep service").
  */
 
 #include <cstdlib>
@@ -172,6 +175,8 @@ main(int argc, char **argv)
             alias("sim.sampling.enable", "1");
         } else if (matchArg(argv[i], "--ckpt-dir", &v)) {
             alias("sim.ckpt.dir", v);
+        } else if (matchArg(argv[i], "--result-cache", &v)) {
+            alias("sim.result_cache.dir", v);
         } else if (std::strcmp(argv[i], "--wrongpath") == 0) {
             alias("core.fetch.wrong_path", "synthesize");
         } else if (std::strcmp(argv[i], "--wrongpath-mem") == 0) {

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * vpr_simd — the sweep-as-a-service daemon: a long-lived single-process
+ * HTTP/JSON front end over the same sweep machinery vpr_sim drives from
+ * the command line. Clients POST a sweep spec (the --sweep grammar as
+ * JSON; see src/service/sweep_service.hh for the body format and the
+ * endpoint list), the daemon expands it with sim/sweep.hh, runs the
+ * cells on the parallel engine, and streams back the merged records,
+ * byte-identical to a batch `vpr_sim --sweep ... --out` run.
+ *
+ * With sim.result_cache.dir set (--result-cache=<dir>), every cell's
+ * result is content-addressed on disk, so overlapping sweeps — across
+ * requests, daemon restarts, and the batch binaries — are served from
+ * cache instead of re-simulated.
+ *
+ * Usage:
+ *   vpr_simd [--host=<addr>] [--port=<n>] [--jobs=<n>]
+ *            [--result-cache=<dir>] [--ckpt-dir=<dir>]
+ *            [--cache-budget=<size>[K|M|G|T]] [--gc-dry-run]
+ *            [--set <key>=<value>] [--config=<file.json>]
+ *
+ * --cache-budget runs one LRU garbage-collection pass over the
+ * checkpoint and result-cache directories at startup (the same
+ * collector as tools/cache_gc; --gc-dry-run only prints the plan).
+ * The base configuration matches vpr_sim's, so a request body
+ * reproduces a vpr_sim command line field for field.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/http.hh"
+#include "service/sweep_service.hh"
+#include "sim/experiment.hh"
+#include "sim/params.hh"
+#include "sim/result_cache.hh"
+
+using namespace vpr;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--host=<addr>] [--port=<n>] [--jobs=<n>]\n"
+                 "  [--result-cache=<dir>] [--ckpt-dir=<dir>]\n"
+                 "  [--cache-budget=<size>[K|M|G|T]] [--gc-dry-run]\n"
+                 "  [--set <key>=<value>] [--config=<file.json>] "
+                 "[--dump-config]\n"
+                 "endpoints: POST /sweep, GET /status, GET /params, "
+                 "POST /shutdown\n"
+                 "(see the file header and README \"Sweep service\")\n";
+    std::exit(1);
+}
+
+bool
+matchArg(const char *arg, const char *key, const char **value)
+{
+    std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        *value = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig config = paperConfig();
+    config.skipInsts = 20000;
+    config.measureInsts = 200000;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 8390;
+    unsigned jobs = defaultJobs();
+    std::uint64_t cacheBudget = 0;
+    bool haveBudget = false;
+    bool gcDryRun = false;
+    ConfigCliArgs cli;
+
+    auto alias = [&cli](const std::string &key, const std::string &value) {
+        cli.assignments.push_back(key + "=" + value);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *v = nullptr;
+        if (parseConfigArg(argc, argv, i, cli)) {
+            // --set / --set= / --config= / --dump-config taken.
+        } else if (matchArg(argv[i], "--host", &v)) {
+            host = v;
+        } else if (matchArg(argv[i], "--port", &v)) {
+            port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        } else if (matchArg(argv[i], "--jobs", &v)) {
+            jobs = parseJobs(v);
+        } else if (matchArg(argv[i], "--result-cache", &v)) {
+            alias("sim.result_cache.dir", v);
+        } else if (matchArg(argv[i], "--ckpt-dir", &v)) {
+            alias("sim.ckpt.dir", v);
+        } else if (matchArg(argv[i], "--cache-budget", &v)) {
+            if (!parseByteSize(v, cacheBudget)) {
+                std::cerr << "bad --cache-budget '" << v
+                          << "' (want bytes with an optional K/M/G/T "
+                             "suffix)\n";
+                return 1;
+            }
+            haveBudget = true;
+        } else if (std::strcmp(argv[i], "--gc-dry-run") == 0) {
+            gcDryRun = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    applyConfigCli(config, cli);
+    if (cli.dumpConfig) {
+        dumpConfig(std::cout, config);
+        return 0;
+    }
+
+    // Startup GC pass: enforce the byte budget over both on-disk caches
+    // before accepting work, oldest files first.
+    if (haveBudget) {
+        const CacheGcPlan plan = planCacheGc(
+            {config.ckpt.dir, config.resultCache.dir}, cacheBudget);
+        printCacheGcPlan(std::cout, plan, cacheBudget, gcDryRun);
+        if (!gcDryRun)
+            applyCacheGc(plan);
+    }
+
+    service::HttpServer server;
+    std::string error;
+    if (!server.bindAndListen(host, port, error)) {
+        std::cerr << "vpr_simd: " << error << "\n";
+        return 1;
+    }
+
+    service::SweepService sweepService(config, jobs);
+    const auto start = std::chrono::steady_clock::now();
+
+    std::cout << "vpr_simd listening on " << host << ":" << server.port()
+              << " (jobs=" << jobs << ", result cache: "
+              << (config.resultCache.dir.empty() ? "off"
+                                                 : config.resultCache.dir)
+              << ")\n"
+              << std::flush;
+
+    server.serve([&](const service::HttpRequest &request) {
+        const auto minute =
+            std::chrono::duration_cast<std::chrono::minutes>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        service::HttpResponse response = sweepService.handle(
+            request, static_cast<std::uint64_t>(minute));
+        if (sweepService.shutdownRequested())
+            server.requestStop();
+        return response;
+    });
+
+    std::cout << "vpr_simd: shutting down\n";
+    return 0;
+}
