@@ -25,7 +25,10 @@
 #include "rename/conventional.hh"
 #include "rename/virtual_physical.hh"
 #include "sim/experiment.hh"
+#include "sim/metrics.hh"
 #include "trace/kernels/kernels.hh"
+
+#include "../tests/support/alloc_count.hh"
 
 namespace
 {
@@ -540,6 +543,95 @@ BM_SimulatorWarmStart(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorWarmStart)->Unit(benchmark::kMillisecond);
 
+/** Fixed per-cell overhead: construct + run + collect of one tiny
+ *  sampled grid cell through the parallel engine, the unit of work a
+ *  sweep pays per cell beyond the measured instructions. The sampled
+ *  region is deliberately small so construction, stats registration
+ *  and metric collection dominate — the constant term this row
+ *  tracks. */
+void
+BM_GridCellOverhead(benchmark::State &state)
+{
+    SimConfig config = paperConfig();
+    config.skipInsts = 0;
+    config.measureInsts = 4000;
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    config.sampling.enable = true;
+    config.sampling.periodInsts = 2000;
+    // Warm the worker's simulator pool so the measured iterations see
+    // the steady state a long sweep sees: reinit, not construction.
+    {
+        std::vector<GridCell> cells{{"swim", config}};
+        runGrid(cells, 1);
+    }
+    std::uint64_t allocs = 0;
+    std::uint64_t iters = 0;
+    for (auto _ : state) {
+        std::vector<GridCell> cells{{"swim", config}};
+        testsupport::AllocGuard g;
+        benchmark::DoNotOptimize(runGrid(cells, 1)[0].ipc());
+        allocs += g.count();
+        ++iters;
+    }
+    // Heap traffic per pooled cell (construction, run and collection;
+    // excludes the cell vector built outside the guard). Tracked by the
+    // perf trajectory next to the time — a reinit-path regression shows
+    // up here before it is big enough to move wall time.
+    state.counters["allocs_per_cell"] =
+        iters ? static_cast<double>(allocs) / static_cast<double>(iters)
+              : 0.0;
+}
+BENCHMARK(BM_GridCellOverhead);
+
+/** One full stats-tree walk into an existing MetricsRecord — the
+ *  per-interval collection cost of a sampled run. Steady state (every
+ *  visit after the first revisits the same record in the same order)
+ *  must not construct strings or allocate. */
+void
+BM_CollectMetrics(benchmark::State &state)
+{
+    SimConfig config = paperConfig();
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    auto stream = makeBenchmarkStream("swim");
+    Core core(*stream, config.core);
+    core.runUntilCommitted(2000);
+    MetricsRecord rec;
+    core.visitStats(rec);  // first walk builds the record (warm-up)
+    core.visitStats(rec);
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        testsupport::AllocGuard g;
+        core.visitStats(rec);
+        allocs += g.count();
+        benchmark::DoNotOptimize(rec.size());
+    }
+    // The interned-symbol contract, pinned in the row itself: a warm
+    // walk revisits the same record in the same order and must never
+    // construct a string or touch the heap.
+    state.counters["allocs_per_walk"] = static_cast<double>(allocs);
+    if (allocs != 0)
+        state.SkipWithError("warm metrics walk allocated");
+}
+BENCHMARK(BM_CollectMetrics);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The library's own "library_build_type" reports how the distro
+    // built libbenchmark (always "debug" for Debian's package) — it
+    // says nothing about this binary. Record the simulator's actual
+    // build flavour so perf_diff can refuse debug baselines.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("vpr_build_type", "release");
+#else
+    benchmark::AddCustomContext("vpr_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A power-of-two ring buffer with a deque's interface and a vector's
+ * allocation behaviour.
+ *
+ * std::deque slides a chunk allocation past the allocator for every
+ * chunk's worth of FIFO traffic (push_back maps a fresh chunk as the
+ * tail fills, pop_front unmaps the head chunk as it drains), so a
+ * deque in the simulated hot loop allocates forever at steady state.
+ * This ring grows like a vector — capacity doublings only — and then
+ * never touches the allocator again: pushes and pops just move the
+ * head/count indices.
+ *
+ * The interface is the subset the pipeline structures need: indexed
+ * access in logical (FIFO) order, both-end push/pop, and positional
+ * erase. Erase shifts whichever side of the ring is shorter, so
+ * removing near the front (the common case — commit removes the
+ * oldest) is O(1)-ish rather than O(n).
+ */
+
+#ifndef VPR_COMMON_RING_DEQUE_HH
+#define VPR_COMMON_RING_DEQUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vpr
+{
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() : buf(kMinCapacity) {}
+
+    std::size_t size() const { return num; }
+    bool empty() const { return num == 0; }
+
+    /** Element at logical position @p i, 0 = front/oldest. */
+    T &
+    operator[](std::size_t i)
+    {
+        return buf[(head + i) & (buf.size() - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) & (buf.size() - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[num - 1]; }
+    const T &back() const { return (*this)[num - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (num == buf.size())
+            grow();
+        ++num;
+        back() = v;
+    }
+
+    void
+    pop_front()
+    {
+        VPR_ASSERT(num != 0, "pop_front on empty RingDeque");
+        head = (head + 1) & (buf.size() - 1);
+        --num;
+    }
+
+    void
+    pop_back()
+    {
+        VPR_ASSERT(num != 0, "pop_back on empty RingDeque");
+        --num;
+    }
+
+    /** Erase the element at logical position @p i, shifting the
+     *  shorter side over it. */
+    void
+    erase(std::size_t i)
+    {
+        VPR_ASSERT(i < num, "RingDeque erase out of range");
+        if (i < num / 2) {
+            for (std::size_t j = i; j > 0; --j)
+                (*this)[j] = (*this)[j - 1];
+            pop_front();
+        } else {
+            for (std::size_t j = i; j + 1 < num; ++j)
+                (*this)[j] = (*this)[j + 1];
+            pop_back();
+        }
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        num = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf.size() * 2);
+        for (std::size_t i = 0; i < num; ++i)
+            bigger[i] = (*this)[i];
+        buf.swap(bigger);
+        head = 0;
+    }
+
+    std::vector<T> buf;  ///< power-of-two capacity
+    std::size_t head = 0;
+    std::size_t num = 0;
+};
+
+} // namespace vpr
+
+#endif // VPR_COMMON_RING_DEQUE_HH

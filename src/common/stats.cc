@@ -1,14 +1,106 @@
 #include "common/stats.hh"
 
 #include <cmath>
+#include <deque>
 #include <iomanip>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.hh"
 
 namespace vpr::stats
 {
+
+struct SymbolTable::Impl
+{
+    mutable std::shared_mutex mtx;
+    /** id-1 -> text. A deque never moves settled elements, so the
+     *  string_view keys below and the references handed out by text()
+     *  stay valid as the table grows. */
+    std::deque<std::string> texts;
+    std::unordered_map<std::string_view, SymId> ids;
+};
+
+SymbolTable &
+SymbolTable::global()
+{
+    static SymbolTable table;
+    return table;
+}
+
+SymbolTable::Impl &
+SymbolTable::impl() const
+{
+    static Impl theImpl;
+    return theImpl;
+}
+
+SymId
+SymbolTable::intern(std::string_view text)
+{
+    Impl &im = impl();
+    {
+        std::shared_lock<std::shared_mutex> lock(im.mtx);
+        auto it = im.ids.find(text);
+        if (it != im.ids.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(im.mtx);
+    auto it = im.ids.find(text);
+    if (it != im.ids.end())
+        return it->second;
+    im.texts.emplace_back(text);
+    const SymId id = static_cast<SymId>(im.texts.size());
+    im.ids.emplace(std::string_view(im.texts.back()), id);
+    return id;
+}
+
+SymId
+SymbolTable::find(std::string_view text) const
+{
+    Impl &im = impl();
+    std::shared_lock<std::shared_mutex> lock(im.mtx);
+    auto it = im.ids.find(text);
+    return it == im.ids.end() ? 0 : it->second;
+}
+
+const std::string &
+SymbolTable::text(SymId id) const
+{
+    Impl &im = impl();
+    std::shared_lock<std::shared_mutex> lock(im.mtx);
+    VPR_ASSERT(id != 0 && id <= im.texts.size(),
+               "SymbolTable::text on invalid SymId ", id);
+    return im.texts[id - 1];
+}
+
+std::size_t
+SymbolTable::size() const
+{
+    Impl &im = impl();
+    std::shared_lock<std::shared_mutex> lock(im.mtx);
+    return im.texts.size();
+}
+
+SymId
+StatBase::internName(std::size_t slot, std::string_view suffix) const
+{
+    std::string full;
+    full.reserve(visitPrefix.size() + 1 + statName.size() + suffix.size());
+    if (!visitPrefix.empty()) {
+        full += visitPrefix;
+        full += '.';
+    }
+    full += statName;
+    full += suffix;
+    const SymId id = SymbolTable::global().intern(full);
+    if (slot >= symCache.size())
+        symCache.resize(slot + 1, 0);
+    symCache[slot] = id;
+    return id;
+}
 
 void
 Scalar::print(std::ostream &os) const
@@ -86,12 +178,18 @@ SampleEstimator::print(std::ostream &os) const
 void
 SampleEstimator::visit(StatVisitor &v) const
 {
-    v.visitReal(name() + ".mean", desc(), mean());
-    v.visitReal(name() + ".stderr",
-                "standard error of the interval mean", standardError());
-    v.visitReal(name() + ".ci95",
-                "95% confidence half-width of the interval mean", ci95());
-    v.visitUInt(name() + ".intervals", "measured sampling intervals", n);
+    // The derived sub-values carry their own fixed descriptions;
+    // intern those once per process.
+    static const SymId stderrDesc = SymbolTable::global().intern(
+        "standard error of the interval mean");
+    static const SymId ci95Desc = SymbolTable::global().intern(
+        "95% confidence half-width of the interval mean");
+    static const SymId intervalsDesc =
+        SymbolTable::global().intern("measured sampling intervals");
+    v.visitReal(nameSym(0, ".mean"), descSym(), mean());
+    v.visitReal(nameSym(1, ".stderr"), stderrDesc, standardError());
+    v.visitReal(nameSym(2, ".ci95"), ci95Desc, ci95());
+    v.visitUInt(nameSym(3, ".intervals"), intervalsDesc, n);
 }
 
 Distribution::Distribution(std::string name, std::string desc,
@@ -165,38 +263,24 @@ Distribution::print(std::ostream &os) const
 void
 Distribution::visit(StatVisitor &v) const
 {
-    // Lazily compose and cache the sub-metric names; the bucket count
-    // is fixed after construction (evenBuckets adjusts it before any
-    // visit), so the cache is rebuilt at most once.
-    if (visitNames.size() != 9 + buckets.size()) {
-        visitNames.clear();
-        visitNames.reserve(9 + buckets.size());
-        visitNames.push_back(name() + ".mean");
-        visitNames.push_back(name() + ".stddev");
-        visitNames.push_back(name() + ".samples");
-        visitNames.push_back(name() + ".min");
-        visitNames.push_back(name() + ".max");
-        visitNames.push_back(name() + ".underflows");
-        visitNames.push_back(name() + ".overflows");
-        visitNames.push_back(name() + ".range_min");
-        visitNames.push_back(name() + ".bucket_size");
-        for (std::size_t i = 0; i < buckets.size(); ++i)
-            visitNames.push_back(name() + ".hist[" +
-                                 std::to_string(i) + "]");
-    }
-    v.visitReal(visitNames[0], desc(), mean());
-    v.visitReal(visitNames[1], desc(), stddev());
-    v.visitUInt(visitNames[2], desc(), n);
-    v.visitUInt(visitNames[3], desc(), minSeen);
-    v.visitUInt(visitNames[4], desc(), maxSeen);
-    v.visitUInt(visitNames[5], desc(), under);
-    v.visitUInt(visitNames[6], desc(), over);
+    const SymId d = descSym();
+    v.visitReal(nameSym(0, ".mean"), d, mean());
+    v.visitReal(nameSym(1, ".stddev"), d, stddev());
+    v.visitUInt(nameSym(2, ".samples"), d, n);
+    v.visitUInt(nameSym(3, ".min"), d, minSeen);
+    v.visitUInt(nameSym(4, ".max"), d, maxSeen);
+    v.visitUInt(nameSym(5, ".underflows"), d, under);
+    v.visitUInt(nameSym(6, ".overflows"), d, over);
     // The bucket geometry travels with the data so consumers (figure
     // renderers, plotters) never re-derive the origin or width by hand.
-    v.visitUInt(visitNames[7], desc(), lo);
-    v.visitUInt(visitNames[8], desc(), bsize);
-    for (std::size_t i = 0; i < buckets.size(); ++i)
-        v.visitUInt(visitNames[9 + i], desc(), buckets[i]);
+    v.visitUInt(nameSym(7, ".range_min"), d, lo);
+    v.visitUInt(nameSym(8, ".bucket_size"), d, bsize);
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        SymId nm = cachedNameSym(9 + i);
+        if (nm == 0)
+            nm = nameSym(9 + i, ".hist[" + std::to_string(i) + "]");
+        v.visitUInt(nm, d, buckets[i]);
+    }
 }
 
 Counter2D::Counter2D(std::string name, std::string desc,
@@ -261,60 +345,28 @@ Counter2D::print(std::ostream &os) const
 void
 Counter2D::visit(StatVisitor &v) const
 {
-    for (std::size_t r = 0; r < rows.size(); ++r)
-        for (std::size_t c = 0; c < cols.size(); ++c)
-            v.visitUInt(name() + "." + rows[r] + "." + cols[c], desc(),
-                        count(r, c));
+    const SymId d = descSym();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            const std::size_t slot = r * cols.size() + c;
+            SymId nm = cachedNameSym(slot);
+            if (nm == 0)
+                nm = nameSym(slot, "." + rows[r] + "." + cols[c]);
+            v.visitUInt(nm, d, count(r, c));
+        }
+    }
 }
-
-namespace
-{
-
-/** Forwards to an inner visitor with "<prefix>." prepended to names.
- *  The composed name lives in a reused scratch buffer so a tree walk
- *  costs one allocation per group, not one per metric. */
-class PrefixVisitor : public StatVisitor
-{
-  public:
-    PrefixVisitor(const std::string &prefix, StatVisitor &inner)
-        : v(inner)
-    {
-        pfxLen = prefix.size() + 1;
-        buf = prefix + ".";
-    }
-
-    void
-    visitUInt(const std::string &name, const std::string &desc,
-              std::uint64_t val) override
-    {
-        buf.resize(pfxLen);
-        buf += name;
-        v.visitUInt(buf, desc, val);
-    }
-
-    void
-    visitReal(const std::string &name, const std::string &desc,
-              double val) override
-    {
-        buf.resize(pfxLen);
-        buf += name;
-        v.visitReal(buf, desc, val);
-    }
-
-  private:
-    std::string buf;
-    std::size_t pfxLen = 0;
-    StatVisitor &v;
-};
-
-} // namespace
 
 void
 StatGroup::visit(StatVisitor &v) const
 {
-    PrefixVisitor prefixed(groupName, v);
-    for (const auto *s : statList)
-        s->visit(prefixed);
+    // Each stat composes its full names under the group prefix and
+    // caches the interned symbols; steady-state walks are a string-free
+    // pass over cached ids.
+    for (const auto *s : statList) {
+        s->setVisitPrefix(groupName);
+        s->visit(v);
+    }
 }
 
 void
@@ -347,16 +399,14 @@ class UniqueNameVisitor : public StatVisitor
     explicit UniqueNameVisitor(StatVisitor &inner) : v(inner) {}
 
     void
-    visitUInt(const std::string &name, const std::string &desc,
-              std::uint64_t val) override
+    visitUInt(SymId name, SymId desc, std::uint64_t val) override
     {
         check(name);
         v.visitUInt(name, desc, val);
     }
 
     void
-    visitReal(const std::string &name, const std::string &desc,
-              double val) override
+    visitReal(SymId name, SymId desc, double val) override
     {
         check(name);
         v.visitReal(name, desc, val);
@@ -364,19 +414,24 @@ class UniqueNameVisitor : public StatVisitor
 
   private:
     void
-    check(const std::string &name)
+    check(SymId name)
     {
         VPR_ASSERT(seen.insert(name).second,
-                   "duplicate stat name in tree walk: ", name);
+                   "duplicate stat name in tree walk: ",
+                   SymbolTable::global().text(name));
     }
 
     StatVisitor &v;
-    std::unordered_set<std::string> seen;
+    std::unordered_set<SymId> seen;
 };
 
 /**
  * Forwarding visitor that accumulates an order-sensitive FNV-1a hash
- * of every full name walked — a fingerprint of the tree's shape.
+ * of every name symbol walked — a fingerprint of the tree's shape.
+ * Interning makes equal text imply equal id, so mixing the ids is as
+ * discriminating as mixing the characters; the fingerprint is
+ * process-local (ids depend on interning order), which is fine for the
+ * in-memory verified-schema set below.
  */
 class SchemaHashVisitor : public StatVisitor
 {
@@ -384,16 +439,14 @@ class SchemaHashVisitor : public StatVisitor
     explicit SchemaHashVisitor(StatVisitor &inner) : v(inner) {}
 
     void
-    visitUInt(const std::string &name, const std::string &desc,
-              std::uint64_t val) override
+    visitUInt(SymId name, SymId desc, std::uint64_t val) override
     {
         mix(name);
         v.visitUInt(name, desc, val);
     }
 
     void
-    visitReal(const std::string &name, const std::string &desc,
-              double val) override
+    visitReal(SymId name, SymId desc, double val) override
     {
         mix(name);
         v.visitReal(name, desc, val);
@@ -403,10 +456,10 @@ class SchemaHashVisitor : public StatVisitor
 
   private:
     void
-    mix(const std::string &name)
+    mix(SymId name)
     {
-        for (unsigned char c : name)
-            h = (h ^ c) * 0x100000001b3ull;
+        for (int i = 0; i < 4; ++i)
+            h = (h ^ ((name >> (8 * i)) & 0xffu)) * 0x100000001b3ull;
         h = (h ^ 0x1full) * 0x100000001b3ull; // name separator
     }
 
@@ -463,10 +516,8 @@ StatRegistry::visit(StatVisitor &v)
         // (the real visitor already consumed this walk's values).
         struct NullVisitor : StatVisitor
         {
-            void visitUInt(const std::string &, const std::string &,
-                           std::uint64_t) override {}
-            void visitReal(const std::string &, const std::string &,
-                           double) override {}
+            void visitUInt(SymId, SymId, std::uint64_t) override {}
+            void visitReal(SymId, SymId, double) override {}
         } sink;
         UniqueNameVisitor unique(sink);
         for (Entry &e : entryList)

@@ -8,6 +8,12 @@
  * StatRegistry ties the groups of one core into a single stats tree:
  * components register their group (plus optional update/reset hooks)
  * and every exporter reaches them through one walk.
+ *
+ * Names are *interned*: every dotted stat name ("rob.occupancy.mean")
+ * and description is entered once into the process-global SymbolTable
+ * and carried as a SymId (u32) through the StatVisitor interface, so a
+ * steady-state tree walk moves integers, not strings. Text is resolved
+ * only at serialization boundaries (CSV/JSON writers, reports).
  */
 
 #ifndef VPR_COMMON_STATS_HH
@@ -17,17 +23,57 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace vpr::stats
 {
+
+/** Interned-name handle: index into the process-global SymbolTable.
+ *  0 is "no symbol" and is never returned by intern(). */
+using SymId = std::uint32_t;
+
+/**
+ * The process-global intern table for stat/metric names and
+ * descriptions. Names are immutable once interned and never removed, so
+ * a SymId is valid for the life of the process and equal text implies
+ * equal id — schema comparisons are integer compares. Thread-safe: grid
+ * cells intern from worker threads concurrently.
+ */
+class SymbolTable
+{
+  public:
+    static SymbolTable &global();
+
+    /** Intern @p text, returning its (possibly pre-existing) id. */
+    SymId intern(std::string_view text);
+
+    /** Id of @p text if already interned, 0 otherwise. Never inserts,
+     *  so read-only lookups cannot grow the table. */
+    SymId find(std::string_view text) const;
+
+    /** The interned text; the reference is stable for the process
+     *  lifetime. @p id must come from intern()/find(). */
+    const std::string &text(SymId id) const;
+
+    /** Number of interned symbols (diagnostics). */
+    std::size_t size() const;
+
+  private:
+    SymbolTable() = default;
+
+    struct Impl;
+    Impl &impl() const;
+};
 
 /**
  * Visitor over the (name, desc, typed value) triples a statistic
  * exposes. This is the machine-readable face of the package: anything
  * that can pretty-print can also be enumerated into an export record.
  * A multi-valued stat (e.g. Distribution) visits one triple per
- * sub-value, suffixing its name.
+ * sub-value, suffixing its name. Names and descriptions arrive as
+ * interned SymIds; resolve with SymbolTable::global().text() only where
+ * text is genuinely needed.
  */
 class StatVisitor
 {
@@ -35,11 +81,9 @@ class StatVisitor
     virtual ~StatVisitor() = default;
 
     /** An integral counter/gauge value. */
-    virtual void visitUInt(const std::string &name,
-                           const std::string &desc, std::uint64_t v) = 0;
+    virtual void visitUInt(SymId name, SymId desc, std::uint64_t v) = 0;
     /** A real-valued mean/rate/ratio. */
-    virtual void visitReal(const std::string &name,
-                           const std::string &desc, double v) = 0;
+    virtual void visitReal(SymId name, SymId desc, double v) = 0;
 };
 
 /** Base class for every statistic. */
@@ -61,9 +105,65 @@ class StatBase
     /** Enumerate the stat's values into @p v. */
     virtual void visit(StatVisitor &v) const = 0;
 
+    /**
+     * Select the dotted prefix under which the next visit() composes
+     * its names ("<prefix>.<name><suffix>"; empty = unprefixed).
+     * Called by StatGroup::visit before every walk; a no-op string
+     * compare when unchanged, so the cached name symbols survive
+     * across walks and steady-state visits intern nothing.
+     */
+    void
+    setVisitPrefix(std::string_view prefix) const
+    {
+        if (prefix != visitPrefix) {
+            visitPrefix.assign(prefix);
+            symCache.clear();
+        }
+    }
+
+  protected:
+    /**
+     * Interned symbol for "<prefix>.<name><suffix>", cached per
+     * sub-value slot. Slots are dense small integers fixed by the
+     * stat's shape (0 for a single-valued stat); the composed string
+     * is built only on a cache miss.
+     */
+    SymId
+    nameSym(std::size_t slot, std::string_view suffix = {}) const
+    {
+        if (slot < symCache.size() && symCache[slot] != 0)
+            return symCache[slot];
+        return internName(slot, suffix);
+    }
+
+    /** Cache-only lookup: the slot's symbol, or 0 on a miss. Lets a
+     *  stat with a composed suffix ("name.row.col") skip building the
+     *  suffix string entirely on the hot (cached) path. */
+    SymId
+    cachedNameSym(std::size_t slot) const
+    {
+        return slot < symCache.size() ? symCache[slot] : 0;
+    }
+
+    /** Interned symbol of the stat's own description. */
+    SymId
+    descSym() const
+    {
+        if (descCache == 0)
+            descCache = SymbolTable::global().intern(statDesc);
+        return descCache;
+    }
+
   private:
+    SymId internName(std::size_t slot, std::string_view suffix) const;
+
     std::string statName;
     std::string statDesc;
+    /** Prefix the cached symbols were composed under. */
+    mutable std::string visitPrefix;
+    /** Per-slot interned full names; cleared on prefix change. */
+    mutable std::vector<SymId> symCache;
+    mutable SymId descCache = 0;
 };
 
 /** A simple monotonic counter / gauge. */
@@ -83,7 +183,7 @@ class Scalar : public StatBase
     void
     visit(StatVisitor &v) const override
     {
-        v.visitUInt(name(), desc(), val);
+        v.visitUInt(nameSym(0), descSym(), val);
     }
 
   private:
@@ -105,7 +205,7 @@ class Real : public StatBase
     void
     visit(StatVisitor &v) const override
     {
-        v.visitReal(name(), desc(), val);
+        v.visitReal(nameSym(0), descSym(), val);
     }
 
   private:
@@ -135,8 +235,8 @@ class Average : public StatBase
     void
     visit(StatVisitor &v) const override
     {
-        v.visitReal(name(), desc(), mean());
-        v.visitUInt(name() + ".samples", desc(), n);
+        v.visitReal(nameSym(0), descSym(), mean());
+        v.visitUInt(nameSym(1, ".samples"), descSym(), n);
     }
 
   private:
@@ -268,12 +368,6 @@ class Distribution : public StatBase
     double sumSq = 0.0;
     std::uint64_t minSeen = 0;
     std::uint64_t maxSeen = 0;
-    /** Composed sub-metric names ("<name>.mean", ..., one per bucket),
-     *  built lazily on the first visit: a distribution is the widest
-     *  stat in the tree, and sampled runs walk the tree once per
-     *  measurement interval — re-concatenating hundreds of bucket
-     *  names each walk dominated the record-build cost. */
-    mutable std::vector<std::string> visitNames;
 };
 
 /**

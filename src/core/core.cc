@@ -111,6 +111,18 @@ Core::Core(TraceStream &stream, const CoreConfig &config)
     });
 }
 
+void
+Core::reinit()
+{
+    completions.clear();
+    ffRetired = 0;
+    commit.reinit();
+    issue.reinit();
+    // Last: ends with the stats-tree reset, recapturing interval bases
+    // against the zeroed counters.
+    state.reinit();
+}
+
 bool
 Core::done() const
 {

@@ -19,6 +19,12 @@ InstQueue::addWaiters(DynInst *inst)
         auto &lists = waitLists[classIdx(s.cls)];
         if (s.tag >= lists.size())
             lists.resize(s.tag + 1);
+        // First waiter on this tag: size the list for a realistic
+        // burst up front so steady state rarely needs to grow it at
+        // all (growth beyond this is one-time per tag — the buffer is
+        // never swapped away).
+        if (lists[s.tag].capacity() == 0)
+            lists[s.tag].reserve(kWaitListReserve);
         lists[s.tag].push_back(
             {inst, inst->seq(), inst->slot, static_cast<std::uint8_t>(i)});
     }
@@ -125,12 +131,17 @@ InstQueue::wakeup(RegClass cls, std::uint16_t tag, std::uint16_t physReg)
     // exactly when the old scan would have found its waiters. The
     // staleness check reads only the packed hot arrays via the recorded
     // slot; a stale waiter never touches its DynInst.
-    // Swap the tag's list into a persistent scratch buffer instead of
-    // moving it out: the tag keeps the scratch's old storage, so the
-    // wait-list capacities recycle between broadcasts and the steady
-    // state allocates nothing.
-    wakeScratch.clear();
-    wakeScratch.swap(lists[tag]);
+    // Copy the tag's list into a persistent scratch buffer and clear
+    // it (a waiter appended mid-processing must not be consumed by
+    // this broadcast). Copy, never swap: with a swap the buffer
+    // capacities circulate through the scratch across all tags, so a
+    // hot tag keeps inheriting whichever small buffer the scratch last
+    // held and re-grows it — rare reallocations that never converge.
+    // With per-tag stable buffers every list reaches its own
+    // high-water capacity once and the steady state allocates nothing
+    // (pinned per cycle by the hot-loop allocation tests).
+    wakeScratch.assign(lists[tag].begin(), lists[tag].end());
+    lists[tag].clear();
     for (const Waiter &w : wakeScratch) {
         if (!hot.live(w.slot, w.seq) || !hot.isInIq(w.slot))
             continue;

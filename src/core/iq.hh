@@ -137,6 +137,12 @@ class InstQueue
     void regStats(stats::StatRegistry &r) { r.add(&group); }
 
   private:
+    /** Initial capacity of a tag's wait list, reserved on first use:
+     *  large enough that a typical burst of dependents never grows the
+     *  list (zero steady-state allocations), small enough that even a
+     *  full VP tag space stays under ~1 MB of wait-list storage. */
+    static constexpr std::size_t kWaitListReserve = 64;
+
     /** One recorded waiter: source @p srcIdx of @p inst, valid while
      *  the instruction (identified by seq) is still queue-resident. */
     struct Waiter
@@ -169,8 +175,9 @@ class InstQueue
     /** Instructions published since the last drain (event-driven
      *  selection). */
     std::vector<ReadyRef> readyEvents;
-    /** Reused storage for wakeup(): holds the tag's waiters while they
-     *  are processed, then trades its buffer back to the wait list. */
+    /** Reused storage for wakeup(): holds a copy of the tag's waiters
+     *  while they are processed (the tag's own buffer is cleared, not
+     *  swapped away, so its capacity stays with the tag). */
     std::vector<Waiter> wakeScratch;
     bool scanWakeup = false;
     bool trackReady = true;

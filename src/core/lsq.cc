@@ -7,6 +7,53 @@
 namespace vpr
 {
 
+void
+LineRefMap::erase(Addr line)
+{
+    Slot *s = probe(line);
+    if (!s->used)
+        return;
+    const std::size_t mask = slots.size() - 1;
+    std::size_t hole = static_cast<std::size_t>(s - slots.data());
+    slots[hole].used = false;
+    slots[hole].refs.clear();
+    --numUsed;
+    // Backward-shift the probe chain over the hole so lookups never
+    // need tombstones. Vectors are swapped, not moved: the vacated
+    // slot keeps a capacity for its next tenant.
+    std::size_t i = (hole + 1) & mask;
+    while (slots[i].used) {
+        const std::size_t want = ideal(slots[i].line);
+        // The entry at i may move into the hole iff the hole lies
+        // within its probe path [want, i] (cyclically).
+        if (((i - want) & mask) >= ((i - hole) & mask)) {
+            slots[hole].line = slots[i].line;
+            slots[hole].used = true;
+            std::swap(slots[hole].refs, slots[i].refs);
+            slots[i].used = false;
+            hole = i;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+LineRefMap::grow()
+{
+    std::vector<Slot> old(slots.size() * 2);
+    old.swap(slots);
+    numUsed = 0;
+    for (Slot &s : old) {
+        if (!s.used)
+            continue;
+        Slot *dst = probe(s.line);
+        dst->used = true;
+        dst->line = s.line;
+        std::swap(dst->refs, s.refs);
+        ++numUsed;
+    }
+}
+
 Addr
 Lsq::firstLine(const DynInst *m)
 {
@@ -61,29 +108,55 @@ Lsq::eraseLineEntries(DynInst *store)
     if (!store->addrReady)
         return;  // never indexed
     for (Addr l = firstLine(store); l <= lastLine(store); ++l) {
-        auto it = lineTable.find(l);
-        if (it == lineTable.end())
+        std::vector<ReadyRef> *bucket = lineTable.find(l);
+        if (!bucket)
             continue;
-        auto &bucket = it->second;
-        bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                                    [store](const ReadyRef &r) {
-                                        return r.inst == store;
-                                    }),
-                     bucket.end());
-        if (bucket.empty())
-            lineTable.erase(it);
+        bucket->erase(std::remove_if(bucket->begin(), bucket->end(),
+                                     [store](const ReadyRef &r) {
+                                         return r.inst == store;
+                                     }),
+                      bucket->end());
+        if (bucket->empty())
+            lineTable.erase(l);
     }
 }
 
-void
-Lsq::releaseSubs(InstSeqNum seq, Cycle wake)
+Lsq::SubList &
+Lsq::subsFor(const DynInst *store)
 {
-    auto it = holdSubs.find(seq);
-    if (it == holdSubs.end())
+    const std::size_t slot = store->slot;
+    if (slot >= holdSubs.size())
+        holdSubs.resize(slot + 1);
+    SubList &e = holdSubs[slot];
+    if (e.owner != store->seq()) {
+        // A previous tenant of the slot left its (already dead)
+        // subscriptions behind; reclaim the list for the new owner.
+        e.owner = store->seq();
+        e.subs.clear();
+    }
+    return e;
+}
+
+void
+Lsq::releaseSubs(const DynInst *store, Cycle wake)
+{
+    const std::size_t slot = store->slot;
+    if (slot >= holdSubs.size())
         return;
-    for (const ReadyRef &r : it->second)
+    SubList &e = holdSubs[slot];
+    if (e.owner != store->seq())
+        return;
+    for (const ReadyRef &r : e.subs)
         pendingRelease.push_back({r.inst, r.seq, r.slot, wake});
-    holdSubs.erase(it);
+    e.subs.clear();
+}
+
+void
+Lsq::dropSubs(const DynInst *store)
+{
+    const std::size_t slot = store->slot;
+    if (slot < holdSubs.size() && holdSubs[slot].owner == store->seq())
+        holdSubs[slot].subs.clear();
 }
 
 void
@@ -92,7 +165,7 @@ Lsq::onStoreAddrComputed(DynInst *inst)
     VPR_ASSERT(inst->isStore() && inst->addrReady,
                "address-computed hook without a computed address");
     for (Addr l = firstLine(inst); l <= lastLine(inst); ++l)
-        lineTable[l].push_back(inst->ref());
+        lineTable.bucket(l).push_back(inst->ref());
     // The address is visible from addrReadyCycle on; until then the
     // store still counts as unknown (checked lazily against the cycle),
     // and the unknown-list entry is flushed once the cycle passes. The
@@ -102,7 +175,7 @@ Lsq::onStoreAddrComputed(DynInst *inst)
                    pendingKnown.back().second <= inst->addrReadyCycle,
                "store address visibility cycles must be monotone");
     pendingKnown.push_back({inst->seq(), inst->addrReadyCycle});
-    releaseSubs(inst->seq(), inst->addrReadyCycle);
+    releaseSubs(inst, inst->addrReadyCycle);
 }
 
 void
@@ -122,8 +195,8 @@ Lsq::subscribeHold(DynInst *load, const DynInst *blocker, LoadHold hold)
         return;
     }
     // UnknownAddress releases at address computation, PartialOverlap at
-    // the blocker's commit (remove) — both via the blocker's seq.
-    holdSubs[blocker->seq()].push_back(load->ref());
+    // the blocker's commit (remove) — both via the blocker's slot.
+    subsFor(blocker).subs.push_back(load->ref());
 }
 
 void
@@ -142,15 +215,19 @@ Lsq::takeReadyHolds(Cycle now, std::vector<ReadyRef> &out)
 void
 Lsq::remove(DynInst *inst)
 {
-    auto it = std::find(list.begin(), list.end(), inst);
-    VPR_ASSERT(it != list.end(), "LSQ remove: entry not present");
-    list.erase(it);
+    // Commit removes in program order, so the entry is almost always
+    // the front; the scan is a fallback for the rare mid-queue case.
+    std::size_t i = 0;
+    while (i < list.size() && list[i] != inst)
+        ++i;
+    VPR_ASSERT(i < list.size(), "LSQ remove: entry not present");
+    list.erase(i);
     if (inst->isStore()) {
         eraseLineEntries(inst);
         eraseUnknown(inst->seq());
         // Commit ticks before issue, so loads held on this store may
         // re-attempt this very cycle — as the legacy re-scan would.
-        releaseSubs(inst->seq(), 0);
+        releaseSubs(inst, 0);
     }
 }
 
@@ -164,7 +241,7 @@ Lsq::squashYoungerThan(InstSeqNum seq)
             eraseUnknown(inst->seq());
             // Subscribers are younger than their blocker: all squashed
             // with it, so the subscriptions die outright.
-            holdSubs.erase(inst->seq());
+            dropSubs(inst);
         }
         list.pop_back();
     }
@@ -186,8 +263,8 @@ Lsq::scanCheck(const DynInst *load, Cycle now) const
 {
     // Walk older entries from youngest to oldest so the *nearest*
     // matching store decides forwarding.
-    for (auto it = list.rbegin(); it != list.rend(); ++it) {
-        const DynInst *other = *it;
+    for (std::size_t i = list.size(); i-- > 0;) {
+        const DynInst *other = list[i];
         if (other->seq() >= load->seq())
             continue;
         if (!other->isStore())
@@ -240,10 +317,10 @@ Lsq::disambiguate(const DynInst *load, Cycle now)
     const DynInst *ovl = nullptr;
     InstSeqNum ovlSeq = 0;
     for (Addr l = firstLine(load); l <= lastLine(load); ++l) {
-        auto it = lineTable.find(l);
-        if (it == lineTable.end())
+        const std::vector<ReadyRef> *bucket = lineTable.find(l);
+        if (!bucket)
             continue;
-        for (const ReadyRef &ref : it->second) {
+        for (const ReadyRef &ref : *bucket) {
             if (ref.seq >= load->seq())
                 continue;
             if (ovl && ref.seq <= ovlSeq)

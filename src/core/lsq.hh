@@ -29,10 +29,9 @@
 #define VPR_CORE_LSQ_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_deque.hh"
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
 
@@ -45,6 +44,102 @@ struct LoadCheck
 {
     LoadHold hold = LoadHold::Ready;
     const DynInst *blocker = nullptr;
+};
+
+/**
+ * Line address -> in-flight stores, tuned for streaming address
+ * patterns.
+ *
+ * The live content is tiny — at most two lines per in-flight store —
+ * but a streaming benchmark never revisits a line, so a node-based map
+ * allocates (node + bucket vector) for every line it touches, forever.
+ * This table is open-addressed with linear probing over a power-of-two
+ * slot array: erasing a line backward-shifts the probe chain and
+ * *swaps* the ReadyRef vectors instead of moving them, so every
+ * slot's vector capacity stays resident and steady-state store
+ * traffic never reaches the allocator. The array doubles only when
+ * the live line count crosses half the capacity (warm-up).
+ */
+class LineRefMap
+{
+  public:
+    LineRefMap() : slots(kMinSlots) {}
+
+    /** The bucket for @p line, or null if the line is absent. */
+    std::vector<ReadyRef> *
+    find(Addr line)
+    {
+        Slot *s = probe(line);
+        return s->used ? &s->refs : nullptr;
+    }
+
+    /** The bucket for @p line, inserting an empty one if absent. */
+    std::vector<ReadyRef> &
+    bucket(Addr line)
+    {
+        Slot *s = probe(line);
+        if (!s->used) {
+            if ((numUsed + 1) * 2 > slots.size()) {
+                grow();
+                s = probe(line);
+            }
+            s->used = true;
+            s->line = line;
+            ++numUsed;
+        }
+        return s->refs;
+    }
+
+    /** Drop @p line's (empty) bucket so dead keys cannot pile up and
+     *  stretch the probe chains. */
+    void erase(Addr line);
+
+    void
+    clear()
+    {
+        for (Slot &s : slots) {
+            s.used = false;
+            s.refs.clear();
+        }
+        numUsed = 0;
+    }
+
+    std::size_t size() const { return numUsed; }
+
+  private:
+    static constexpr std::size_t kMinSlots = 64;
+
+    struct Slot
+    {
+        Addr line = 0;
+        bool used = false;
+        std::vector<ReadyRef> refs;
+    };
+
+    std::size_t
+    ideal(Addr line) const
+    {
+        // Lines are small sequential integers for streaming patterns;
+        // a multiplicative mix spreads clustered patterns without
+        // hurting the sequential case.
+        return static_cast<std::size_t>(line * 0x9e3779b97f4a7c15ull) &
+               (slots.size() - 1);
+    }
+
+    /** First slot in @p line's probe chain that holds it or is free. */
+    Slot *
+    probe(Addr line)
+    {
+        std::size_t i = ideal(line);
+        while (slots[i].used && slots[i].line != line)
+            i = (i + 1) & (slots.size() - 1);
+        return &slots[i];
+    }
+
+    void grow();
+
+    std::vector<Slot> slots;  ///< power-of-two capacity
+    std::size_t numUsed = 0;
 };
 
 /** The load/store queue (a single age-ordered structure). */
@@ -135,7 +230,7 @@ class Lsq
     /** Register the "lsq" stat group into the core's stats tree. */
     void regStats(stats::StatRegistry &r) { r.add(&group); }
 
-    const std::deque<DynInst *> &entries() const { return list; }
+    const RingDeque<DynInst *> &entries() const { return list; }
 
     void clear();
 
@@ -179,25 +274,48 @@ class Lsq
     /** Remove a store's line-table entries (commit or squash). */
     void eraseLineEntries(DynInst *store);
 
-    /** Move the subscribers of blocker @p seq to the pending-release
+    /** Move the subscribers of blocker @p store to the pending-release
      *  list with wake cycle @p wake. */
-    void releaseSubs(InstSeqNum seq, Cycle wake);
+    void releaseSubs(const DynInst *store, Cycle wake);
+
+    /** Drop the subscriptions parked on @p store without releasing
+     *  them (squash: the subscribers die with their blocker). */
+    void dropSubs(const DynInst *store);
+
+    /** The loads parked on one blocking store, owner-validated.
+     *
+     *  Subscriptions are indexed by the blocker's hot-pool slot, not
+     *  its sequence number: slots are bounded by the pipeline and
+     *  reused, so the structure reaches its full size during warm-up
+     *  and steady-state subscribe/release traffic never allocates (a
+     *  seq-keyed map would mint a fresh node for every blocker). The
+     *  owner seq detects slot reuse — a stale list left by a squashed
+     *  store is discarded lazily by the next subscriber. */
+    struct SubList
+    {
+        InstSeqNum owner = 0;
+        std::vector<ReadyRef> subs;
+    };
+
+    /** The subscription list of blocker @p store, clearing a stale
+     *  previous tenant's leftovers. */
+    SubList &subsFor(const DynInst *store);
 
     std::size_t cap;
-    std::deque<DynInst *> list;  ///< program order, front = oldest
+    RingDeque<DynInst *> list;  ///< program order, front = oldest
 
     /** Line address -> in-flight stores with computed addresses. */
-    std::unordered_map<Addr, std::vector<ReadyRef>> lineTable;
+    LineRefMap lineTable;
     /** Stores whose addresses are not visible yet, seq-ascending (the
      *  back is the unknown-address watermark). */
     std::vector<ReadyRef> unknownStores;
     /** FIFO of (store seq, visibility cycle): a computed address stays
      *  "unknown" until its cycle passes, then the unknown-list entry is
      *  flushed eagerly so queries never wade through stale entries. */
-    std::deque<std::pair<InstSeqNum, Cycle>> pendingKnown;
+    RingDeque<std::pair<InstSeqNum, Cycle>> pendingKnown;
 
-    /** Blocking-store seq -> loads parked on it. */
-    std::unordered_map<InstSeqNum, std::vector<ReadyRef>> holdSubs;
+    /** Per-hot-slot hold subscriptions (see SubList). */
+    std::vector<SubList> holdSubs;
     /** Released holds waiting for their wake cycle. */
     std::vector<HoldRelease> pendingRelease;
 

@@ -1,38 +1,75 @@
 #include "core/regfile_ports.hh"
 
+#include "common/logging.hh"
+
 namespace vpr
 {
 
-bool
-PortSchedule::tryClaim(Cycle cycle)
+unsigned &
+PortSchedule::slotFor(Cycle cycle)
 {
-    unsigned &used = usage[cycle];
-    if (used >= ports)
-        return false;
-    ++used;
-    return true;
-}
-
-Cycle
-PortSchedule::claimFirstFree(Cycle earliest)
-{
-    Cycle c = earliest;
-    while (!tryClaim(c))
-        ++c;
-    return c;
+    // Claims never land behind the prune watermark: every caller
+    // prunes at the top of the cycle and claims at now or later. The
+    // growth logic relies on all live tags sharing the [base, max]
+    // window, so enforce the contract here.
+    VPR_ASSERT(cycle >= base, "port claim at ", cycle,
+               " behind prune watermark ", base);
+    std::size_t s = cycle % counts.size();
+    if (tags[s] == cycle)
+        return counts[s];
+    if (tags[s] != kNoCycle && tags[s] >= base) {
+        // The slot's owner is a *different* live cycle: the ring is
+        // lapped by the claim span. Grow until the whole live window
+        // fits, giving every live cycle a distinct slot.
+        grow(cycle);
+        s = cycle % counts.size();
+    }
+    // Free, lapped-stale, or pruned slot: take it over for this cycle.
+    tags[s] = cycle;
+    counts[s] = 0;
+    return counts[s];
 }
 
 void
-PortSchedule::pruneBefore(Cycle now)
+PortSchedule::grow(Cycle needed)
 {
-    usage.erase(usage.begin(), usage.lower_bound(now));
+    // Live tags all sit in [base, maxLive]; size the new ring past
+    // that whole span (plus the incoming cycle) so distinct live
+    // cycles can never share a slot — values within a window shorter
+    // than the capacity have distinct residues.
+    Cycle maxLive = needed;
+    for (Cycle t : tags)
+        if (t != kNoCycle && t >= base && t > maxLive)
+            maxLive = t;
+    std::size_t size = counts.size();
+    while (size <= maxLive - base)
+        size *= 2;
+    std::vector<unsigned> newCounts(size, 0);
+    std::vector<Cycle> newTags(size, kNoCycle);
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (tags[i] == kNoCycle || tags[i] < base)
+            continue;
+        const std::size_t s = tags[i] % size;
+        newTags[s] = tags[i];
+        newCounts[s] = counts[i];
+    }
+    counts.swap(newCounts);
+    tags.swap(newTags);
 }
 
 unsigned
 PortSchedule::used(Cycle cycle) const
 {
-    auto it = usage.find(cycle);
-    return it == usage.end() ? 0 : it->second;
+    const std::size_t s = cycle % counts.size();
+    return tags[s] == cycle && cycle >= base ? counts[s] : 0;
+}
+
+void
+PortSchedule::clear()
+{
+    counts.assign(counts.size(), 0);
+    tags.assign(tags.size(), kNoCycle);
+    base = 0;
 }
 
 void

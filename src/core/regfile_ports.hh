@@ -14,7 +14,7 @@
 #define VPR_CORE_REGFILE_PORTS_HH
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/reg.hh"
@@ -22,33 +22,73 @@
 namespace vpr
 {
 
-/** Per-cycle counting arbiter used for write and cache ports. */
+/**
+ * Per-cycle counting arbiter used for write and cache ports.
+ *
+ * Claims live in a cycle-tagged ring: slot cycle % capacity holds the
+ * count for that cycle, with the owning cycle stored alongside so a
+ * slot left over from a lapped (long-past) cycle reads as free. The
+ * arbiter allocates only when the claim horizon outgrows the ring —
+ * the steady-state claim/prune cycle of the pipeline loop touches no
+ * allocator at all, where the previous std::map spent one node per
+ * (cycle, class) claimed. pruneBefore is a watermark store: slots are
+ * invalidated lazily on their next use.
+ */
 class PortSchedule
 {
   public:
     explicit PortSchedule(unsigned portsPerCycle)
-        : ports(portsPerCycle)
+        : ports(portsPerCycle), counts(kInitialSlots, 0),
+          tags(kInitialSlots, kNoCycle)
     {}
 
     /** Claim a port at exactly @p cycle; false if none left. */
-    bool tryClaim(Cycle cycle);
+    bool
+    tryClaim(Cycle cycle)
+    {
+        unsigned &used = slotFor(cycle);
+        if (used >= ports)
+            return false;
+        ++used;
+        return true;
+    }
 
     /** First cycle >= @p earliest with a free port; claims it. */
-    Cycle claimFirstFree(Cycle earliest);
+    Cycle
+    claimFirstFree(Cycle earliest)
+    {
+        Cycle c = earliest;
+        while (!tryClaim(c))
+            ++c;
+        return c;
+    }
 
     /** Drop bookkeeping for cycles before @p now. */
-    void pruneBefore(Cycle now);
+    void pruneBefore(Cycle now) { base = now > base ? now : base; }
 
     unsigned portsPerCycle() const { return ports; }
 
     /** Ports already claimed at @p cycle (tests). */
     unsigned used(Cycle cycle) const;
 
-    void clear() { usage.clear(); }
+    void clear();
 
   private:
+    /** A write scheduled past the miss penalty is rare; 1024 slots
+     *  cover any realistic claim horizon without ever growing. */
+    static constexpr std::size_t kInitialSlots = 1024;
+
+    unsigned &slotFor(Cycle cycle);
+    void grow(Cycle needed);
+
     unsigned ports;
-    std::map<Cycle, unsigned> usage;
+    /** Claims at cycle c live in slot c % capacity... @{ */
+    std::vector<unsigned> counts;
+    /** ...owned by cycle tags[slot]; kNoCycle or a pruned tag = free. */
+    std::vector<Cycle> tags;
+    /** @} */
+    /** Claims below this watermark are dead (pruneBefore). */
+    Cycle base = 0;
 };
 
 /** Read/write port tracking for both register files. */
@@ -80,6 +120,16 @@ class RegFilePorts
     writePortsPerCycle() const
     {
         return writes[0].portsPerCycle();
+    }
+
+    /** Return to the constructed state: no reads claimed, no writes
+     *  scheduled (simulator reuse between grid cells). */
+    void
+    clear()
+    {
+        readsUsed[0] = readsUsed[1] = 0;
+        writes[0].clear();
+        writes[1].clear();
     }
 
   private:

@@ -202,6 +202,24 @@ class CompletionQueue
         return false;
     }
 
+    /** Return to the constructed state: no events, wheel rewound to
+     *  cycle zero, no parked stores (simulator reuse between grid
+     *  cells). Bucket capacities stay resident. */
+    void
+    clear()
+    {
+        for (auto &b : buckets)
+            b.clear();
+        overflow.clear();
+        overflowMin = kNoCycle;
+        base = 0;
+        drainIdx = 0;
+        curSorted = true;
+        nEvents = 0;
+        events = EventHeap();
+        storesAwaitingData.clear();
+    }
+
   private:
     using EventHeap =
         std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,

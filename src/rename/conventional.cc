@@ -25,6 +25,27 @@ ConventionalRename::ConventionalRename(const RenameConfig &config)
 }
 
 void
+ConventionalRename::reinit()
+{
+    // Replays the constructor body exactly (the free-list pop order is
+    // architecturally visible downstream, so it must match).
+    reinitBase();
+    for (std::size_t c = 0; c < kNumRegClasses; ++c) {
+        mapTable[c].assign(kNumLogicalRegs, 0);
+        ready[c].assign(cfg.numPhysRegs, false);
+        freeList[c].clear();
+        for (std::uint16_t i = 0; i < kNumLogicalRegs; ++i) {
+            mapTable[c][i] = i;
+            ready[c][i] = true;
+        }
+        for (std::uint16_t p = cfg.numPhysRegs; p-- > kNumLogicalRegs;)
+            freeList[c].push_back(p);
+        for (std::uint16_t i = 0; i < kNumLogicalRegs; ++i)
+            pressureTrk[c].onAlloc(i, 0);
+    }
+}
+
+void
 ConventionalRename::tick(Cycle)
 {
     // Conventional frees are visible in the same cycle; nothing to do.

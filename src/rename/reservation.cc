@@ -1,23 +1,68 @@
 #include "rename/reservation.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace vpr
 {
 
-ReservationTracker::ReservationTracker(unsigned nrr_) : nrr(nrr_)
+namespace
+{
+
+/** Smallest power of two >= max(cap, 64). The in-flight window is
+ *  bounded by the ROB, so one or two doublings settle the ring for the
+ *  life of the tracker. */
+std::size_t
+ringCapacityFor(std::size_t cap)
+{
+    std::size_t size = 64;
+    while (size < cap)
+        size *= 2;
+    return size;
+}
+
+} // namespace
+
+ReservationTracker::ReservationTracker(unsigned nrr_)
+    : nrr(nrr_), ring(ringCapacityFor(0))
 {
     VPR_ASSERT(nrr >= 1, "NRR must be at least 1 to avoid deadlock");
 }
 
 void
+ReservationTracker::reserve(std::size_t cap)
+{
+    if (cap <= ring.size())
+        return;
+    std::vector<Entry> bigger(ringCapacityFor(cap));
+    for (std::size_t i = 0; i < num; ++i)
+        bigger[i] = at(i);
+    ring.swap(bigger);
+    head = 0;
+}
+
+std::size_t
+ReservationTracker::lowerBound(InstSeqNum s) const
+{
+    std::size_t lo = 0, hi = num;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (at(mid).seq < s)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
 ReservationTracker::onRename(InstSeqNum seq)
 {
-    VPR_ASSERT(entries.empty() || entries.back().seq < seq,
+    VPR_ASSERT(num == 0 || at(num - 1).seq < seq,
                "rename out of program order");
-    entries.push_back({seq, false});
+    if (num == ring.size())
+        reserve(num + 1);
+    ++num;
+    at(num - 1) = {seq, false};
 }
 
 void
@@ -26,53 +71,47 @@ ReservationTracker::onAllocate(InstSeqNum seq)
     // Entries are age-ordered (rename is in program order), so the
     // instruction is found by binary search rather than a walk of the
     // whole in-flight window.
-    auto it = std::lower_bound(entries.begin(), entries.end(), seq,
-                               [](const Entry &e, InstSeqNum s) {
-                                   return e.seq < s;
-                               });
-    if (it == entries.end() || it->seq != seq)
+    const std::size_t i = lowerBound(seq);
+    if (i == num || at(i).seq != seq)
         VPR_PANIC("onAllocate: unknown instruction sn:", seq);
-    VPR_ASSERT(!it->allocated, "double allocation for sn:", seq);
-    it->allocated = true;
-    if (static_cast<std::size_t>(it - entries.begin()) < reservedCount())
+    VPR_ASSERT(!at(i).allocated, "double allocation for sn:", seq);
+    at(i).allocated = true;
+    if (i < reservedCount())
         ++usedRes;
 }
 
 void
 ReservationTracker::onCommit(InstSeqNum seq)
 {
-    VPR_ASSERT(!entries.empty() && entries.front().seq == seq,
+    VPR_ASSERT(num != 0 && at(0).seq == seq,
                "commit of non-oldest dest instruction sn:", seq);
-    if (entries.front().allocated)
+    if (at(0).allocated)
         --usedRes;
     // The old (nrr+1)-th oldest entry (if any) enters the reserved set.
-    if (entries.size() > nrr && entries[nrr].allocated)
+    if (num > nrr && at(nrr).allocated)
         ++usedRes;
-    entries.pop_front();
+    head = (head + 1) & (ring.size() - 1);
+    --num;
 }
 
 void
 ReservationTracker::onSquash(InstSeqNum seq)
 {
-    VPR_ASSERT(!entries.empty() && entries.back().seq == seq,
+    VPR_ASSERT(num != 0 && at(num - 1).seq == seq,
                "squash of non-youngest dest instruction sn:", seq);
-    if (entries.size() <= nrr && entries.back().allocated)
+    if (num <= nrr && at(num - 1).allocated)
         --usedRes;
-    entries.pop_back();
+    --num;
 }
 
 bool
 ReservationTracker::isReserved(InstSeqNum seq) const
 {
-    std::size_t lim = reservedCount();
-    if (lim == 0 || seq > entries[lim - 1].seq)
+    const std::size_t lim = reservedCount();
+    if (lim == 0 || seq > at(lim - 1).seq)
         return false;
-    auto end = entries.begin() + static_cast<std::ptrdiff_t>(lim);
-    auto it = std::lower_bound(entries.begin(), end, seq,
-                               [](const Entry &e, InstSeqNum s) {
-                                   return e.seq < s;
-                               });
-    return it != end && it->seq == seq;
+    const std::size_t i = lowerBound(seq);
+    return i < lim && at(i).seq == seq;
 }
 
 bool

@@ -13,17 +13,21 @@
  *     it is itself one of the oldest NRR destination-writing
  *     instructions (not younger than PRR).
  *
- * We represent the same state directly as an age-ordered deque of
+ * We represent the same state directly as an age-ordered window of
  * destination-writing instructions with an "allocated" flag; the oldest
  * min(NRR, size) entries are the reserved set. This is exactly the
- * PRR/Reg/Used bookkeeping, just held in one structure.
+ * PRR/Reg/Used bookkeeping, just held in one structure. The window
+ * lives in a power-of-two ring buffer: the in-flight set is bounded by
+ * the ROB, so once the ring reaches that bound the per-instruction
+ * push/pop traffic never touches the allocator (a deque would slide an
+ * allocation every chunk's worth of renames).
  */
 
 #ifndef VPR_RENAME_RESERVATION_HH
 #define VPR_RENAME_RESERVATION_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/state.hh"
 #include "common/types.hh"
@@ -70,18 +74,18 @@ class ReservationTracker
     unsigned
     reservedCount() const
     {
-        return static_cast<unsigned>(
-            entries.size() < nrr ? entries.size() : nrr);
+        return static_cast<unsigned>(num < nrr ? num : nrr);
     }
 
     unsigned nrrValue() const { return nrr; }
-    std::size_t inFlight() const { return entries.size(); }
-    bool empty() const { return entries.empty(); }
+    std::size_t inFlight() const { return num; }
+    bool empty() const { return num == 0; }
 
     void
     clear()
     {
-        entries.clear();
+        head = 0;
+        num = 0;
         usedRes = 0;
     }
 
@@ -92,13 +96,16 @@ class ReservationTracker
     visitState(StateVisitor &v)
     {
         v.section("reservation");
-        std::uint64_t n = entries.size();
+        std::uint64_t n = num;
         v.value(n);
-        if (v.loading())
-            entries.resize(static_cast<std::size_t>(n));
-        for (Entry &e : entries) {
-            v.value(e.seq);
-            v.value(e.allocated);
+        if (v.loading()) {
+            clear();
+            reserve(static_cast<std::size_t>(n));
+            num = static_cast<std::size_t>(n);
+        }
+        for (std::size_t i = 0; i < num; ++i) {
+            v.value(at(i).seq);
+            v.value(at(i).allocated);
         }
         v.value(usedRes);
     }
@@ -110,8 +117,31 @@ class ReservationTracker
         bool allocated;
     };
 
+    /** Entry @p i of the age-ordered window, 0 = oldest. */
+    Entry &
+    at(std::size_t i)
+    {
+        return ring[(head + i) & (ring.size() - 1)];
+    }
+
+    const Entry &
+    at(std::size_t i) const
+    {
+        return ring[(head + i) & (ring.size() - 1)];
+    }
+
+    /** First window index whose seq is >= @p s (the window is age- and
+     *  therefore seq-ordered). */
+    std::size_t lowerBound(InstSeqNum s) const;
+
+    /** Grow the ring so at least @p cap entries fit (power of two). */
+    void reserve(std::size_t cap);
+
     unsigned nrr;
-    std::deque<Entry> entries;  ///< age ordered, front = oldest
+    /** Power-of-two ring holding the window at (head + i) % size. */
+    std::vector<Entry> ring;
+    std::size_t head = 0;
+    std::size_t num = 0;
     /** Allocated entries within the oldest-min(nrr,size) window. */
     unsigned usedRes = 0;
 };

@@ -63,6 +63,7 @@ class VirtualPhysicalRename : public RenameManager
 
     std::size_t freePhysRegs(RegClass cls) const override;
     void checkInvariants() const override;
+    void reinit() override;
     void visitState(StateVisitor &v) override;
 
     /** GMT inspection (tests). @{ */

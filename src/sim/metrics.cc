@@ -7,6 +7,18 @@
 namespace vpr
 {
 
+const std::string &
+Metric::name() const
+{
+    return stats::SymbolTable::global().text(nameSym);
+}
+
+const std::string &
+Metric::desc() const
+{
+    return stats::SymbolTable::global().text(descSym);
+}
+
 std::string
 Metric::text() const
 {
@@ -18,11 +30,21 @@ Metric::text() const
 }
 
 Metric &
-MetricsRecord::slot(const std::string &name, const std::string &desc)
+MetricsRecord::slot(stats::SymId name, stats::SymId desc)
 {
+    // Revisits of the same stats tree arrive in insertion order; the
+    // cursor turns each lookup into a single compare. Out-of-order
+    // writes (derived-metric setters, sampled-run folding) fall back
+    // to the index and re-anchor the cursor behind themselves.
+    if (cursor >= metrics.size())
+        cursor = 0;
+    if (cursor < metrics.size() && metrics[cursor].nameSym == name)
+        return metrics[cursor++];
     auto it = index.find(name);
-    if (it != index.end())
+    if (it != index.end()) {
+        cursor = it->second + 1;
         return metrics[it->second];
+    }
     if (metrics.empty()) {
         // A record is almost always one full stats-tree walk; reserving
         // for a paper-config-sized schema avoids the reallocation and
@@ -32,11 +54,12 @@ MetricsRecord::slot(const std::string &name, const std::string &desc)
     }
     index.emplace(name, metrics.size());
     metrics.push_back(Metric{name, desc, Metric::Kind::UInt, 0, 0.0});
+    cursor = metrics.size();
     return metrics.back();
 }
 
 void
-MetricsRecord::visitUInt(const std::string &name, const std::string &desc,
+MetricsRecord::visitUInt(stats::SymId name, stats::SymId desc,
                          std::uint64_t v)
 {
     Metric &m = slot(name, desc);
@@ -45,37 +68,63 @@ MetricsRecord::visitUInt(const std::string &name, const std::string &desc,
 }
 
 void
-MetricsRecord::visitReal(const std::string &name, const std::string &desc,
-                         double v)
+MetricsRecord::visitReal(stats::SymId name, stats::SymId desc, double v)
 {
     Metric &m = slot(name, desc);
     m.kind = Metric::Kind::Real;
     m.rval = v;
 }
 
+void
+MetricsRecord::setUInt(const std::string &name, const std::string &desc,
+                       std::uint64_t v)
+{
+    auto &tab = stats::SymbolTable::global();
+    visitUInt(tab.intern(name), tab.intern(desc), v);
+}
+
+void
+MetricsRecord::setReal(const std::string &name, const std::string &desc,
+                       double v)
+{
+    auto &tab = stats::SymbolTable::global();
+    visitReal(tab.intern(name), tab.intern(desc), v);
+}
+
+const Metric *
+MetricsRecord::findMetric(const std::string &name) const
+{
+    // Read-only lookups must not grow the intern table: a name that
+    // was never interned is by construction absent from every record.
+    const stats::SymId id = stats::SymbolTable::global().find(name);
+    if (id == 0)
+        return nullptr;
+    auto it = index.find(id);
+    return it == index.end() ? nullptr : &metrics[it->second];
+}
+
 bool
 MetricsRecord::has(const std::string &name) const
 {
-    return index.count(name) != 0;
+    return findMetric(name) != nullptr;
 }
 
 std::uint64_t
 MetricsRecord::counter(const std::string &name) const
 {
-    auto it = index.find(name);
-    if (it == index.end())
+    const Metric *m = findMetric(name);
+    if (!m)
         return 0;
-    const Metric &m = metrics[it->second];
-    return m.kind == Metric::Kind::UInt
-               ? m.uval
-               : static_cast<std::uint64_t>(m.rval);
+    return m->kind == Metric::Kind::UInt
+               ? m->uval
+               : static_cast<std::uint64_t>(m->rval);
 }
 
 double
 MetricsRecord::real(const std::string &name) const
 {
-    auto it = index.find(name);
-    return it == index.end() ? 0.0 : metrics[it->second].asReal();
+    const Metric *m = findMetric(name);
+    return m ? m->asReal() : 0.0;
 }
 
 bool
@@ -84,7 +133,7 @@ MetricsRecord::sameSchema(const MetricsRecord &other) const
     if (metrics.size() != other.metrics.size())
         return false;
     for (std::size_t i = 0; i < metrics.size(); ++i)
-        if (metrics[i].name != other.metrics[i].name)
+        if (metrics[i].nameSym != other.metrics[i].nameSym)
             return false;
     return true;
 }

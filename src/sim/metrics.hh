@@ -9,6 +9,12 @@
  * without bespoke glue. Insertion order is the export schema order:
  * two records built from the same groups have identical schemas, which
  * is what lets shard files from different hosts be merged column-safe.
+ *
+ * Names and descriptions are stored as interned SymIds; a steady-state
+ * revisit of an already-built record (sampled runs revisit one record
+ * per measurement interval) touches no strings and — thanks to the
+ * in-order cursor below — no hash tables either. Text comes back out
+ * only through the name()/desc() accessors at serialization time.
  */
 
 #ifndef VPR_SIM_METRICS_HH
@@ -30,11 +36,16 @@ struct Metric
 {
     enum class Kind : std::uint8_t { UInt, Real };
 
-    std::string name;
-    std::string desc;
+    stats::SymId nameSym = 0;
+    stats::SymId descSym = 0;
     Kind kind = Kind::UInt;
     std::uint64_t uval = 0;
     double rval = 0.0;
+
+    /** Interned text, resolved at the serialization boundary. @{ */
+    const std::string &name() const;
+    const std::string &desc() const;
+    /** @} */
 
     /** The value as a double regardless of kind. */
     double
@@ -53,25 +64,30 @@ class MetricsRecord : public stats::StatVisitor
 {
   public:
     /** StatVisitor: append (or overwrite) a metric. @{ */
-    void visitUInt(const std::string &name, const std::string &desc,
+    void visitUInt(stats::SymId name, stats::SymId desc,
                    std::uint64_t v) override;
-    void visitReal(const std::string &name, const std::string &desc,
+    void visitReal(stats::SymId name, stats::SymId desc,
                    double v) override;
     /** @} */
 
-    /** Direct setters for derived metrics. @{ */
+    /** Direct setters for derived metrics; the SymId overloads are the
+     *  allocation-free path for names already in hand. @{ */
     void
-    setUInt(const std::string &name, const std::string &desc,
-            std::uint64_t v)
+    setUInt(stats::SymId name, stats::SymId desc, std::uint64_t v)
     {
         visitUInt(name, desc, v);
     }
 
     void
-    setReal(const std::string &name, const std::string &desc, double v)
+    setReal(stats::SymId name, stats::SymId desc, double v)
     {
         visitReal(name, desc, v);
     }
+
+    void setUInt(const std::string &name, const std::string &desc,
+                 std::uint64_t v);
+    void setReal(const std::string &name, const std::string &desc,
+                 double v);
     /** @} */
 
     bool has(const std::string &name) const;
@@ -91,10 +107,15 @@ class MetricsRecord : public stats::StatVisitor
     bool sameSchema(const MetricsRecord &other) const;
 
   private:
-    Metric &slot(const std::string &name, const std::string &desc);
+    Metric &slot(stats::SymId name, stats::SymId desc);
+    const Metric *findMetric(const std::string &name) const;
 
     std::vector<Metric> metrics;
-    std::unordered_map<std::string, std::size_t> index;
+    std::unordered_map<stats::SymId, std::size_t> index;
+    /** Expected position of the next visited name. A revisit of the
+     *  same stats tree arrives in schema order, so every lookup is one
+     *  integer compare instead of a hash probe. */
+    std::size_t cursor = 0;
 };
 
 /**

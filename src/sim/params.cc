@@ -287,8 +287,16 @@ loadConfigFile(SimConfig &config, const std::string &path)
 std::vector<std::pair<std::string, std::string>>
 configProvenance(const SimConfig &config)
 {
-    SimConfig copy = config;
-    ConfigRegistry registry(copy);
+    // Building a ConfigRegistry allocates ~40 ParamDefs' worth of
+    // names, docs, and accessor closures — a fixed cost that sweeps
+    // used to pay two or three times per grid cell. Keep one registry
+    // per thread, permanently bound to a scratch config, and copy each
+    // caller's config into that scratch: the accessor closures capture
+    // fields of the scratch object, so they read the new values with
+    // no rebinding. Thread-local because grid cells run on workers.
+    static thread_local SimConfig scratch;
+    static thread_local ConfigRegistry registry(scratch);
+    scratch = config;
     std::vector<std::pair<std::string, std::string>> out;
     for (const ParamDef &def : registry.params())
         if (!def.execOnly && !def.derived)

@@ -104,16 +104,16 @@ encodeEntry(std::uint64_t digest, const std::string &benchmark,
     os << "benchmark=" << benchmark << "\n";
     os << "metrics=" << results.metrics.size() << "\n";
     for (const Metric &m : results.metrics.all()) {
-        VPR_ASSERT(m.name.find('\t') == std::string::npos &&
-                       m.desc.find('\t') == std::string::npos &&
-                       m.desc.find('\n') == std::string::npos,
+        VPR_ASSERT(m.name().find('\t') == std::string::npos &&
+                       m.desc().find('\t') == std::string::npos &&
+                       m.desc().find('\n') == std::string::npos,
                    "metric unsafe for the result-cache encoding: '",
-                   m.name, "'");
+                   m.name(), "'");
         if (m.kind == Metric::Kind::UInt)
-            os << "U\t" << m.name << "\t" << m.uval;
+            os << "U\t" << m.name() << "\t" << m.uval;
         else
-            os << "R\t" << m.name << "\t" << toHex16(bitsOf(m.rval));
-        os << "\t" << m.desc << "\n";
+            os << "R\t" << m.name() << "\t" << toHex16(bitsOf(m.rval));
+        os << "\t" << m.desc() << "\n";
     }
     return os.str();
 }

@@ -82,7 +82,7 @@ metricSchema(const std::vector<SimResults> &results)
     if (results.empty())
         return names;
     for (const Metric &m : results.front().metrics.all())
-        names.push_back(m.name);
+        names.push_back(m.name());
     for (const SimResults &r : results)
         VPR_ASSERT(r.metrics.sameSchema(results.front().metrics),
                    "grid cells disagree on the metric schema");
@@ -221,8 +221,9 @@ writeResultsJson(std::ostream &os, const std::string &figure,
         os << "}, \"metrics\": {";
         const auto &metrics = results[k].metrics.all();
         for (std::size_t m = 0; m < metrics.size(); ++m) {
-            os << (m ? ", " : "") << "\"" << jsonEscape(metrics[m].name)
-               << "\": " << metrics[m].text();
+            os << (m ? ", " : "")
+               << "\"" << jsonEscape(metrics[m].name()) << "\": "
+               << metrics[m].text();
         }
         os << "}}";
     }

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "sim/checkpoint.hh"
+#include "sim/params.hh"
 #include "trace/kernels/kernels.hh"
 
 namespace vpr
@@ -53,6 +54,43 @@ void
 Simulator::rebuildCore()
 {
     theCore = std::make_unique<Core>(*stream, cfg.core);
+}
+
+bool
+Simulator::reinit(const std::string &benchmark, const SimConfig &config)
+{
+    // Reuse needs the same stream: owned (we may rewind it), the same
+    // benchmark, and the same seed (the kernel stream bakes the seed in
+    // at construction).
+    if (!ownedStream || benchmark != benchName)
+        return false;
+    SimConfig fresh = config;
+    fresh.validate();
+    threadSeed(fresh);
+    if (fresh.seed != cfg.seed)
+        return false;
+
+    // Same core-level provenance (both sides seed-threaded) means the
+    // constructed core would be structurally and behaviourally
+    // identical, so the existing one is reinitialised in place; any
+    // difference falls back to reconstruction. Run-control parameters
+    // (skip/measure/sampling) never affect core construction.
+    const auto provA = configProvenance(cfg);
+    const auto provB = configProvenance(fresh);
+    bool sameCore = provA.size() == provB.size();
+    for (std::size_t i = 0; sameCore && i < provA.size(); ++i) {
+        if (provA[i].first.compare(0, 5, "core.") != 0)
+            continue;
+        sameCore = provA[i] == provB[i];
+    }
+
+    cfg = fresh;
+    stream->reset();
+    if (sameCore)
+        theCore->reinit();
+    else
+        rebuildCore();
+    return true;
 }
 
 bool
@@ -243,9 +281,9 @@ Simulator::runSampled()
         for (std::size_t k = 0; k < rec.all().size(); ++k) {
             const Metric &m = rec.all()[k];
             if (m.kind == Metric::Kind::UInt)
-                rec.setUInt(m.name, m.desc, usum[k]);
+                rec.setUInt(m.nameSym, m.descSym, usum[k]);
             else
-                rec.setReal(m.name, m.desc,
+                rec.setReal(m.nameSym, m.descSym,
                             rsum[k] / static_cast<double>(measured));
         }
     }
@@ -288,16 +326,16 @@ Simulator::printReport(std::ostream &os, const SimResults &r) const
     // buckets are elided — the moments summarize each distribution and
     // the full shape travels in the --out record files.
     for (const Metric &m : r.metrics.all()) {
-        if (m.name.find(".hist[") != std::string::npos)
+        if (m.name().find(".hist[") != std::string::npos)
             continue;
-        os << std::left << std::setw(32) << m.name << " " << std::right
-           << std::setw(14);
+        os << std::left << std::setw(32) << m.name() << " "
+           << std::right << std::setw(14);
         if (m.kind == Metric::Kind::UInt)
             os << m.uval;
         else
             os << std::fixed << std::setprecision(4) << m.rval
                << std::defaultfloat;
-        os << "  # " << m.desc << "\n";
+        os << "  # " << m.desc() << "\n";
     }
 }
 

@@ -117,26 +117,77 @@ class RecordingVisitor : public StatVisitor
 {
   public:
     void
-    visitUInt(const std::string &name, const std::string &desc,
-              std::uint64_t v) override
+    visitUInt(SymId name, SymId desc, std::uint64_t v) override
     {
-        entries.push_back(name + "=" + std::to_string(v));
-        descs.push_back(desc);
+        auto &tab = SymbolTable::global();
+        entries.push_back(tab.text(name) + "=" + std::to_string(v));
+        descs.push_back(tab.text(desc));
     }
 
     void
-    visitReal(const std::string &name, const std::string &desc,
-              double v) override
+    visitReal(SymId name, SymId desc, double v) override
     {
+        auto &tab = SymbolTable::global();
         std::ostringstream os;
-        os << name << "=" << v;
+        os << tab.text(name) << "=" << v;
         entries.push_back(os.str());
-        descs.push_back(desc);
+        descs.push_back(tab.text(desc));
     }
 
     std::vector<std::string> entries;
     std::vector<std::string> descs;
 };
+
+TEST(SymbolTable, InternIsIdempotentAndStable)
+{
+    auto &tab = SymbolTable::global();
+    const SymId a = tab.intern("symtab.test.alpha");
+    const SymId b = tab.intern("symtab.test.beta");
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    // Same text, same id — interning is idempotent.
+    EXPECT_EQ(tab.intern("symtab.test.alpha"), a);
+    EXPECT_EQ(tab.text(a), "symtab.test.alpha");
+    // text() references are stable even as the table grows.
+    const std::string *before = &tab.text(a);
+    for (int i = 0; i < 100; ++i)
+        tab.intern("symtab.test.filler." + std::to_string(i));
+    EXPECT_EQ(before, &tab.text(a));
+}
+
+TEST(SymbolTable, FindNeverInserts)
+{
+    auto &tab = SymbolTable::global();
+    const std::size_t before = tab.size();
+    EXPECT_EQ(tab.find("symtab.test.never-interned"), 0u);
+    EXPECT_EQ(tab.size(), before);
+    const SymId id = tab.intern("symtab.test.findable");
+    EXPECT_EQ(tab.find("symtab.test.findable"), id);
+}
+
+TEST(Visitation, PrefixChangeRecomposesNames)
+{
+    // The per-stat symbol cache must be keyed by the visiting group's
+    // prefix: the same stat visited under two groups (or directly)
+    // reports different full names.
+    Scalar s("n", "x");
+    s.set(1);
+    StatGroup g1("first"), g2("second");
+    g1.add(&s);
+    g2.add(&s);
+
+    RecordingVisitor v;
+    g1.visit(v);
+    g2.visit(v);
+    g1.visit(v);
+    s.visit(v);  // direct visit reuses the last prefix set: "first"
+    ASSERT_EQ(v.entries.size(), 4u);
+    EXPECT_EQ(v.entries[0], "first.n=1");
+    EXPECT_EQ(v.entries[1], "second.n=1");
+    EXPECT_EQ(v.entries[2], "first.n=1");
+    EXPECT_EQ(v.entries[3], "first.n=1");
+}
 
 TEST(Visitation, ScalarVisitsItsValue)
 {

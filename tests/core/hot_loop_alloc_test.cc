@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Steady-state allocation regression for the detailed hot loop.
+ *
+ * After the data-oriented refactors (completion calendar, packed hot
+ * state, ring deques, interned stat symbols) the per-cycle path must
+ * not touch the heap at all once every pool and ring has grown to its
+ * working size. These tests pin that property with the alloc_count
+ * hook — per measured interval AND per individual simulated cycle, so
+ * a single rare-path allocation (a ring growing, a map rehashing, a
+ * string materialising) fails the suite instead of hiding in an
+ * interval average.
+ *
+ * The warm-up length matters: ring deques and MSHR vectors grow on
+ * demand, and the swim kernel's working set stops provoking growth
+ * comfortably before 60k committed instructions. Shrinking the warm-up
+ * makes the test flaky-by-construction; don't.
+ *
+ * Wrong-path fetch runs in Stall mode, like every BM_Simulator* row:
+ * under squash-mode recovery the IQ wait lists accumulate stale
+ * waiters that only drain when their tag is next broadcast, so their
+ * capacities keep converging for hundreds of thousands of cycles —
+ * the steady state exists but is not reachable in test time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "trace/kernels/kernels.hh"
+
+#include "../support/alloc_count.hh"
+
+namespace vpr
+{
+namespace
+{
+
+using testsupport::AllocGuard;
+
+constexpr std::uint64_t kWarmupInsts = 60000;
+
+TEST(HotLoopAlloc, ZeroAllocationsPerMeasuredInterval)
+{
+    SimConfig config = paperConfig();
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    auto stream = makeBenchmarkStream("swim");
+    Core core(*stream, config.core);
+
+    core.runUntilCommitted(kWarmupInsts);
+    ASSERT_GE(core.committedInsts(), kWarmupInsts);
+
+    AllocGuard g;
+    core.runUntilCommitted(kWarmupInsts + 20000);
+    EXPECT_EQ(g.count(), 0u)
+        << "heap allocations leaked into the steady-state hot loop";
+}
+
+TEST(HotLoopAlloc, ZeroAllocationsPerSimulatedCycle)
+{
+    SimConfig config = paperConfig();
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    auto stream = makeBenchmarkStream("swim");
+    Core core(*stream, config.core);
+
+    core.runUntilCommitted(kWarmupInsts);
+
+    // Per-cycle, not per-interval: every single tick must stay off the
+    // heap, so one allocating cycle cannot hide among thousands.
+    for (int cycle = 0; cycle < 5000; ++cycle) {
+        AllocGuard g;
+        core.tick();
+        ASSERT_EQ(g.count(), 0u)
+            << "allocation during steady-state cycle " << cycle
+            << " (cycle " << core.cycle() << " of the run)";
+    }
+}
+
+TEST(HotLoopAlloc, MetricsCollectionIsAllocationFreeWhenWarm)
+{
+    // The per-cell metrics path: after one collection has interned
+    // every symbol and sized the record's storage, re-collecting into
+    // the same record must not allocate. This is what lets a pooled
+    // simulator export metrics for thousands of grid cells with zero
+    // fixed overhead.
+    SimConfig config = paperConfig();
+    config.core.fetch.wrongPath = WrongPathMode::Stall;
+    auto stream = makeBenchmarkStream("swim");
+    Core core(*stream, config.core);
+    core.runUntilCommitted(5000);
+
+    MetricsRecord warm;
+    core.visitStats(warm);
+    core.visitStats(warm);
+
+    AllocGuard g;
+    core.visitStats(warm);
+    EXPECT_EQ(g.count(), 0u)
+        << "warm metrics collection touched the heap";
+}
+
+} // namespace
+} // namespace vpr

@@ -39,6 +39,46 @@ TEST(PortSchedule, PruneDropsPast)
     EXPECT_EQ(ps.used(6), 1u);
 }
 
+TEST(PortSchedule, RingGrowsAcrossWideClaimSpans)
+{
+    // Two live claims a full ring period apart land in the same slot;
+    // the ring must grow rather than collapse them into one counter.
+    PortSchedule ps(1);
+    EXPECT_TRUE(ps.tryClaim(5));
+    EXPECT_TRUE(ps.tryClaim(5 + 4096));
+    EXPECT_FALSE(ps.tryClaim(5));
+    EXPECT_EQ(ps.used(5), 1u);
+    EXPECT_EQ(ps.used(5 + 4096), 1u);
+    EXPECT_FALSE(ps.tryClaim(5 + 4096));
+}
+
+TEST(PortSchedule, LappedSlotReadsFreeAfterPrune)
+{
+    // A slot owned by a pruned cycle must read as free for the cycle
+    // that laps onto it — pruning is lazy, not eager.
+    PortSchedule ps(2);
+    EXPECT_TRUE(ps.tryClaim(3));
+    EXPECT_TRUE(ps.tryClaim(3));
+    ps.pruneBefore(5000);
+    EXPECT_EQ(ps.used(3), 0u);
+    // 5123 = 3 + 5*1024 shares cycle 3's slot in the initial ring.
+    EXPECT_TRUE(ps.tryClaim(5123));
+    EXPECT_TRUE(ps.tryClaim(5123));
+    EXPECT_FALSE(ps.tryClaim(5123));
+    EXPECT_EQ(ps.used(5123), 2u);
+}
+
+TEST(PortSchedule, ClearForgetsEverything)
+{
+    PortSchedule ps(1);
+    ps.tryClaim(7);
+    ps.pruneBefore(7);
+    ps.clear();
+    EXPECT_EQ(ps.used(7), 0u);
+    EXPECT_TRUE(ps.tryClaim(0));  // watermark rewound to zero
+    EXPECT_TRUE(ps.tryClaim(7));
+}
+
 TEST(RegFilePorts, PaperPortCounts)
 {
     RegFilePorts p(16, 8);

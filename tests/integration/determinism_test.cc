@@ -94,7 +94,7 @@ expectIdenticalMetrics(const SimResults &a, const SimResults &b,
     for (std::size_t i = 0; i < a.metrics.all().size(); ++i) {
         const Metric &ma = a.metrics.all()[i];
         const Metric &mb = b.metrics.all()[i];
-        EXPECT_EQ(ma.text(), mb.text()) << label << ": " << ma.name;
+        EXPECT_EQ(ma.text(), mb.text()) << label << ": " << ma.name();
     }
 }
 
@@ -193,7 +193,7 @@ TEST(Determinism, WaitListWakeupMatchesScanByteForByte)
             const Metric &a = waitlist.metrics.all()[i];
             const Metric &b = scan.metrics.all()[i];
             EXPECT_EQ(a.text(), b.text())
-                << renameSchemeName(scheme) << ": " << a.name;
+                << renameSchemeName(scheme) << ": " << a.name();
         }
     }
 }

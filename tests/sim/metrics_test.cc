@@ -17,9 +17,9 @@ TEST(MetricsRecord, KeepsInsertionOrder)
     m.setReal("a.one", "", 1.0);
     m.setUInt("c.three", "", 3);
     ASSERT_EQ(m.size(), 3u);
-    EXPECT_EQ(m.all()[0].name, "b.two");
-    EXPECT_EQ(m.all()[1].name, "a.one");
-    EXPECT_EQ(m.all()[2].name, "c.three");
+    EXPECT_EQ(m.all()[0].name(), "b.two");
+    EXPECT_EQ(m.all()[1].name(), "a.one");
+    EXPECT_EQ(m.all()[2].name(), "c.three");
 }
 
 TEST(MetricsRecord, LookupByName)
@@ -46,7 +46,7 @@ TEST(MetricsRecord, OverwriteKeepsPosition)
     m.setUInt("y", "", 2);
     m.setReal("x", "", 9.5);
     ASSERT_EQ(m.size(), 2u);
-    EXPECT_EQ(m.all()[0].name, "x");
+    EXPECT_EQ(m.all()[0].name(), "x");
     EXPECT_DOUBLE_EQ(m.real("x"), 9.5);
 }
 
@@ -78,15 +78,42 @@ TEST(MetricsRecord, PopulatedByVisitingStatGroups)
     ASSERT_EQ(m.size(), 2u);
     EXPECT_EQ(m.counter("core.cycles"), 42u);
     EXPECT_DOUBLE_EQ(m.real("core.ipc"), 1.25);
-    EXPECT_EQ(m.all()[0].desc, "elapsed");
+    EXPECT_EQ(m.all()[0].desc(), "elapsed");
+}
+
+TEST(MetricsRecord, RevisitOverwritesInAnyOrder)
+{
+    // Sampled runs revisit one record per measurement interval; the
+    // in-order revisit takes the cursor fast path, but correctness
+    // must not depend on arrival order.
+    MetricsRecord m;
+    m.setUInt("a", "", 1);
+    m.setUInt("b", "", 2);
+    m.setUInt("c", "", 3);
+    // In-order revisit.
+    m.setUInt("a", "", 10);
+    m.setUInt("b", "", 20);
+    m.setUInt("c", "", 30);
+    // Out-of-order revisit.
+    m.setUInt("c", "", 300);
+    m.setUInt("a", "", 100);
+    m.setUInt("b", "", 200);
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.counter("a"), 100u);
+    EXPECT_EQ(m.counter("b"), 200u);
+    EXPECT_EQ(m.counter("c"), 300u);
+    EXPECT_EQ(m.all()[0].name(), "a");
+    EXPECT_EQ(m.all()[2].name(), "c");
 }
 
 TEST(Metric, TextRoundTripsExactly)
 {
-    Metric u{"n", "", Metric::Kind::UInt, 1234567890123456789ull, 0.0};
+    auto &tab = stats::SymbolTable::global();
+    Metric u{tab.intern("n"), tab.intern(""), Metric::Kind::UInt,
+             1234567890123456789ull, 0.0};
     EXPECT_EQ(u.text(), "1234567890123456789");
 
-    Metric r{"r", "", Metric::Kind::Real, 0, 0.0};
+    Metric r{tab.intern("r"), tab.intern(""), Metric::Kind::Real, 0, 0.0};
     r.rval = 1.0 / 3.0;
     double back = std::strtod(r.text().c_str(), nullptr);
     EXPECT_EQ(back, r.rval);  // bit-exact, not just close

@@ -153,7 +153,7 @@ TEST(ResultCache, MissThenHitRoundTrip)
     for (std::size_t i = 0; i < cold.metrics.all().size(); ++i)
         EXPECT_EQ(cold.metrics.all()[i].text(),
                   out.metrics.all()[i].text())
-            << cold.metrics.all()[i].name;
+            << cold.metrics.all()[i].name();
 
     // A different cell must not see this entry.
     GridCell other = cell;

@@ -500,8 +500,8 @@ TEST(ResultsCsv, DistributionMetricsRoundTripBitExact)
     const auto &rt = back[0].metrics.all();
     ASSERT_EQ(orig.size(), rt.size());
     for (std::size_t i = 0; i < orig.size(); ++i) {
-        EXPECT_EQ(orig[i].name, rt[i].name);
-        EXPECT_EQ(orig[i].text(), rt[i].text()) << orig[i].name;
+        EXPECT_EQ(orig[i].name(), rt[i].name());
+        EXPECT_EQ(orig[i].text(), rt[i].text()) << orig[i].name();
     }
     EXPECT_EQ(back[0].metrics.counter("regfile.occupancy.hist[1]"), 2u);
     EXPECT_EQ(back[0].metrics.counter("regfile.occupancy.samples"), 6u);

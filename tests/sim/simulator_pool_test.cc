@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Determinism pin for the simulator reuse pool (Simulator::reinit).
+ *
+ * A reused simulator must be indistinguishable from a freshly
+ * constructed one: for every rename scheme, running a cell on a
+ * simulator that already ran a full cell (same core configuration →
+ * in-place Core::reinit; different core configuration → core rebuild
+ * over the rewound stream) must reproduce every exported metric of a
+ * cold simulator exactly. Any missed member in the reinit chain —
+ * a counter not zeroed, a ring not rewound, an RNG not reseeded —
+ * shows up here as a metric mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace vpr
+{
+namespace
+{
+
+SimConfig
+smallConfig(const char *scheme, bool sampled)
+{
+    SimConfig config = paperConfig();
+    config.setScheme(scheme == std::string("conv")
+                         ? RenameScheme::Conventional
+                     : scheme == std::string("conv-er")
+                         ? RenameScheme::ConventionalEarlyRelease
+                     : scheme == std::string("vp-wb")
+                         ? RenameScheme::VPAllocAtWriteback
+                         : RenameScheme::VPAllocAtIssue);
+    if (config.core.scheme == RenameScheme::ConventionalEarlyRelease)
+        config.core.fetch.wrongPath = WrongPathMode::Stall;
+    config.skipInsts = 2000;
+    config.measureInsts = 4000;
+    if (sampled) {
+        config.sampling.enable = true;
+        config.sampling.periodInsts = 2000;
+    }
+    return config;
+}
+
+void
+expectIdentical(const MetricsRecord &a, const MetricsRecord &b)
+{
+    ASSERT_EQ(a.all().size(), b.all().size());
+    for (std::size_t i = 0; i < a.all().size(); ++i) {
+        const Metric &ma = a.all()[i];
+        const Metric &mb = b.all()[i];
+        ASSERT_EQ(ma.name(), mb.name());
+        ASSERT_EQ(static_cast<int>(ma.kind), static_cast<int>(mb.kind));
+        if (ma.kind == Metric::Kind::UInt)
+            EXPECT_EQ(ma.uval, mb.uval) << ma.name();
+        else
+            EXPECT_EQ(ma.rval, mb.rval) << ma.name();
+    }
+}
+
+class SimulatorPoolDeterminism
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SimulatorPoolDeterminism, ReinitSameConfigMatchesFresh)
+{
+    const SimConfig config = smallConfig(GetParam(), /*sampled=*/false);
+
+    Simulator fresh("compress", config);
+    const SimResults cold = fresh.run();
+
+    // Same cell twice on one simulator: the second run goes through the
+    // in-place Core::reinit path with every structure dirty.
+    Simulator reused("compress", config);
+    reused.run();
+    ASSERT_TRUE(reused.reinit("compress", config));
+    const SimResults warm = reused.run();
+
+    expectIdentical(cold.metrics, warm.metrics);
+}
+
+TEST_P(SimulatorPoolDeterminism, ReinitSampledMatchesFresh)
+{
+    const SimConfig config = smallConfig(GetParam(), /*sampled=*/true);
+
+    Simulator fresh("compress", config);
+    const SimResults cold = fresh.run();
+
+    Simulator reused("compress", config);
+    reused.run();
+    ASSERT_TRUE(reused.reinit("compress", config));
+    const SimResults warm = reused.run();
+
+    expectIdentical(cold.metrics, warm.metrics);
+}
+
+TEST_P(SimulatorPoolDeterminism, ReinitAcrossCoreConfigsRebuilds)
+{
+    SimConfig first = smallConfig(GetParam(), /*sampled=*/true);
+    first.setPhysRegs(48);
+    SimConfig second = smallConfig(GetParam(), /*sampled=*/true);
+    second.setPhysRegs(64);
+
+    Simulator fresh("compress", second);
+    const SimResults cold = fresh.run();
+
+    // The core configuration differs, so reinit rebuilds the core over
+    // the rewound stream instead of reinitialising it in place.
+    Simulator reused("compress", first);
+    reused.run();
+    ASSERT_TRUE(reused.reinit("compress", second));
+    const SimResults warm = reused.run();
+
+    expectIdentical(cold.metrics, warm.metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SimulatorPoolDeterminism,
+                         ::testing::Values("conv", "conv-er", "vp-wb",
+                                           "vp-issue"));
+
+TEST(SimulatorPool, ReinitRefusesForeignCells)
+{
+    const SimConfig config = smallConfig("conv", /*sampled=*/true);
+    Simulator sim("compress", config);
+    sim.run();
+
+    // A different benchmark cannot reuse the owned stream.
+    EXPECT_FALSE(sim.reinit("swim", config));
+
+    // Neither can a different seed (the kernel bakes it in).
+    SimConfig reseeded = config;
+    reseeded.seed = 7;
+    EXPECT_FALSE(sim.reinit("compress", reseeded));
+
+    // The refused simulator still works as-is.
+    ASSERT_TRUE(sim.reinit("compress", config));
+    const SimResults again = sim.run();
+    EXPECT_GT(again.committed(), 0u);
+}
+
+TEST(SimulatorPool, ExternalStreamIsNeverReused)
+{
+    const SimConfig config = smallConfig("conv", /*sampled=*/false);
+    Simulator owned("compress", config);
+    TraceStream &stream = owned.core().stream();
+    Simulator external(stream, config);
+    EXPECT_FALSE(external.reinit("compress", config));
+}
+
+} // namespace
+} // namespace vpr

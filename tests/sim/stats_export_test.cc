@@ -70,7 +70,7 @@ TEST(StatsExport, RecordCarriesEveryComponentGroup)
     // The issued_by_class matrix sums to the issue counter.
     std::uint64_t issued = 0;
     for (const Metric &metric : m.all())
-        if (metric.name.rfind("issue.issued_by_class.", 0) == 0)
+        if (metric.name().rfind("issue.issued_by_class.", 0) == 0)
             issued += metric.uval;
     EXPECT_EQ(issued, m.counter("issue.issued"));
 }

@@ -1,0 +1,128 @@
+#include "alloc_count.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+thread_local int g_depth = 0;
+thread_local std::uint64_t g_count = 0;
+
+inline void
+note() noexcept
+{
+    if (g_depth > 0)
+        ++g_count;
+}
+
+void *
+countedAlloc(std::size_t n)
+{
+    note();
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t n, std::size_t align)
+{
+    note();
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    note();
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    note();
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    return countedAllocAligned(n, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return countedAllocAligned(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace vpr
+{
+namespace testsupport
+{
+
+std::uint64_t recordedAllocs() { return g_count; }
+
+int allocScopeDepth() { return g_depth; }
+
+AllocGuard::AllocGuard() : start(g_count) { ++g_depth; }
+
+AllocGuard::~AllocGuard() { --g_depth; }
+
+std::uint64_t
+AllocGuard::count() const
+{
+    return g_count - start;
+}
+
+} // namespace testsupport
+} // namespace vpr

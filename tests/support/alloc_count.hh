@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Test-only allocation accounting.
+ *
+ * Linking tests/support/alloc_count.cc into a binary replaces the
+ * global operator new/delete with counting wrappers. Counting is
+ * armed per thread by AllocGuard scopes: outside any scope the hook
+ * is a single thread-local branch, inside a scope every allocation on
+ * the thread bumps a counter the guard can read. Guards nest — each
+ * one observes the allocations of its own window, inner windows
+ * included, which is exactly what "zero allocations in this region"
+ * assertions and benchmark counters need.
+ *
+ * This is deliberately not part of libvpr: the simulator must never
+ * depend on a replaced allocator. Only test and bench binaries link
+ * the .cc.
+ */
+
+#ifndef VPR_TESTS_SUPPORT_ALLOC_COUNT_HH
+#define VPR_TESTS_SUPPORT_ALLOC_COUNT_HH
+
+#include <cstdint>
+
+namespace vpr
+{
+namespace testsupport
+{
+
+/** Allocations recorded on this thread while a guard was live
+ *  (monotonic; only advances inside AllocGuard scopes). */
+std::uint64_t recordedAllocs();
+
+/** Live AllocGuard scopes on this thread (0 = hook disarmed). */
+int allocScopeDepth();
+
+/** RAII scope arming the allocation counter on this thread. */
+class AllocGuard
+{
+  public:
+    AllocGuard();
+    ~AllocGuard();
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+
+    /** Allocations on this thread since this guard opened. */
+    std::uint64_t count() const;
+
+  private:
+    std::uint64_t start;
+};
+
+} // namespace testsupport
+} // namespace vpr
+
+#endif // VPR_TESTS_SUPPORT_ALLOC_COUNT_HH

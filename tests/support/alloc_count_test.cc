@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Self-tests for the allocation-accounting harness: the zero-alloc
+ * regression tests are only as trustworthy as the hook they stand on,
+ * so pin its install/uninstall behaviour and nested-scope arithmetic
+ * here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc_count.hh"
+
+namespace vpr
+{
+namespace
+{
+
+using testsupport::AllocGuard;
+using testsupport::allocScopeDepth;
+using testsupport::recordedAllocs;
+
+// Defeat allocation elision: the compiler may drop a new/delete pair
+// it can prove unobservable, which would make these tests vacuous.
+void
+touch(std::unique_ptr<int> &p)
+{
+    static volatile int sink = 0;
+    sink = sink + *p;
+}
+
+TEST(AllocCount, DisarmedOutsideAnyScope)
+{
+    ASSERT_EQ(allocScopeDepth(), 0);
+    const std::uint64_t before = recordedAllocs();
+    auto p = std::make_unique<int>(42);
+    touch(p);
+    EXPECT_EQ(recordedAllocs(), before);
+}
+
+TEST(AllocCount, CountsInsideScope)
+{
+    AllocGuard g;
+    EXPECT_EQ(allocScopeDepth(), 1);
+    EXPECT_EQ(g.count(), 0u);
+    auto p = std::make_unique<int>(42);
+    touch(p);
+    EXPECT_GE(g.count(), 1u);
+}
+
+TEST(AllocCount, UninstallsWhenScopeCloses)
+{
+    {
+        AllocGuard g;
+        auto p = std::make_unique<int>(1);
+        touch(p);
+    }
+    ASSERT_EQ(allocScopeDepth(), 0);
+    const std::uint64_t before = recordedAllocs();
+    auto p = std::make_unique<int>(2);
+    touch(p);
+    EXPECT_EQ(recordedAllocs(), before);
+}
+
+TEST(AllocCount, NestedScopesEachSeeTheirWindow)
+{
+    AllocGuard outer;
+    auto a = std::make_unique<int>(1);
+    touch(a);
+    const std::uint64_t outerBeforeInner = outer.count();
+    EXPECT_GE(outerBeforeInner, 1u);
+    {
+        AllocGuard inner;
+        EXPECT_EQ(allocScopeDepth(), 2);
+        EXPECT_EQ(inner.count(), 0u);
+        auto b = std::make_unique<int>(2);
+        touch(b);
+        EXPECT_GE(inner.count(), 1u);
+        // The outer guard sees the inner window's allocations too.
+        EXPECT_EQ(outer.count(), outerBeforeInner + inner.count());
+    }
+    EXPECT_EQ(allocScopeDepth(), 1);
+}
+
+TEST(AllocCount, VectorGrowthIsVisible)
+{
+    AllocGuard g;
+    std::vector<int> v;
+    v.reserve(64);
+    EXPECT_GE(g.count(), 1u);
+}
+
+TEST(AllocCount, FreesAreNotCounted)
+{
+    auto p = std::make_unique<std::vector<int>>(1024);
+    AllocGuard g;
+    p.reset();
+    EXPECT_EQ(g.count(), 0u);
+}
+
+} // namespace
+} // namespace vpr

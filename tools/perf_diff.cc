@@ -10,15 +10,22 @@
  * checked-in trajectory are the record.
  *
  *   perf_diff [options] <baseline.json> <current.json>
- *     --filter=<substr>    only rows whose name contains <substr>
- *                          (default: BM_SimulatorEndToEnd; use
+ *     --filter=<substr>    only rows whose name contains <substr>;
+ *                          repeatable, a row matching any filter is
+ *                          kept (default: BM_SimulatorEndToEnd; use
  *                          --filter= for everything)
  *     --threshold=<pct>    regression warning threshold (default 10)
  *     --gate               exit 1 if any row regresses past threshold
  *
- * Both files' context blocks are checked for "library_build_type":
- * a non-"release" value draws a warning (timings from debug trees are
- * not comparable) and, under --gate, a failing exit.
+ * Both files' context blocks are checked for the build flavour. The
+ * bench binary records "vpr_build_type" (NDEBUG-derived — the library's
+ * own "library_build_type" only describes how the distro built
+ * libbenchmark and is "debug" on Debian even for release simulator
+ * trees). A debug *baseline* is a hard error regardless of --gate:
+ * every diff against it is meaningless, so there is nothing useful to
+ * print (the BENCH_6/7/8.json incident — three baselines silently
+ * recorded from a debug tree). A debug *current* file draws a warning,
+ * and a failing exit under --gate.
  *
  * The parser is deliberately small: it scans the "benchmarks" array for
  * "name"/"real_time"/"time_unit" fields rather than pulling in a JSON
@@ -74,31 +81,28 @@ numberField(const std::string &text, std::size_t objAt, const char *key)
 }
 
 /**
- * Check the export's context block for a non-release library build and
- * warn: debug-build timings are not comparable to release ones (the
- * BENCH_6.json incident — a baseline silently recorded from a debug
- * tree). @return false if the build type is present and not "release".
+ * The export's build flavour: "release", "debug", or "" (unknown).
+ * Trusts "vpr_build_type" (written by the bench binary, NDEBUG-derived)
+ * when present; falls back to the library's "library_build_type" for
+ * exports that predate the custom context — which misclassifies
+ * release simulator trees linked against a distro debug libbenchmark,
+ * and that is deliberate: an old baseline that cannot prove it was a
+ * release build must be re-recorded, not trusted.
  */
-bool
-checkBuildType(const std::string &path, const std::string &text)
+std::string
+buildFlavour(const std::string &text)
 {
-    const std::string type = stringField(text, 0, "library_build_type");
-    if (type.empty() || type == "release")
-        return true;
-    std::cerr << "perf_diff: WARNING: " << path
-              << " was recorded against a '" << type
-              << "' google-benchmark library; absolute timings carry "
-                 "extra harness overhead. Within-file row ratios are "
-                 "still meaningful, but do not gate on cross-file "
-                 "diffs — rebuild benchmark in Release and re-record "
-                 "(the perf-baseline target already refuses "
-                 "non-Release simulator trees).\n";
-    return false;
+    std::string t = stringField(text, 0, "vpr_build_type");
+    if (t.empty())
+        t = stringField(text, 0, "library_build_type");
+    if (t.empty())
+        return "";
+    return t == "release" ? "release" : "debug";
 }
 
 /** All rows of the "benchmarks" array of one benchmark JSON export. */
 std::vector<BenchRow>
-parseBenchmarks(const std::string &path, bool &releaseBuilt)
+parseBenchmarks(const std::string &path, std::string &flavour)
 {
     std::ifstream in(path);
     if (!in) {
@@ -108,7 +112,7 @@ parseBenchmarks(const std::string &path, bool &releaseBuilt)
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
-    releaseBuilt = checkBuildType(path, text);
+    flavour = buildFlavour(text);
 
     std::vector<BenchRow> rows;
     std::size_t arr = text.find("\"benchmarks\":");
@@ -149,7 +153,8 @@ endsWith(const std::string &s, const char *suffix)
 int
 main(int argc, char **argv)
 {
-    std::string filter = "BM_SimulatorEndToEnd";
+    std::vector<std::string> filters;
+    bool matchAll = false;
     double threshold = 10.0;
     bool gate = false;
     std::vector<std::string> files;
@@ -157,13 +162,17 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--filter=", 0) == 0) {
-            filter = arg.substr(9);
+            std::string f = arg.substr(9);
+            if (f.empty())
+                matchAll = true;
+            else
+                filters.push_back(f);
         } else if (arg.rfind("--threshold=", 0) == 0) {
             threshold = std::strtod(arg.c_str() + 12, nullptr);
         } else if (arg == "--gate") {
             gate = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: perf_diff [--filter=SUBSTR] "
+            std::cout << "usage: perf_diff [--filter=SUBSTR]... "
                          "[--threshold=PCT] [--gate] "
                          "<baseline.json> <current.json>\n";
             return 0;
@@ -177,10 +186,38 @@ main(int argc, char **argv)
         return 2;
     }
 
-    bool baseRelease = true, curRelease = true;
-    auto baseline = parseBenchmarks(files[0], baseRelease);
-    auto current = parseBenchmarks(files[1], curRelease);
-    const bool buildTypeOk = baseRelease && curRelease;
+    std::string baseFlavour, curFlavour;
+    auto baseline = parseBenchmarks(files[0], baseFlavour);
+    auto current = parseBenchmarks(files[1], curFlavour);
+
+    // A debug baseline poisons every row of the table, so this is a
+    // hard error even without --gate — refusing is the only output
+    // that cannot mislead.
+    if (baseFlavour == "debug") {
+        std::cerr << "perf_diff: ERROR: baseline " << files[0]
+                  << " was recorded from a debug build (or cannot "
+                     "prove otherwise); timings from debug trees are "
+                     "not comparable. Re-record it from a Release "
+                     "tree with the perf-baseline target.\n";
+        return 2;
+    }
+    if (curFlavour == "debug")
+        std::cerr << "perf_diff: WARNING: " << files[1]
+                  << " was recorded from a debug build; deltas below "
+                     "overstate every cost. Rebuild in Release before "
+                     "trusting (or gating on) this table.\n";
+    const bool buildTypeOk = curFlavour != "debug";
+
+    if (filters.empty() && !matchAll)
+        filters.push_back("BM_SimulatorEndToEnd");
+    auto matches = [&](const std::string &name) {
+        if (matchAll)
+            return true;
+        for (const std::string &f : filters)
+            if (name.find(f) != std::string::npos)
+                return true;
+        return false;
+    };
 
     // Prefer _mean aggregates when present on the baseline side.
     bool hasMeans = false;
@@ -191,7 +228,7 @@ main(int argc, char **argv)
                 "current", "delta");
     int compared = 0, regressed = 0;
     for (const BenchRow &b : baseline) {
-        if (!filter.empty() && b.name.find(filter) == std::string::npos)
+        if (!matches(b.name))
             continue;
         if (hasMeans && !endsWith(b.name, "_mean"))
             continue;
@@ -213,8 +250,8 @@ main(int argc, char **argv)
     }
 
     if (compared == 0) {
-        std::cerr << "perf_diff: no common benchmarks matched filter '"
-                  << filter << "'\n";
+        std::cerr << "perf_diff: no common benchmarks matched the "
+                     "filter(s)\n";
         return 2;
     }
     if (regressed > 0) {

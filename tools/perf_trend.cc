@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Render the checked-in perf trajectory (BENCH_*.json, oldest first)
+ * as a self-contained SVG sparkline table:
+ *
+ *   perf_trend [--out=FILE.svg] [--filter=SUBSTR] <bench.json>...
+ *
+ * One row per benchmark name, one sparkline point per input file that
+ * carries the row. Each sparkline is scaled to its own min..max (the
+ * series spans nanosecond structure probes and millisecond end-to-end
+ * runs, so a shared axis would flatten everything but the slowest
+ * row); the first/last values and the overall delta are printed next
+ * to it so absolute movement stays readable. Files recorded from a
+ * debug tree (vpr_build_type / library_build_type not "release") get
+ * their points hollowed out — visibly present, visibly untrusted.
+ *
+ * The JSON scanner is the same deliberately small field-scanner
+ * perf_diff uses; no JSON library, no dependencies.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct SeriesPoint
+{
+    double value = NAN;  ///< NAN = this file lacks the row
+    bool debug = false;
+};
+
+struct FileRows
+{
+    std::string label;
+    bool debug = false;
+    std::vector<std::pair<std::string, double>> rows;  // name → ns
+};
+
+std::string
+stringField(const std::string &text, std::size_t objAt, const char *key)
+{
+    std::string pat = std::string("\"") + key + "\":";
+    std::size_t k = text.find(pat, objAt);
+    if (k == std::string::npos)
+        return "";
+    std::size_t q1 = text.find('"', k + pat.size());
+    if (q1 == std::string::npos)
+        return "";
+    std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos)
+        return "";
+    return text.substr(q1 + 1, q2 - q1 - 1);
+}
+
+double
+numberField(const std::string &text, std::size_t objAt, const char *key)
+{
+    std::string pat = std::string("\"") + key + "\":";
+    std::size_t k = text.find(pat, objAt);
+    if (k == std::string::npos)
+        return NAN;
+    return std::strtod(text.c_str() + k + pat.size(), nullptr);
+}
+
+double
+toNanos(double v, const std::string &unit)
+{
+    if (unit == "ms")
+        return v * 1e6;
+    if (unit == "us")
+        return v * 1e3;
+    if (unit == "s")
+        return v * 1e9;
+    return v;  // ns (google-benchmark's default)
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** Strip a path to its file name without extension (the column label). */
+std::string
+labelOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of("/\\");
+    std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = name.rfind('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+FileRows
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "perf_trend: cannot open " << path << "\n";
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    FileRows f;
+    f.label = labelOf(path);
+    std::string flavour = stringField(text, 0, "vpr_build_type");
+    if (flavour.empty())
+        flavour = stringField(text, 0, "library_build_type");
+    f.debug = !flavour.empty() && flavour != "release";
+
+    std::size_t arr = text.find("\"benchmarks\":");
+    if (arr == std::string::npos)
+        return f;
+    bool hasMeans = text.find("_mean\"", arr) != std::string::npos;
+    for (std::size_t pos = text.find("\"name\":", arr);
+         pos != std::string::npos;
+         pos = text.find("\"name\":", pos + 1)) {
+        std::string name = stringField(text, pos, "name");
+        double t = numberField(text, pos, "real_time");
+        std::string unit = stringField(text, pos, "time_unit");
+        if (name.empty() || std::isnan(t))
+            continue;
+        if (hasMeans) {
+            if (!endsWith(name, "_mean"))
+                continue;
+            name.resize(name.size() - 5);
+        }
+        f.rows.emplace_back(name, toNanos(t, unit));
+    }
+    return f;
+}
+
+std::string
+fmtTime(double ns)
+{
+    char buf[32];
+    if (ns >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.3g ms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.3g us", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.3g ns", ns);
+    return buf;
+}
+
+std::string
+xmlEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '&')
+            out += "&amp;";
+        else if (c == '<')
+            out += "&lt;";
+        else if (c == '>')
+            out += "&gt;";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = "docs/perf_trend.svg";
+    std::string filter;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            outPath = arg.substr(6);
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            filter = arg.substr(9);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: perf_trend [--out=FILE.svg] "
+                         "[--filter=SUBSTR] <bench.json>...\n"
+                         "Pass the BENCH_*.json series oldest first.\n";
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() < 2) {
+        std::cerr << "perf_trend: need at least two bench JSON files "
+                     "(a trend has a direction)\n";
+        return 2;
+    }
+
+    std::vector<FileRows> files;
+    for (const std::string &p : paths)
+        files.push_back(parseFile(p));
+
+    // Row universe: every name seen anywhere, in first-seen order, that
+    // appears in at least two files (one point is not a trend).
+    std::vector<std::string> names;
+    for (const FileRows &f : files)
+        for (const auto &row : f.rows) {
+            if (!filter.empty() &&
+                row.first.find(filter) == std::string::npos)
+                continue;
+            if (std::find(names.begin(), names.end(), row.first) ==
+                names.end())
+                names.push_back(row.first);
+        }
+    std::vector<std::vector<SeriesPoint>> series(
+        names.size(), std::vector<SeriesPoint>(files.size()));
+    for (std::size_t fi = 0; fi < files.size(); ++fi)
+        for (const auto &row : files[fi].rows) {
+            auto it = std::find(names.begin(), names.end(), row.first);
+            if (it == names.end())
+                continue;
+            SeriesPoint &pt = series[it - names.begin()][fi];
+            pt.value = row.second;
+            pt.debug = files[fi].debug;
+        }
+    for (std::size_t i = names.size(); i-- > 0;) {
+        int n = 0;
+        for (const SeriesPoint &pt : series[i])
+            n += !std::isnan(pt.value);
+        if (n < 2) {
+            names.erase(names.begin() + i);
+            series.erase(series.begin() + i);
+        }
+    }
+    if (names.empty()) {
+        std::cerr << "perf_trend: no benchmark appears in two or more "
+                     "files\n";
+        return 2;
+    }
+
+    // Layout: header row with file labels, then one 18px row per
+    // benchmark — name, sparkline, first → last, delta.
+    const int rowH = 18, headerH = 46, nameW = 330, sparkW = 170;
+    const int valueW = 200, pad = 8;
+    const int width = nameW + sparkW + valueW + 3 * pad;
+    const int height =
+        headerH + static_cast<int>(names.size()) * rowH + pad;
+
+    std::ofstream out(outPath);
+    if (!out) {
+        std::cerr << "perf_trend: cannot write " << outPath << "\n";
+        return 2;
+    }
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+        << "\" height=\"" << height << "\" font-family=\"monospace\" "
+        << "font-size=\"11\">\n"
+        << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+        << "<text x=\"" << pad << "\" y=\"16\" font-size=\"13\" "
+        << "font-weight=\"bold\">simulator perf trajectory ("
+        << files.front().label << " → " << files.back().label
+        << ")</text>\n"
+        << "<text x=\"" << pad << "\" y=\"32\" fill=\"#666\">"
+        << "per-row scale; hollow points = debug-recorded file; "
+        << "delta = last vs first</text>\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const int y = headerH + static_cast<int>(i) * rowH;
+        const int baseline = y + rowH - 5;
+        double lo = INFINITY, hi = -INFINITY, first = NAN, last = NAN;
+        for (const SeriesPoint &pt : series[i]) {
+            if (std::isnan(pt.value))
+                continue;
+            lo = std::min(lo, pt.value);
+            hi = std::max(hi, pt.value);
+            if (std::isnan(first))
+                first = pt.value;
+            last = pt.value;
+        }
+        const double span = hi > lo ? hi - lo : 1.0;
+        const double delta = 100.0 * (last - first) / first;
+        const char *deltaColor =
+            delta > 5.0 ? "#b00" : delta < -5.0 ? "#070" : "#666";
+
+        out << "<text x=\"" << pad << "\" y=\"" << baseline << "\">"
+            << xmlEscape(names[i]) << "</text>\n";
+
+        // Sparkline: x spread over the file series, y inverted (down
+        // is faster) inside a 12px band; gaps where a file lacks the
+        // row break the polyline.
+        const int sx = nameW + pad, bandTop = y + 3, bandH = rowH - 8;
+        std::string poly;
+        std::string dots;
+        for (std::size_t fi = 0; fi < series[i].size(); ++fi) {
+            const SeriesPoint &pt = series[i][fi];
+            if (std::isnan(pt.value)) {
+                if (!poly.empty()) {
+                    out << "<polyline fill=\"none\" stroke=\"#36c\" "
+                        << "points=\"" << poly << "\"/>\n";
+                    poly.clear();
+                }
+                continue;
+            }
+            const double fx =
+                sx + (sparkW - 8) *
+                         (series[i].size() > 1
+                              ? static_cast<double>(fi) /
+                                    (series[i].size() - 1)
+                              : 0.0);
+            const double fy =
+                bandTop + bandH * (1.0 - (hi - pt.value) / span);
+            char buf[128];
+            std::snprintf(buf, sizeof buf, "%.1f,%.1f ", fx, fy);
+            poly += buf;
+            std::snprintf(buf, sizeof buf,
+                          "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" "
+                          "fill=\"%s\" stroke=\"#36c\"/>\n",
+                          fx, fy, pt.debug ? "white" : "#36c");
+            dots += buf;
+        }
+        if (!poly.empty())
+            out << "<polyline fill=\"none\" stroke=\"#36c\" points=\""
+                << poly << "\"/>\n";
+        out << dots;
+
+        out << "<text x=\"" << nameW + sparkW + 2 * pad << "\" y=\""
+            << baseline << "\">" << fmtTime(first) << " → "
+            << fmtTime(last) << "</text>\n"
+            << "<text x=\"" << width - pad << "\" y=\"" << baseline
+            << "\" text-anchor=\"end\" fill=\"" << deltaColor << "\">"
+            << (delta >= 0 ? "+" : "") << std::fixed
+            << std::setprecision(1) << delta << "%</text>\n";
+        out.unsetf(std::ios::fixed);
+    }
+    out << "</svg>\n";
+    std::cout << "perf_trend: wrote " << outPath << " (" << names.size()
+              << " rows x " << files.size() << " files)\n";
+    return 0;
+}
